@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every table/figure of the paper's evaluation section has one module
+here.  All modules share a single memoized :class:`repro.Study`, so the
+figure and correlation benches reuse the table benches' runs.
+
+Environment knobs:
+
+* ``REPRO_REPS``  — repetitions per configuration (default 3; the paper
+  uses 9 — set ``REPRO_REPS=9`` to match its protocol exactly).
+* ``REPRO_SCALE`` — input scale factor (default 1.0 = the suite's
+  standard ~1/256-of-paper sizes).
+
+Each bench prints the regenerated rows and writes them to
+``benchmarks/output/`` as markdown + CSV, mirroring the artifact's
+``output/`` directory.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+REPS = int(os.environ.get("REPRO_REPS", "3"))
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+#: the four algorithms of Tables IV-VII, in the paper's column order
+UNDIRECTED_ALGOS = ["cc", "gc", "mis", "mst"]
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def save_output(name: str, text: str) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / name).write_text(text + "\n")
+
+
+def emit(name: str, text: str) -> None:
+    """Print the regenerated rows and persist them."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    slug = "".join(c if c.isalnum() or c in "._-" else "_"
+                   for c in name.lower().replace(" ", "_"))
+    save_output(slug.strip("_") + ".md", text)

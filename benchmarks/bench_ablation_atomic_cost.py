@@ -1,0 +1,57 @@
+"""Ablation: sensitivity to the hardware atomic cost (Section VII).
+
+"We found recent GPUs to be more negatively affected by extra
+synchronization than older GPUs.  Hence, the performance gap between
+racy and non-racy code might increase in the future."  This ablation
+sweeps a hypothetical device's atomic-store cost and shows the CC
+speedup degrading monotonically — the quantitative version of the
+paper's closing warning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from _harness import emit
+
+from repro.core.variants import Variant, get_algorithm
+from repro.gpu.device import get_device
+from repro.graphs.suite import load_suite_graph
+from repro.perf.engine import run_algorithm
+from repro.utils.stats import geometric_mean
+from repro.utils.tables import format_table
+
+INPUTS = ["internet", "amazon0601", "cit-Patents", "rmat16.sym"]
+STORE_EXTRAS = [0.0, 15.0, 60.0, 150.0, 300.0]
+
+
+def test_ablation_future_atomic_cost(benchmark):
+    base_device = get_device("titanv")
+    algo = get_algorithm("cc")
+    graphs = [load_suite_graph(n) for n in INPUTS]
+
+    def run():
+        rows = []
+        for extra in STORE_EXTRAS:
+            device = dataclasses.replace(
+                base_device,
+                atomic_store_extra_cycles=extra,
+                atomic_load_extra_cycles=extra / 3.0,
+            )
+            speedups = []
+            for g in graphs:
+                b = run_algorithm(algo, g, device, Variant.BASELINE, seed=7)
+                f = run_algorithm(algo, g, device, Variant.RACE_FREE, seed=7)
+                speedups.append(b.runtime_ms / f.runtime_ms)
+            rows.append([extra, geometric_mean(speedups)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: CC speedup vs. atomic store cost",
+         format_table(["Atomic store extra (cycles)",
+                       "Race-free geomean speedup"], rows))
+
+    geomeans = [r[1] for r in rows]
+    assert all(b <= a + 1e-9 for a, b in zip(geomeans, geomeans[1:])), \
+        "CC speedup must degrade monotonically with atomic cost"
+    assert geomeans[-1] < geomeans[0]

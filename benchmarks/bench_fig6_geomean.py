@@ -1,0 +1,48 @@
+"""Fig. 6: geometric-mean speedup of each algorithm on each GPU.
+
+Aggregates the full undirected tables (IV-VII) and the SCC table (VIII)
+into the per-device geomean bars and renders the ASCII analogue of the
+paper's bar chart.  Expected shape: MIS is the only bar above 1.0 on
+every device; CC and SCC bars shrink on the newer devices.
+"""
+
+from __future__ import annotations
+
+from _harness import UNDIRECTED_ALGOS, emit, save_output
+
+from repro.core.report import fig6_bars, geomean_summary
+from repro.graphs.suite import suite_names
+from repro.gpu.device import DEVICE_ORDER
+
+
+def test_fig6_geomean_bars(study, benchmark):
+    und = suite_names(directed=False)
+    dird = suite_names(directed=True)
+
+    def run():
+        cells = []
+        for dev in DEVICE_ORDER:
+            cells.extend(study.speedup_table(dev, UNDIRECTED_ALGOS, und))
+            cells.extend(study.speedup("scc", name, dev) for name in dird)
+        return cells
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = geomean_summary(cells)
+    emit("Figure 6 (geomean speedups)", fig6_bars(summary))
+
+    csv_lines = ["device,algorithm,geomean_speedup"]
+    for dev in DEVICE_ORDER:
+        for algo in UNDIRECTED_ALGOS + ["scc"]:
+            csv_lines.append(f"{dev},{algo},{summary[dev][algo]:.4f}")
+    save_output("fig6_geomeans.csv", "\n".join(csv_lines))
+
+    # the paper's headline shapes
+    for dev in DEVICE_ORDER:
+        assert summary[dev]["mis"] > 1.0, f"MIS must win on {dev}"
+        assert summary[dev]["cc"] < 0.9, f"CC must lose on {dev}"
+        assert summary[dev]["scc"] < 1.0, f"SCC must lose on {dev}"
+        assert summary[dev]["gc"] > 0.9
+        assert summary[dev]["mst"] > 0.9
+    # newer devices are more penalized (CC bar ordering)
+    assert summary["4090"]["cc"] < summary["2070super"]["cc"]
+    assert summary["a100"]["scc"] < summary["2070super"]["scc"]

@@ -1,0 +1,59 @@
+"""Extension: incremental race-removal cost (the Indigo3 angle).
+
+The paper converts each code wholesale.  This bench asks the question a
+practitioner migrating a real codebase would: *in what order should I
+convert the racy sites, and where does the cost concentrate?*  Using
+the greedy cheapest-next-site order over CC and SCC, it shows that the
+conversion budget is dominated by a single site in each code (CC's
+pointer-jump reads; SCC's path-max reads) — converting everything else
+first is nearly free.
+"""
+
+from __future__ import annotations
+
+from _harness import emit
+
+from repro.gpu.device import get_device
+from repro.graphs.suite import load_suite_graph
+from repro.patterns.mutator import migration_path
+from repro.utils.tables import format_table
+
+
+def test_migration_cost_curve(benchmark):
+    device = get_device("titanv")
+
+    def run():
+        out = {}
+        out["cc"] = migration_path("cc", load_suite_graph("cit-Patents"),
+                                   device)
+        out["scc"] = migration_path("scc", load_suite_graph("flickr"),
+                                    device)
+        return out
+
+    paths = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for algo, steps in paths.items():
+        base = steps[0].runtime_ms
+        for step in steps:
+            rows.append([
+                algo,
+                step.variant.label,
+                step.remaining_racy_sites,
+                step.runtime_ms,
+                step.runtime_ms / base,
+            ])
+    emit("Extension: incremental race-removal cost",
+         format_table(
+             ["Code", "Converted", "Racy sites left", "Runtime ms",
+              "vs baseline"],
+             rows, float_format="{:.3f}"))
+
+    for algo, steps in paths.items():
+        runtimes = [s.runtime_ms for s in steps]
+        # cost never decreases along the path
+        assert all(a <= b + 1e-12 for a, b in zip(runtimes, runtimes[1:]))
+        # and the last conversion step dominates: the jump from the
+        # second-to-last to the last point exceeds all previous jumps
+        deltas = [b - a for a, b in zip(runtimes, runtimes[1:])]
+        assert deltas[-1] == max(deltas), algo

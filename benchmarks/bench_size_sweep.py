@@ -1,0 +1,51 @@
+"""Section VI.B: how the race-free speedup moves with input size.
+
+"The speedup of CC is greatly affected by the size of the input and
+the GPU used.  On the Titan V and 2070 Super devices, CC's speedup
+increases with the graph size."
+
+This bench sweeps one CC input family across scale factors.  The
+mechanism in the simulator matches the paper's explanation for the
+older parts: once the footprint outgrows the caches, the *baseline's*
+plain accesses miss like the atomics do, its L1 advantage evaporates,
+and the speedup rises toward parity.  The sweep therefore spans from
+cache-resident (scale 1: the suite's standard ~1/256 sizes) to
+DRAM-bound (scale 24: footprints beyond the older devices' L2).
+
+The paper's opposite trend on A100/4090 stems from L2-partitioning
+effects the analytic cache model does not capture; the bench asserts
+only the old-device trend and reports the rest (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from _harness import emit
+
+from repro import Study
+from repro.utils.tables import format_table
+
+SCALES = [1.0, 8.0, 24.0]
+INPUT = "r4-2e23.sym"
+
+
+def test_cc_speedup_vs_size(benchmark):
+    def run():
+        rows = []
+        for scale in SCALES:
+            study = Study(reps=1, scale=scale)
+            row = [scale]
+            for dev in ("titanv", "2070super", "a100", "4090"):
+                row.append(study.speedup("cc", INPUT, dev).speedup)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Section VI.B: CC speedup vs input size",
+         format_table(["Scale", "titanv", "2070super", "a100", "4090"],
+                      rows, float_format="{:.3f}"))
+
+    titanv = [r[1] for r in rows]
+    s2070 = [r[2] for r in rows]
+    # old-device trend: larger inputs -> higher CC speedup
+    assert titanv[-1] > titanv[0]
+    assert s2070[-1] > s2070[0]

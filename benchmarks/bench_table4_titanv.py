@@ -1,0 +1,35 @@
+"""Table IV: speedups of race-free codes on the Titan V.
+
+Regenerates the paper's 17-input x 4-algorithm speedup table (plus the
+Min / Geomean / Max footer) on the simulated Volta device.  Expected
+shape: CC well below 1, GC ~1.0, MIS above 1 (geomean ~1.1), MST
+slightly below 1.
+"""
+
+from __future__ import annotations
+
+from _harness import UNDIRECTED_ALGOS, emit, save_output
+
+from repro.core.report import speedup_table, to_csv
+from repro.graphs.suite import suite_names
+
+DEVICE = "titanv"
+
+
+def test_table4_speedups_titanv(study, benchmark):
+    inputs = suite_names(directed=False)
+    cells = benchmark.pedantic(
+        lambda: study.speedup_table(DEVICE, UNDIRECTED_ALGOS, inputs),
+        rounds=1, iterations=1,
+    )
+    emit("Table IV (Titan V)", speedup_table(cells))
+    save_output("table4_titanv.csv", to_csv(cells))
+
+    by_algo = {a: [c.speedup for c in cells if c.algorithm == a]
+               for a in UNDIRECTED_ALGOS}
+    # paper shapes: CC substantially slower, MIS faster on geomean
+    from repro.utils.stats import geometric_mean
+    assert geometric_mean(by_algo["cc"]) < 0.9
+    assert geometric_mean(by_algo["mis"]) > 1.0
+    assert geometric_mean(by_algo["gc"]) > 0.9
+    assert geometric_mean(by_algo["mst"]) > 0.9

@@ -1,0 +1,26 @@
+"""Table VI: speedups of race-free codes on the A100."""
+
+from __future__ import annotations
+
+from _harness import UNDIRECTED_ALGOS, emit, save_output
+
+from repro.core.report import speedup_table, to_csv
+from repro.graphs.suite import suite_names
+from repro.utils.stats import geometric_mean
+
+DEVICE = "a100"
+
+
+def test_table6_speedups_a100(study, benchmark):
+    inputs = suite_names(directed=False)
+    cells = benchmark.pedantic(
+        lambda: study.speedup_table(DEVICE, UNDIRECTED_ALGOS, inputs),
+        rounds=1, iterations=1,
+    )
+    emit("Table VI (A100)", speedup_table(cells))
+    save_output("table6_a100.csv", to_csv(cells))
+
+    cc = geometric_mean([c.speedup for c in cells if c.algorithm == "cc"])
+    mis = geometric_mean([c.speedup for c in cells if c.algorithm == "mis"])
+    assert cc < 0.9     # paper: 0.66
+    assert mis > 1.0    # paper: 1.08

@@ -1,0 +1,30 @@
+"""Table VII: speedups of race-free codes on the RTX 4090.
+
+The newest device shows the largest CC penalty (paper geomean 0.45) —
+the Section VII trend of growing synchronization cost.
+"""
+
+from __future__ import annotations
+
+from _harness import UNDIRECTED_ALGOS, emit, save_output
+
+from repro.core.report import speedup_table, to_csv
+from repro.graphs.suite import suite_names
+from repro.utils.stats import geometric_mean
+
+DEVICE = "4090"
+
+
+def test_table7_speedups_4090(study, benchmark):
+    inputs = suite_names(directed=False)
+    cells = benchmark.pedantic(
+        lambda: study.speedup_table(DEVICE, UNDIRECTED_ALGOS, inputs),
+        rounds=1, iterations=1,
+    )
+    emit("Table VII (4090)", speedup_table(cells))
+    save_output("table7_4090.csv", to_csv(cells))
+
+    cc = geometric_mean([c.speedup for c in cells if c.algorithm == "cc"])
+    mis = geometric_mean([c.speedup for c in cells if c.algorithm == "mis"])
+    assert cc < 0.8     # paper: 0.45 — deepest CC penalty of the suite
+    assert mis > 1.0

@@ -1,0 +1,47 @@
+"""Table VIII: speedups of race-free SCC on the 10 directed inputs,
+across all four devices (the paper lists SCC separately because its
+inputs differ)."""
+
+from __future__ import annotations
+
+from _harness import emit, save_output
+
+from repro.core.report import to_csv
+from repro.graphs.suite import suite_names
+from repro.gpu.device import DEVICE_ORDER
+from repro.utils.stats import geometric_mean
+from repro.utils.tables import format_table
+
+
+def test_table8_scc_speedups(study, benchmark):
+    inputs = suite_names(directed=True)
+
+    def run():
+        return {
+            dev: [study.speedup("scc", name, dev) for name in inputs]
+            for dev in DEVICE_ORDER
+        }
+
+    per_device = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers = ["Input"] + [dev for dev in DEVICE_ORDER]
+    rows = []
+    for i, name in enumerate(inputs):
+        rows.append([name] + [per_device[dev][i].speedup
+                              for dev in DEVICE_ORDER])
+    geomeans = {dev: geometric_mean([c.speedup for c in per_device[dev]])
+                for dev in DEVICE_ORDER}
+    rows.append(["Min Speedup"] + [min(c.speedup for c in per_device[d])
+                                   for d in DEVICE_ORDER])
+    rows.append(["Geomean Speedup"] + [geomeans[d] for d in DEVICE_ORDER])
+    rows.append(["Max Speedup"] + [max(c.speedup for c in per_device[d])
+                                   for d in DEVICE_ORDER])
+    emit("Table VIII (SCC)", format_table(headers, rows))
+    for dev in DEVICE_ORDER:
+        save_output(f"table8_scc_{dev}.csv", to_csv(per_device[dev]))
+
+    # paper shape: SCC substantially slower everywhere; 2070S mildest,
+    # A100/4090 harshest
+    assert all(gm < 1.0 for gm in geomeans.values())
+    assert geomeans["2070super"] == max(geomeans.values())
+    assert min(geomeans["a100"], geomeans["4090"]) < geomeans["titanv"]

@@ -1,0 +1,43 @@
+"""Table IX: correlation coefficients between input graph properties
+(edge count, vertex count, average degree) and the observed speedups.
+
+Expected shapes from the paper: SCC's speedup correlates negatively
+with average degree on every device (hot-vertex atomic contention);
+GC and MST correlations are noisy (their speedup variance is tiny, so
+outliers dominate — the paper notes the same caveat).
+"""
+
+from __future__ import annotations
+
+from _harness import UNDIRECTED_ALGOS, emit, save_output
+
+from repro.core.report import correlation_table
+from repro.core.study import paper_properties
+from repro.graphs.suite import suite_names
+from repro.gpu.device import DEVICE_ORDER
+from repro.utils.correlation import pearson
+
+
+def test_table9_property_correlations(study, benchmark):
+    und = suite_names(directed=False)
+    dird = suite_names(directed=True)
+
+    def run():
+        cells = []
+        for dev in DEVICE_ORDER:
+            cells.extend(study.speedup_table(dev, UNDIRECTED_ALGOS, und))
+            cells.extend(study.speedup("scc", name, dev) for name in dird)
+        return cells
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = correlation_table(cells)
+    emit("Table IX (correlations)", table)
+    save_output("table9_correlations.md", table)
+
+    # paper shape: SCC speedup anti-correlates with average degree
+    for dev in DEVICE_ORDER:
+        scc_cells = [c for c in cells
+                     if c.device_key == dev and c.algorithm == "scc"]
+        degrees = [paper_properties(c.input_name)[2] for c in scc_cells]
+        speedups = [c.speedup for c in scc_cells]
+        assert pearson(degrees, speedups) < 0.0, dev

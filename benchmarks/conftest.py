@@ -1,0 +1,14 @@
+"""Pytest fixtures for the benchmark harness (helpers in _harness.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import REPS, SCALE
+
+from repro import Study
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    return Study(reps=REPS, scale=SCALE)

@@ -1,0 +1,82 @@
+"""Analyze your own graph with every algorithm in the suite.
+
+Builds (or loads) a graph, runs all six codes in both variants on a
+chosen device, validates every result against reference
+implementations, and prints a per-algorithm access-traffic breakdown
+showing *why* each code reacts to the race-removal transform the way it
+does.
+
+Usage:
+    python examples/custom_graph_analysis.py [edge_list.txt] [device]
+
+The optional edge-list file uses the text format of
+``repro.graphs.io.write_edgelist``; without it, a synthetic
+preferential-attachment graph is analyzed.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Study, Variant
+from repro.algorithms import verify
+from repro.core.variants import get_algorithm, list_algorithms
+from repro.graphs import generators as gen
+from repro.graphs.io import read_edgelist
+from repro.utils.tables import format_table
+
+CHECKERS = {
+    "cc": lambda g, out: verify.check_components(g, out["labels"]),
+    "gc": lambda g, out: verify.check_coloring(g, out["colors"]),
+    "mis": lambda g, out: verify.check_mis(g, out["in_set"]),
+    "mst": lambda g, out: verify.check_mst(g, out["in_mst"]),
+    "scc": lambda g, out: verify.check_scc(g, out["labels"]),
+    "apsp": lambda g, out: verify.check_apsp(g, out["dist"]),
+}
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        graph = read_edgelist(sys.argv[1])
+        print(f"loaded {graph!r}")
+    else:
+        graph = gen.preferential_attachment(2000, 4, seed=42,
+                                            name="pa-2000")
+        print(f"generated {graph!r}")
+    device = sys.argv[2] if len(sys.argv) > 2 else "titanv"
+
+    study = Study(reps=3)
+    rows = []
+    for algo in list_algorithms():
+        if algo.directed != graph.directed:
+            continue
+        if algo.key == "apsp" and graph.num_vertices > 600:
+            print(f"skipping {algo.key}: dense matrix too large for "
+                  f"{graph.num_vertices} vertices")
+            continue
+        runs = {}
+        for variant in Variant:
+            result = study.run(algo.key, graph, device, variant)
+            CHECKERS[algo.key](study._prepare_graph(algo, graph),
+                               result.last_run.output)
+            runs[variant] = result
+        base = runs[Variant.BASELINE]
+        free = runs[Variant.RACE_FREE]
+        stats = free.last_run.stats
+        rows.append([
+            algo.key,
+            base.median_ms,
+            free.median_ms,
+            base.median_ms / free.median_ms if algo.has_races else 1.0,
+            int(stats.atomic_loads + stats.atomic_stores),
+            int(stats.atomic_rmws),
+            free.last_run.rounds,
+        ])
+    print(format_table(
+        ["algo", "baseline ms", "race-free ms", "speedup",
+         "atomic ld/st", "RMWs", "rounds"], rows, float_format="{:.4f}"))
+    print("\nAll results validated against reference implementations.")
+
+
+if __name__ == "__main__":
+    main()

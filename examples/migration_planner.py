@@ -1,0 +1,67 @@
+"""Plan an incremental race-removal migration.
+
+Suppose you maintain a racy high-performance code and want to migrate
+it to race-freedom gradually, shipping after each step.  In what order
+should you convert the racy sites, and what does each step cost?
+
+This script computes the greedy cheapest-next-site conversion order for
+a chosen algorithm (the Indigo3-style mutation machinery underneath)
+and prints the cost curve.  For every code in the suite the budget
+concentrates in one dominant site — convert everything else first and
+you get most of the way to safety nearly for free.
+
+Run:  python examples/migration_planner.py [algo] [input] [device]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.variants import get_algorithm
+from repro.gpu.device import get_device
+from repro.graphs import load_suite_graph
+from repro.patterns.mutator import migration_path
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    algo_key = sys.argv[1] if len(sys.argv) > 1 else "cc"
+    input_name = sys.argv[2] if len(sys.argv) > 2 else "cit-Patents"
+    device = get_device(sys.argv[3] if len(sys.argv) > 3 else "titanv")
+
+    algo = get_algorithm(algo_key)
+    graph = load_suite_graph(input_name)
+    if algo.needs_weights:
+        graph = graph.with_random_weights(seed=1)
+
+    steps = migration_path(algo_key, graph, device)
+    base = steps[0].runtime_ms
+    rows = []
+    prev = base
+    for step in steps:
+        rows.append([
+            step.variant.label,
+            step.remaining_racy_sites,
+            step.runtime_ms,
+            step.runtime_ms / base,
+            (step.runtime_ms - prev) / base,
+        ])
+        prev = step.runtime_ms
+
+    print(f"migration plan for {algo.full_name} on {graph!r} "
+          f"({device.name}):\n")
+    print(format_table(
+        ["Step", "Racy sites left", "Runtime ms", "vs baseline",
+         "Step cost"],
+        rows, float_format="{:.3f}"))
+    total = steps[-1].runtime_ms / base
+    last_step = (steps[-1].runtime_ms - steps[-2].runtime_ms) / base
+    print(f"\nfull conversion costs {total:.2f}x the baseline; "
+          f"{100 * last_step / (total - 1):.0f}% of that is the final "
+          "(dominant-site) step.")
+    print("Every intermediate step still contains data races — ship "
+          "only the last row.")
+
+
+if __name__ == "__main__":
+    main()

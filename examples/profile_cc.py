@@ -1,0 +1,56 @@
+"""Section VI.A's profiling argument, reproduced.
+
+"The baseline CC code includes a particularly significant code section
+with data races ... called pointer jumping.  However, the race-free CC
+code performs an atomic read and an atomic write for every jump.
+Profiling the two code versions revealed that the baseline code has a
+much higher L1 hit rate for both loads and stores, which explains the
+performance difference."
+
+This script profiles baseline vs. race-free CC on one input and prints
+the per-site traffic comparison: identical access *counts*, different
+access *kinds*, and the collapse of the L1-path share that costs the
+race-free version its performance.
+
+Run:  python examples/profile_cc.py [input-name] [device]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.variants import Variant, get_algorithm
+from repro.gpu.device import get_device
+from repro.graphs import load_suite_graph
+from repro.perf.profiler import (
+    compare_profiles,
+    dominant_racy_site,
+    profile_run,
+)
+
+
+def main() -> None:
+    input_name = sys.argv[1] if len(sys.argv) > 1 else "cit-Patents"
+    device = get_device(sys.argv[2] if len(sys.argv) > 2 else "titanv")
+    graph = load_suite_graph(input_name)
+    algo = get_algorithm("cc")
+
+    base = profile_run(algo, graph, device, Variant.BASELINE, seed=7)
+    free = profile_run(algo, graph, device, Variant.RACE_FREE, seed=7)
+
+    print(f"profiling CC on {graph!r} ({device.name})\n")
+    print(compare_profiles(base, free))
+    print()
+    hot = dominant_racy_site(base)
+    print(f"dominant racy site: {hot}")
+    print(f"L1-path share: baseline {base.l1_traffic_share:.0%} -> "
+          f"race-free {free.l1_traffic_share:.0%}")
+    print(f"runtime: baseline {base.runtime_ms:.4f} ms -> "
+          f"race-free {free.runtime_ms:.4f} ms "
+          f"(speedup {base.runtime_ms / free.runtime_ms:.2f}x)")
+    print("\nSame access counts, same algorithm — the entire difference "
+          "is where the accesses are served (L1 vs. L2 atomics).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Section IV as a demo: find the races, remove them, verify.
+
+For each of the six ECL codes this script:
+
+1. runs the *baseline* kernels on a small graph through the SIMT
+   interpreter and the dynamic race detector (the Compute Sanitizer /
+   iGuard stand-in), printing the racy arrays it finds;
+2. applies the race-removal transform (every shared non-atomic site
+   becomes a relaxed atomic) and shows the resulting plan;
+3. re-runs the race-free kernels and shows the detector comes back
+   clean while the output stays correct.
+
+Run:  python examples/race_detection_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import apsp, cc, gc, mis, mst, scc, verify
+from repro.core.transform import remove_races
+from repro.core.variants import Variant
+from repro.graphs import generators as gen
+from repro.gpu.interleave import RandomScheduler
+from repro.gpu.racecheck import RaceDetector, summarize_races
+
+
+def show_plan(plan) -> None:
+    racy = plan.racy_sites()
+    if not racy:
+        print("  no racy sites (regular code)")
+        return
+    for site in racy:
+        print(f"  racy site {site.name}: {site.kind.value} "
+              f"({site.elem_bytes} B{', store' if site.is_store else ''})")
+    converted = remove_races(plan)
+    print("  after transform:",
+          ", ".join(f"{s.name}->atomic" for s in racy
+                    if converted.site(s.name).kind.value == "atomic"))
+
+
+def check(algo_name, module, graph, validate) -> None:
+    print(f"\n=== {algo_name} ===")
+    show_plan(module.ACCESS_PLAN)
+    for variant in Variant:
+        result, ex = module.run_simt(graph, variant,
+                                     scheduler=RandomScheduler(7))
+        validate(graph, result)
+        races = RaceDetector().check(ex)
+        label = "baseline " if variant is Variant.BASELINE else "race-free"
+        if races:
+            print(f"  {label}: {len(races)} race report(s) in "
+                  f"{sorted(summarize_races(races))}")
+        else:
+            print(f"  {label}: clean (result verified)")
+
+
+def main() -> None:
+    g = gen.random_uniform(24, 3.0, seed=5, name="demo")
+    gw = g.with_random_weights(seed=9)
+    dg = gen.directed_powerlaw(20, 2.5, seed=3, name="demo-directed")
+
+    check("CC (connected components)", cc, g, verify.check_components)
+    check("GC (graph coloring)", gc, g, verify.check_coloring)
+    check("MIS (maximal independent set)", mis, g, verify.check_mis)
+    check("MST (minimum spanning tree)", mst, gw, verify.check_mst)
+    check("SCC (strongly connected components)", scc, dg, verify.check_scc)
+
+    print("\n=== APSP (all-pairs shortest paths) ===")
+    show_plan(apsp.ACCESS_PLAN)
+    ga = gen.random_uniform(5, 2.0, seed=1).with_random_weights(seed=2)
+    dist, ex = apsp.run_simt(ga, scheduler=RandomScheduler(7))
+    verify.check_apsp(ga, dist)
+    races = RaceDetector().check(ex)
+    print(f"  regular code: {len(races)} race report(s) "
+          "(the paper finds none either)")
+
+
+if __name__ == "__main__":
+    main()

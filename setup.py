@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs are unavailable; this file enables ``pip install -e .`` via the
+legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — reproduction of "Performance Impact of Removing Data Races
+from GPU Graph Analytics Programs" (IISWC 2024).
+
+Public API tour
+---------------
+
+Graphs::
+
+    from repro.graphs import CSRGraph, generators, load_suite_graph
+
+Simulated GPU substrate::
+
+    from repro.gpu import GlobalMemory, SimtExecutor, RaceDetector
+    from repro.gpu.device import PAPER_GPUS
+
+Algorithms (each with baseline and race-free variants)::
+
+    from repro.algorithms import cc, gc, mis, mst, scc, apsp
+
+The study (Section V methodology)::
+
+    from repro import Study, Variant
+    study = Study(reps=9)
+    cell = study.speedup("mis", "amazon0601", "titanv")
+    print(cell.speedup)   # > 1 means the race-free code is faster
+"""
+
+from repro.core.study import RunResult, SpeedupCell, Study
+from repro.core.transform import AccessPlan, AccessSite, remove_races
+from repro.core.variants import Variant, get_algorithm, list_algorithms
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Study",
+    "RunResult",
+    "SpeedupCell",
+    "Variant",
+    "AccessPlan",
+    "AccessSite",
+    "remove_races",
+    "get_algorithm",
+    "list_algorithms",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""The six studied graph-analytics codes (Section II.B).
+
+Each module implements one ECL code at both execution levels:
+
+* a *performance-level* runner (vectorized rounds, access-recorded)
+  registered with :mod:`repro.core.variants`;
+* *SIMT-level* kernels (generator functions) for race detection and
+  correctness-under-schedules testing on small inputs;
+* the :class:`~repro.core.transform.AccessPlan` naming every shared
+  access site with its baseline access kind.
+
+APSP is the regular outlier: it has no data races (Section IV.A), so it
+only exists in one version.
+"""
+
+from repro.algorithms import apsp, cc, gc, mis, mst, scc, verify
+
+__all__ = ["apsp", "cc", "gc", "mis", "mst", "scc", "verify"]

@@ -1,0 +1,232 @@
+"""ECL-GC: graph coloring via Jones-Plassmann with largest-degree-first.
+
+The baseline ECL-GC (Section II.B.3) keeps each vertex's chosen color
+and possible-color set in shared ``int`` arrays that neighbors read and
+write with unprotected — but *volatile* — accesses.  Because volatile
+accesses already bypass L1 on the modelled architectures, converting
+them to relaxed atomics costs almost nothing: the paper measures GC
+geomean speedups of 0.96-1.00 (Tables IV-VII).
+
+Performance level: synchronous Jones-Plassmann rounds.  A vertex is
+*ready* when no uncolored neighbor has higher (degree, tiebreak)
+priority; ready vertices take the smallest color absent from their
+neighborhood.  The shortcut optimizations change *when* vertices become
+ready but not the access-kind profile this level prices, so they are
+approximated by the plain readiness rule (see DESIGN.md Section 6).
+
+SIMT level: a per-vertex round kernel over the colors *and* the
+possible-color bitsets, including the paper's shortcut 1 — the
+cross-vertex posscol reads are exactly the racy accesses Section IV.A
+reports for GC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.common import edge_sources
+from repro.core.transform import AccessPlan, AccessSite, site_kind
+from repro.core.variants import AlgorithmInfo, Variant, register_algorithm
+from repro.errors import GraphError
+from repro.gpu.accesses import AccessKind
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.simt import SimtExecutor, ThreadCtx
+
+ACCESS_PLAN = AccessPlan("gc", (
+    # neighbor color polling (volatile in the baseline)
+    AccessSite("gc.color.read", AccessKind.VOLATILE),
+    # publishing the chosen color
+    AccessSite("gc.color.write", AccessKind.VOLATILE, is_store=True),
+    # the possible-color bitsets neighbors read and the owner rewrites
+    # (Section IV.A: "records the possible colors ... in shared int
+    # arrays ... using unprotected accesses")
+    AccessSite("gc.posscol.read", AccessKind.VOLATILE),
+    AccessSite("gc.posscol.write", AccessKind.VOLATILE, is_store=True),
+    # vertex priorities: written once before coloring, read-only after
+    AccessSite("gc.prio.read", AccessKind.PLAIN, shared=False),
+))
+
+UNCOLORED = -1
+
+
+def make_priorities(graph, seed: int) -> np.ndarray:
+    """Largest-degree-first priorities with random tie-breaking, packed
+    into one comparable integer per vertex."""
+    rng = np.random.default_rng(seed)
+    tiebreak = rng.permutation(graph.num_vertices).astype(np.int64)
+    return graph.degrees().astype(np.int64) * graph.num_vertices + tiebreak
+
+
+# ----------------------------------------------------------------------
+# Performance level
+# ----------------------------------------------------------------------
+
+def run_perf(graph, recorder, seed: int = 0) -> dict:
+    """Jones-Plassmann coloring with recorded accesses."""
+    n = graph.num_vertices
+    m = graph.num_edges
+    src = edge_sources(graph)
+    dst = graph.col_indices.astype(np.int64)
+    prio = make_priorities(graph, seed)
+    color = np.full(n, UNCOLORED, dtype=np.int64)
+
+    recorder.touch("color", 4 * n)
+    recorder.touch("posscol", 4 * n)
+    recorder.touch("csr", 4 * m + 8 * (n + 1))
+    recorder.store("gc.color.write", count=n)  # init kernel
+    recorder.round()
+
+    uncolored = np.ones(n, dtype=bool)
+    while np.any(uncolored):
+        recorder.round()
+        active_src = uncolored[src]
+        n_polls = int(np.count_nonzero(active_src))
+        n_active = int(np.count_nonzero(uncolored))
+        recorder.structure(n_polls)
+        # each active vertex polls its neighbors' colors and priorities
+        # and maintains its possible-color set
+        recorder.load("gc.color.read", count=n_polls)
+        recorder.load("gc.prio.read", count=n_polls)
+        recorder.load("gc.posscol.read", count=n_active)
+        recorder.store("gc.posscol.write", count=n_active)
+        recorder.compute(2 * n_polls)
+
+        # blocked: an uncolored higher-priority neighbor exists
+        blocking = active_src & uncolored[dst] & (prio[dst] > prio[src])
+        blocked = np.zeros(n, dtype=bool)
+        np.logical_or.at(blocked, src[blocking], True)
+        ready = uncolored & ~blocked
+        ready_vs = np.flatnonzero(ready)
+
+        for v in ready_vs.tolist():
+            beg, end = graph.row_offsets[v], graph.row_offsets[v + 1]
+            neigh_colors = color[dst[beg:end]]
+            used = np.unique(neigh_colors[neigh_colors >= 0])
+            c = 0
+            for u in used.tolist():
+                if u == c:
+                    c += 1
+                elif u > c:
+                    break
+            color[v] = c
+        recorder.store("gc.color.write", indices=ready_vs)
+        uncolored[ready_vs] = False
+    return {"colors": color}
+
+
+# ----------------------------------------------------------------------
+# SIMT level
+# ----------------------------------------------------------------------
+
+def _min_bit(mask: int) -> int:
+    """Index of the lowest set bit (the smallest possible color)."""
+    return (mask & -mask).bit_length() - 1
+
+
+def make_gc_kernel(variant: Variant):
+    """One ECL-GC round over colors and possible-color bitsets.
+
+    Mirrors the original's data layout: each vertex owns a bitset of
+    still-possible colors (``posscol``) that it rewrites after scanning
+    its neighbors, and the paper's *shortcut 1*: a vertex may color
+    early — even below higher-priority uncolored neighbors — when its
+    candidate color is provably unavailable to them (their possible
+    sets only ever shrink upward).
+    """
+    color_read = site_kind(ACCESS_PLAN, variant, "gc.color.read")
+    color_write = site_kind(ACCESS_PLAN, variant, "gc.color.write")
+    poss_read = site_kind(ACCESS_PLAN, variant, "gc.posscol.read")
+    poss_write = site_kind(ACCESS_PLAN, variant, "gc.posscol.write")
+
+    def gc_kernel(ctx: ThreadCtx, offsets, indices, prio, color, posscol,
+                  changed):
+        v = ctx.tid
+        if v >= color.length:
+            return
+        mine = yield ctx.load(color, v, color_read)
+        if mine != UNCOLORED:
+            return
+        beg = yield ctx.load(offsets, v)
+        end = yield ctx.load(offsets, v + 1)
+        my_prio = yield ctx.load(prio, v)
+        my_poss = yield ctx.load(posscol, v, poss_read)
+        blockers = []
+        for e in range(beg, end):
+            u = yield ctx.load(indices, e)
+            uc = yield ctx.load(color, u, color_read)
+            if uc != UNCOLORED:
+                my_poss &= ~(1 << uc)
+            else:
+                up = yield ctx.load(prio, u)
+                if up > my_prio:
+                    blockers.append(u)
+        yield ctx.store(posscol, v, my_poss, poss_write)
+        candidate = _min_bit(my_poss)
+        if blockers:
+            # shortcut 1: safe if every higher-priority uncolored
+            # neighbor can only take colors above our candidate
+            for u in blockers:
+                u_poss = yield ctx.load(posscol, u, poss_read)
+                if _min_bit(u_poss) <= candidate:
+                    return  # still blocked
+        yield ctx.store(color, v, candidate, color_write)
+        yield ctx.store(changed, 0, 1, AccessKind.ATOMIC)
+
+    return gc_kernel
+
+
+def run_simt(graph, variant: Variant, seed: int = 0, scheduler=None,
+             executor: SimtExecutor | None = None):
+    """Run GC on the SIMT interpreter (small graphs only)."""
+    from repro.gpu.accesses import DType
+
+    mem = executor.memory if executor else GlobalMemory()
+    ex = executor or SimtExecutor(mem, scheduler=scheduler)
+    n = graph.num_vertices
+    max_deg = int(graph.degrees().max()) if n else 0
+    if max_deg >= 31:
+        raise GraphError(
+            "SIMT-level GC keeps possible colors in one 32-bit bitset; "
+            f"max degree {max_deg} needs more (use the perf level)"
+        )
+    offsets = mem.alloc("gc_offsets", n + 1, DType.I64)
+    indices = mem.alloc("gc_indices", max(1, graph.num_edges), DType.I32)
+    prio = mem.alloc("gc_prio", n, DType.I64)
+    color = mem.alloc("gc_color", n, DType.I32)
+    posscol = mem.alloc("gc_posscol", n, DType.U32)
+    changed = mem.alloc("gc_changed", 1, DType.I32)
+    mem.upload(offsets, graph.row_offsets)
+    if graph.num_edges:
+        mem.upload(indices, graph.col_indices)
+    else:
+        mem.upload(indices, np.zeros(1, dtype=np.int64))
+    mem.upload(prio, make_priorities(graph, seed))
+    mem.upload(color, np.full(n, UNCOLORED))
+    mem.upload(posscol, (1 << (graph.degrees().astype(np.int64) + 1)) - 1)
+
+    kernel = make_gc_kernel(variant)
+    while True:
+        mem.element_write(changed, 0, 0)
+        ex.launch(kernel, n, offsets, indices, prio, color, posscol,
+                  changed)
+        colors = mem.download(color)
+        if mem.element_read(changed, 0) == 0 and np.all(colors != UNCOLORED):
+            break
+        if mem.element_read(changed, 0) == 0:
+            break  # no progress and still uncolored: let caller detect
+    colors = mem.download(color)
+    for name in ("gc_offsets", "gc_indices", "gc_prio", "gc_color",
+                 "gc_posscol", "gc_changed"):
+        mem.free(name)
+    return colors, ex
+
+
+register_algorithm(AlgorithmInfo(
+    key="gc",
+    full_name="graph coloring (ECL-GC)",
+    directed=False,
+    needs_weights=False,
+    has_races=True,
+    perf_runner=run_perf,
+    module="repro.algorithms.gc",
+))

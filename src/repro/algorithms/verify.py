@@ -1,0 +1,279 @@
+"""Result validation against independent reference implementations.
+
+The paper validates its race-free codes for correctness; we validate
+*both* variants of every run against textbook references (networkx /
+scipy / pure-python Tarjan and Kruskal).  Each checker raises
+:class:`~repro.errors.ValidationError` with a diagnostic on failure and
+returns silently on success.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.csr import CSRGraph
+
+
+def check_components(graph: CSRGraph, labels: np.ndarray) -> None:
+    """CC: same-component vertices share a label, different don't."""
+    if labels.shape[0] != graph.num_vertices:
+        raise ValidationError("label array has wrong length")
+    reference = _bfs_components(graph)
+    # labels must induce exactly the reference partition
+    seen: dict[int, int] = {}
+    for v in range(graph.num_vertices):
+        ref = int(reference[v])
+        got = int(labels[v])
+        if ref in seen:
+            if seen[ref] != got:
+                raise ValidationError(
+                    f"vertices in one component got labels {seen[ref]} "
+                    f"and {got} (vertex {v})"
+                )
+        else:
+            seen[ref] = got
+    if len(set(seen.values())) != len(seen):
+        raise ValidationError("distinct components share a label")
+
+
+def _bfs_components(graph: CSRGraph) -> np.ndarray:
+    """Reference CC labelling by BFS over the (symmetric) graph."""
+    n = graph.num_vertices
+    labels = np.full(n, -1, dtype=np.int64)
+    for start in range(n):
+        if labels[start] != -1:
+            continue
+        labels[start] = start
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for u in graph.neighbors(v):
+                    u = int(u)
+                    if labels[u] == -1:
+                        labels[u] = start
+                        nxt.append(u)
+            frontier = nxt
+    return labels
+
+
+def check_coloring(graph: CSRGraph, colors: np.ndarray) -> None:
+    """GC: every vertex colored, no adjacent pair shares a color."""
+    if colors.shape[0] != graph.num_vertices:
+        raise ValidationError("color array has wrong length")
+    if np.any(colors < 0):
+        bad = int(np.argmax(colors < 0))
+        raise ValidationError(f"vertex {bad} left uncolored")
+    src, dst = graph.edge_array()
+    clash = colors[src] == colors[dst]
+    if np.any(clash):
+        i = int(np.argmax(clash))
+        raise ValidationError(
+            f"adjacent vertices {src[i]} and {dst[i]} share color "
+            f"{colors[src[i]]}"
+        )
+
+
+def check_mis(graph: CSRGraph, in_set: np.ndarray) -> None:
+    """MIS: independence (no two set members adjacent) and maximality
+    (every non-member has a member neighbor)."""
+    if in_set.shape[0] != graph.num_vertices:
+        raise ValidationError("MIS array has wrong length")
+    members = in_set.astype(bool)
+    src, dst = graph.edge_array()
+    both = members[src] & members[dst]
+    if np.any(both):
+        i = int(np.argmax(both))
+        raise ValidationError(
+            f"adjacent vertices {src[i]} and {dst[i]} are both in the set"
+        )
+    # maximality: non-member with no member neighbor could be added
+    has_member_neighbor = np.zeros(graph.num_vertices, dtype=bool)
+    np.logical_or.at(has_member_neighbor, src, members[dst])
+    addable = ~members & ~has_member_neighbor
+    # isolated vertices must be members
+    if np.any(addable):
+        v = int(np.argmax(addable))
+        raise ValidationError(f"vertex {v} could be added to the set")
+
+
+def check_mst(graph: CSRGraph, edge_mask: np.ndarray) -> None:
+    """MST: selected edges form a spanning forest of minimum weight.
+
+    ``edge_mask`` marks selected entries of the CSR edge list (each
+    undirected edge may be marked in either direction).  Weight is
+    compared against a reference Kruskal run.
+    """
+    if not graph.has_weights:
+        raise ValidationError("MST verification requires edge weights")
+    src, dst = graph.edge_array()
+    sel = np.flatnonzero(edge_mask)
+    n = graph.num_vertices
+
+    # forest check + component count via union-find
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    picked_weight = 0
+    for e in sel.tolist():
+        u, v = int(src[e]), int(dst[e])
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            raise ValidationError(
+                f"selected edge ({u}, {v}) creates a cycle"
+            )
+        parent[ru] = rv
+        picked_weight += int(graph.weights[e])
+
+    components = len({find(v) for v in range(n)})
+    ref_weight, ref_components = _kruskal(graph)
+    if components != ref_components:
+        raise ValidationError(
+            f"selection spans {components} components, expected "
+            f"{ref_components}"
+        )
+    if picked_weight != ref_weight:
+        raise ValidationError(
+            f"selected weight {picked_weight} != minimum {ref_weight}"
+        )
+
+
+def _kruskal(graph: CSRGraph) -> tuple[int, int]:
+    """Reference MST weight and component count (Kruskal)."""
+    src, dst = graph.edge_array()
+    w = graph.weights
+    keep = src < dst  # one direction per undirected edge
+    order = np.argsort(w[keep], kind="stable")
+    us = src[keep][order]
+    vs = dst[keep][order]
+    ws = w[keep][order]
+    n = graph.num_vertices
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    total = 0
+    for u, v, wt in zip(us.tolist(), vs.tolist(), ws.tolist()):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            total += wt
+    components = len({find(v) for v in range(n)})
+    return total, components
+
+
+def check_scc(graph: CSRGraph, labels: np.ndarray) -> None:
+    """SCC: labels must induce exactly Tarjan's partition."""
+    if labels.shape[0] != graph.num_vertices:
+        raise ValidationError("SCC label array has wrong length")
+    reference = tarjan_scc(graph)
+    seen: dict[int, int] = {}
+    used: dict[int, int] = {}
+    for v in range(graph.num_vertices):
+        ref = int(reference[v])
+        got = int(labels[v])
+        if ref in seen:
+            if seen[ref] != got:
+                raise ValidationError(
+                    f"SCC split: vertices with reference {ref} got labels "
+                    f"{seen[ref]} and {got} (vertex {v})"
+                )
+        else:
+            if got in used:
+                raise ValidationError(
+                    f"SCC merge: label {got} spans reference components "
+                    f"{used[got]} and {ref}"
+                )
+            seen[ref] = got
+            used[got] = ref
+
+
+def tarjan_scc(graph: CSRGraph) -> np.ndarray:
+    """Iterative Tarjan SCC (reference implementation)."""
+    n = graph.num_vertices
+    index = np.full(n, -1, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    comp = np.full(n, -1, dtype=np.int64)
+    stack: list[int] = []
+    counter = 0
+    n_comps = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        work = [(root, 0)]
+        while work:
+            v, pi = work[-1]
+            if pi == 0:
+                index[v] = low[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            neighbors = graph.neighbors(v)
+            advanced = False
+            while pi < len(neighbors):
+                u = int(neighbors[pi])
+                pi += 1
+                if index[u] == -1:
+                    work[-1] = (v, pi)
+                    work.append((u, 0))
+                    advanced = True
+                    break
+                if on_stack[u]:
+                    low[v] = min(low[v], index[u])
+            if advanced:
+                continue
+            work.pop()
+            if low[v] == index[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp[w] = n_comps
+                    if w == v:
+                        break
+                n_comps += 1
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+    return comp
+
+
+def check_apsp(graph: CSRGraph, dist: np.ndarray) -> None:
+    """APSP: distance matrix must match scipy's shortest paths."""
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import shortest_path
+
+    from repro.algorithms.apsp import INF as _apsp_inf
+
+    if not graph.has_weights:
+        raise ValidationError("APSP verification requires edge weights")
+    n = graph.num_vertices
+    src, dst = graph.edge_array()
+    mat = csr_matrix(
+        (graph.weights.astype(float), (src, dst)), shape=(n, n)
+    )
+    ref = shortest_path(mat, method="D", directed=graph.directed)
+    ours = dist.astype(float)
+    ours = np.where(np.isfinite(ours) & (ours < _apsp_inf), ours, np.inf)
+    if not np.allclose(np.where(np.isinf(ref), -1.0, ref),
+                       np.where(np.isinf(ours), -1.0, ours)):
+        bad = np.argwhere(
+            ~np.isclose(np.where(np.isinf(ref), -1.0, ref),
+                        np.where(np.isinf(ours), -1.0, ours))
+        )[0]
+        i, j = int(bad[0]), int(bad[1])
+        raise ValidationError(
+            f"APSP mismatch at ({i}, {j}): ours={ours[i, j]}, "
+            f"reference={ref[i, j]}"
+        )

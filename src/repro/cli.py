@@ -1,0 +1,251 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the paper artifact's driver scripts (``all_tests.sh`` and the
+result-processing Python): run configurations, print speedup tables,
+regenerate the geomean figure, and run the race detector on any code.
+
+Commands
+--------
+
+* ``list``    — inputs, devices, and algorithms available.
+* ``run``     — one (algorithm, input, device) configuration, both
+  variants, with median runtimes and the speedup.
+* ``table``   — a full speedup table for one device (Tables IV-VIII).
+* ``fig6``    — geomean bars across all devices.
+* ``races``   — SIMT race detection for one algorithm (Section IV).
+* ``patterns`` — run the Indigo-style microbenchmark corpus: every racy
+  idiom, its detected races and failure mode, and its race-free fix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import Study, Variant
+from repro.core.report import fig6_bars, geomean_summary, speedup_table
+from repro.core.variants import get_algorithm, list_algorithms
+from repro.gpu.device import DEVICE_ORDER, PAPER_GPUS
+from repro.graphs.suite import load_suite_graph, suite_names
+
+
+def _cmd_list(_args) -> int:
+    print("devices:")
+    for key in DEVICE_ORDER:
+        spec = PAPER_GPUS[key]
+        print(f"  {key:10s} {spec.name} ({spec.architecture}, "
+              f"{spec.sms} SMs, {spec.l1_kb} kB L1, {spec.l2_mb} MB L2)")
+    print("algorithms:")
+    for algo in list_algorithms():
+        races = "racy baseline" if algo.has_races else "race-free by construction"
+        print(f"  {algo.key:5s} {algo.full_name} — {races}")
+    print("undirected inputs (Table II analogs):")
+    for name in suite_names(directed=False):
+        print(f"  {name}")
+    print("directed inputs (Table III analogs, SCC only):")
+    for name in suite_names(directed=True):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    study = Study(reps=args.reps, validate=args.validate)
+    base = study.run(args.algo, args.input, args.device, Variant.BASELINE)
+    free = study.run(args.algo, args.input, args.device, Variant.RACE_FREE)
+    print(f"{args.algo} on {args.input} ({args.device}, "
+          f"median of {args.reps}):")
+    print(f"  baseline : {base.median_ms:10.4f} ms "
+          f"({base.last_run.rounds} rounds)")
+    print(f"  race-free: {free.median_ms:10.4f} ms "
+          f"({free.last_run.rounds} rounds)")
+    algo = get_algorithm(args.algo)
+    if algo.has_races:
+        print(f"  speedup  : {base.median_ms / free.median_ms:.3f}x "
+              "(>1 means race-free is faster)")
+    else:
+        print("  (no races in this code; variants are identical)")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    study = Study(reps=args.reps)
+    if args.algo == "scc":
+        inputs = suite_names(directed=True)
+        cells = [study.speedup("scc", n, args.device) for n in inputs]
+        title = f"SCC speedups on {args.device} (cf. Table VIII)"
+    else:
+        inputs = suite_names(directed=False)
+        algos = ["cc", "gc", "mis", "mst"]
+        cells = study.speedup_table(args.device, algos, inputs)
+        title = f"Race-free speedups on {args.device} (cf. Tables IV-VII)"
+    print(speedup_table(cells, title=title))
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    study = Study(reps=args.reps)
+    undirected = suite_names(directed=False)[:args.limit or None]
+    directed = suite_names(directed=True)[:args.limit or None]
+    cells = []
+    for dev in DEVICE_ORDER:
+        cells += study.speedup_table(dev, ["cc", "gc", "mis", "mst"],
+                                     undirected)
+        cells += [study.speedup("scc", n, dev) for n in directed]
+    print(fig6_bars(geomean_summary(cells)))
+    return 0
+
+
+def _cmd_races(args) -> int:
+    import importlib
+
+    from repro.gpu.interleave import RandomScheduler
+    from repro.gpu.racecheck import RaceDetector, summarize_races
+    from repro.graphs import generators as gen
+
+    module = importlib.import_module(f"repro.algorithms.{args.algo}")
+    if args.algo == "scc":
+        graph = gen.directed_powerlaw(24, 2.5, seed=args.seed)
+    elif args.algo == "apsp":
+        graph = gen.random_uniform(6, 2.0, seed=args.seed)
+        graph = graph.with_random_weights(seed=1)
+    else:
+        graph = gen.random_uniform(24, 3.0, seed=args.seed)
+        if get_algorithm(args.algo).needs_weights:
+            graph = graph.with_random_weights(seed=1)
+
+    for variant in Variant:
+        if args.algo == "apsp":
+            if variant is Variant.RACE_FREE:
+                continue
+            _, ex = module.run_simt(graph,
+                                    scheduler=RandomScheduler(args.seed))
+        else:
+            _, ex = module.run_simt(graph, variant,
+                                    scheduler=RandomScheduler(args.seed))
+        reports = RaceDetector().check(ex)
+        label = variant.value
+        if not reports:
+            print(f"{args.algo} {label}: no data races detected")
+            continue
+        print(f"{args.algo} {label}: {len(reports)} race report(s)")
+        for array, kinds in sorted(summarize_races(reports).items()):
+            print(f"  {array}: {kinds}")
+        for report in reports[:args.show]:
+            print(f"  e.g. {report.describe()}")
+    return 0
+
+
+def _cmd_inputs(args) -> int:
+    """Regenerate Tables II/III: the input suite with paper-vs-scaled
+    properties."""
+    from repro.graphs.properties import compute_properties
+    from repro.graphs.suite import suite_entry
+    from repro.utils.tables import format_table
+
+    directed = args.directed
+    rows = []
+    for name in suite_names(directed=directed):
+        entry = suite_entry(name)
+        g = load_suite_graph(name)
+        p = compute_properties(g, kind=entry.kind)
+        rows.append([
+            name, entry.kind,
+            entry.paper_vertices, p.num_vertices,
+            entry.paper_edges, p.num_edges,
+            f"{entry.paper_d_avg:.1f}", f"{p.d_avg:.1f}",
+        ])
+    title = ("Table III analog (directed, SCC)" if directed
+             else "Table II analog (undirected)")
+    print(title)
+    print(format_table(
+        ["Graph", "Type", "Paper |V|", "Scaled |V|", "Paper |E|",
+         "Scaled |E|", "Paper d-avg", "Scaled d-avg"], rows))
+    return 0
+
+
+def _cmd_patterns(args) -> int:
+    from repro.patterns import PATTERNS, run_pattern
+    from repro.utils.tables import format_table
+
+    rows = []
+    for name, pattern in sorted(PATTERNS.items()):
+        for variant in Variant:
+            outcomes = set()
+            races = 0
+            for seed in range(args.seeds):
+                result = run_pattern(name, variant, seed=seed)
+                outcomes.add(result.outcome.value)
+                races = max(races, result.races)
+            rows.append([name, variant.value, races,
+                         "/".join(sorted(outcomes))])
+    print(format_table(
+        ["Pattern", "Variant", "Races", "Outcomes observed"], rows))
+    print("\nPatterns marked race-free by design (false-positive "
+          "probes): "
+          + ", ".join(sorted(p.name for p in PATTERNS.values()
+                             if not p.expected_racy)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="available inputs/devices/algorithms")
+
+    run = sub.add_parser("run", help="run one configuration, both variants")
+    run.add_argument("--algo", required=True)
+    run.add_argument("--input", required=True)
+    run.add_argument("--device", default="titanv")
+    run.add_argument("--reps", type=int, default=9)
+    run.add_argument("--validate", action="store_true",
+                     help="verify outputs against reference algorithms")
+
+    table = sub.add_parser("table", help="full speedup table for a device")
+    table.add_argument("--device", default="titanv")
+    table.add_argument("--algo", default="undirected",
+                       help="'scc' for Table VIII, else Tables IV-VII")
+    table.add_argument("--reps", type=int, default=3)
+
+    fig6 = sub.add_parser("fig6", help="geomean bars across devices")
+    fig6.add_argument("--reps", type=int, default=3)
+    fig6.add_argument("--limit", type=int, default=0,
+                      help="use only the first N inputs (0 = all)")
+
+    races = sub.add_parser("races", help="detect races in one code")
+    races.add_argument("--algo", required=True)
+    races.add_argument("--seed", type=int, default=7)
+    races.add_argument("--show", type=int, default=3,
+                       help="example reports to print per variant")
+
+    patterns = sub.add_parser("patterns",
+                              help="run the racy-idiom microbenchmarks")
+    patterns.add_argument("--seeds", type=int, default=8,
+                          help="schedules to try per pattern variant")
+
+    inputs = sub.add_parser("inputs",
+                            help="the input suite (Tables II/III analog)")
+    inputs.add_argument("--directed", action="store_true",
+                        help="show the directed (SCC) inputs")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "table": _cmd_table,
+        "fig6": _cmd_fig6,
+        "races": _cmd_races,
+        "patterns": _cmd_patterns,
+        "inputs": _cmd_inputs,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

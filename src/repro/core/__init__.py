@@ -1,0 +1,39 @@
+"""The paper's primary contribution as a library.
+
+* :mod:`repro.core.transform` — the race-removal transform: an access
+  *plan* names every shared-memory access site of an algorithm with its
+  baseline access kind; the transform rewrites the plan so every racy
+  site becomes a relaxed atomic (Section IV).
+* :mod:`repro.core.variants` — the BASELINE / RACE_FREE variant axis and
+  the registry of algorithm implementations.
+* :mod:`repro.core.study` — the experimental methodology of Section V:
+  run variant x input x device for nine repetitions, take medians,
+  compute speedups.
+* :mod:`repro.core.report` — speedup tables (Tables IV-VIII), geometric
+  means (Fig. 6), and property correlations (Table IX).
+"""
+
+from repro.core.variants import Variant, AlgorithmInfo, get_algorithm, list_algorithms
+from repro.core.transform import AccessSite, AccessPlan, remove_races
+from repro.core.study import Study, RunResult, SpeedupCell
+from repro.core.report import (
+    correlation_table,
+    geomean_summary,
+    speedup_table,
+)
+
+__all__ = [
+    "Variant",
+    "AlgorithmInfo",
+    "get_algorithm",
+    "list_algorithms",
+    "AccessSite",
+    "AccessPlan",
+    "remove_races",
+    "Study",
+    "RunResult",
+    "SpeedupCell",
+    "speedup_table",
+    "geomean_summary",
+    "correlation_table",
+]

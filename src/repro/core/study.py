@@ -1,0 +1,228 @@
+"""The experimental methodology of Section V.
+
+A :class:`Study` runs (algorithm, input, device, variant) configurations
+``reps`` times (the paper uses nine), takes the *median* simulated
+runtime, and derives speedups as ``baseline_median / racefree_median`` —
+a value above 1 means the race-free code is faster.
+
+Repetitions differ in their randomization seed (vertex priorities,
+tie-breaks, schedule-dependent staleness subsets), which is the
+simulator's analog of run-to-run hardware variance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.variants import AlgorithmInfo, Variant, get_algorithm
+from repro.errors import StudyError
+from repro.gpu.device import DeviceSpec, get_device
+from repro.graphs.csr import CSRGraph
+from repro.graphs.suite import load_suite_graph, suite_entry
+from repro.perf.engine import PerfRun, run_algorithm
+from repro.utils.stats import median, relative_deviation
+
+
+@dataclass
+class RunResult:
+    """Median-of-reps runtime of one (algo, input, device, variant)."""
+
+    algorithm: str
+    input_name: str
+    device_key: str
+    variant: Variant
+    runtimes_ms: list[float]
+    #: outputs/stats of the final repetition; None when the result was
+    #: re-loaded from a saved log (outputs are not persisted)
+    last_run: PerfRun | None
+
+    @property
+    def median_ms(self) -> float:
+        return median(self.runtimes_ms)
+
+    @property
+    def relative_deviation(self) -> float:
+        return relative_deviation(self.runtimes_ms)
+
+
+@dataclass
+class SpeedupCell:
+    """One cell of Tables IV-VIII."""
+
+    algorithm: str
+    input_name: str
+    device_key: str
+    baseline_ms: float
+    racefree_ms: float
+
+    @property
+    def speedup(self) -> float:
+        """baseline runtime / race-free runtime (>1: race-free faster)."""
+        if self.racefree_ms <= 0:
+            raise StudyError("race-free runtime must be positive")
+        return self.baseline_ms / self.racefree_ms
+
+
+class Study:
+    """Runs the paper's comparison on the simulated devices.
+
+    Parameters
+    ----------
+    reps:
+        Runs per configuration (paper: 9).
+    scale:
+        Input scale factor forwarded to the suite loader.
+    validate:
+        Verify every output against the reference checkers (slow; used
+        by the test-suite, off for the big sweeps).
+    """
+
+    def __init__(self, reps: int = 9, scale: float = 1.0,
+                 validate: bool = False) -> None:
+        if reps < 1:
+            raise StudyError(f"reps must be >= 1, got {reps}")
+        self.reps = reps
+        self.scale = scale
+        self.validate = validate
+        self._results: dict[tuple, RunResult] = {}
+
+    # ------------------------------------------------------------------
+    def _prepare_graph(self, algo: AlgorithmInfo,
+                       graph_or_name) -> CSRGraph:
+        if isinstance(graph_or_name, CSRGraph):
+            graph = graph_or_name
+        else:
+            graph = load_suite_graph(graph_or_name, scale=self.scale)
+        if algo.needs_weights and not graph.has_weights:
+            graph = graph.with_random_weights(seed=12345)
+        return graph
+
+    def run(self, algorithm: str, graph_or_name, device: str,
+            variant: Variant) -> RunResult:
+        """Run one configuration (memoized within the study)."""
+        name = (graph_or_name.name if isinstance(graph_or_name, CSRGraph)
+                else graph_or_name)
+        key = (algorithm, name, device, variant)
+        if key in self._results:
+            return self._results[key]
+
+        algo = get_algorithm(algorithm)
+        spec = get_device(device)
+        graph = self._prepare_graph(algo, graph_or_name)
+
+        runtimes: list[float] = []
+        last: PerfRun | None = None
+        for rep in range(self.reps):
+            run = run_algorithm(algo, graph, spec, variant,
+                                seed=1000 * rep + 7)
+            runtimes.append(run.runtime_ms)
+            last = run
+        if self.validate and last is not None:
+            self._validate(algo, graph, last)
+        result = RunResult(algorithm, name, device, variant, runtimes, last)
+        self._results[key] = result
+        return result
+
+    def speedup(self, algorithm: str, graph_or_name,
+                device: str) -> SpeedupCell:
+        """Baseline-vs-race-free speedup for one configuration."""
+        algo = get_algorithm(algorithm)
+        if not algo.has_races:
+            raise StudyError(
+                f"{algorithm} has no data races (Section IV.A); the paper "
+                "does not measure its race-free speedup"
+            )
+        base = self.run(algorithm, graph_or_name, device, Variant.BASELINE)
+        free = self.run(algorithm, graph_or_name, device, Variant.RACE_FREE)
+        return SpeedupCell(
+            algorithm=algorithm,
+            input_name=base.input_name,
+            device_key=device,
+            baseline_ms=base.median_ms,
+            racefree_ms=free.median_ms,
+        )
+
+    def speedup_table(self, device: str, algorithms: list[str],
+                      inputs: list[str]) -> list[SpeedupCell]:
+        """All cells of one of Tables IV-VIII."""
+        return [
+            self.speedup(a, name, device)
+            for name in inputs
+            for a in algorithms
+        ]
+
+    # ------------------------------------------------------------------
+    # Result persistence (the artifact's ./results/ raw-runtime logs)
+    # ------------------------------------------------------------------
+    def save_results(self, path: str | Path) -> None:
+        """Write every memoized runtime to a JSON log.
+
+        The analog of the paper artifact's ``./results/`` directory:
+        raw runtimes per (algorithm, input, device, variant), so table
+        generation can be re-done without re-running the simulations.
+        """
+        records = [
+            {
+                "algorithm": r.algorithm,
+                "input": r.input_name,
+                "device": r.device_key,
+                "variant": r.variant.value,
+                "runtimes_ms": r.runtimes_ms,
+            }
+            for r in self._results.values()
+        ]
+        payload = {"reps": self.reps, "scale": self.scale,
+                   "results": records}
+        Path(path).write_text(json.dumps(payload, indent=1))
+
+    def load_results(self, path: str | Path) -> int:
+        """Pre-populate the memo from a saved log; returns the number of
+        configurations loaded.  Loaded entries carry no ``last_run``
+        (outputs are not persisted), so ``validate`` does not apply."""
+        payload = json.loads(Path(path).read_text())
+        if payload.get("reps") != self.reps or payload.get("scale") != self.scale:
+            raise StudyError(
+                "saved results were produced with a different reps/scale "
+                f"({payload.get('reps')}/{payload.get('scale')} vs "
+                f"{self.reps}/{self.scale})"
+            )
+        count = 0
+        for rec in payload["results"]:
+            variant = Variant(rec["variant"])
+            key = (rec["algorithm"], rec["input"], rec["device"], variant)
+            self._results[key] = RunResult(
+                rec["algorithm"], rec["input"], rec["device"], variant,
+                [float(x) for x in rec["runtimes_ms"]], last_run=None)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def _validate(self, algo: AlgorithmInfo, graph: CSRGraph,
+                  run: PerfRun) -> None:
+        from repro.algorithms import verify
+
+        out = run.output
+        if algo.key == "cc":
+            verify.check_components(graph, out["labels"])
+        elif algo.key == "gc":
+            verify.check_coloring(graph, out["colors"])
+        elif algo.key == "mis":
+            verify.check_mis(graph, out["in_set"])
+        elif algo.key == "mst":
+            verify.check_mst(graph, out["in_mst"])
+        elif algo.key == "scc":
+            verify.check_scc(graph, out["labels"])
+        elif algo.key == "apsp":
+            verify.check_apsp(graph, out["dist"])
+
+
+def paper_properties(name: str) -> tuple[int, int, float]:
+    """(edge count, vertex count, average degree) of a suite input —
+    the Table IX correlates; taken from the *scaled* graph actually run."""
+    entry = suite_entry(name)
+    graph = load_suite_graph(name)
+    del entry
+    return (graph.num_edges, graph.num_vertices,
+            graph.num_edges / max(1, graph.num_vertices))

@@ -1,0 +1,149 @@
+"""The race-removal transform (Section IV) as executable policy.
+
+Every algorithm declares an :class:`AccessPlan`: the named
+shared-memory access *sites* of its kernels, each with the access kind
+the original ECL code uses.  :func:`remove_races` produces the race-free
+plan by converting every non-atomic site on shared data into a relaxed
+atomic — exactly the paper's methodology ("we replaced all memory
+accesses to shared data with atomic load and store operations from
+libcu++ ... using the relaxed memory ordering").
+
+Both execution levels consult the plan: the SIMT kernels pick their
+:class:`~repro.gpu.accesses.AccessKind` per site, and the performance
+engine prices each recorded access by its site's kind.  This guarantees
+the two variants of a code differ *only* in access kinds, never in
+algorithmic structure — the property the paper's comparison relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.variants import Variant
+from repro.errors import StudyError
+from repro.gpu.accesses import AccessKind, MemoryOrder
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One named shared-memory access site of an algorithm.
+
+    Parameters
+    ----------
+    name:
+        Dotted identifier, e.g. ``"cc.label.jump_read"``.
+    kind:
+        Access kind in the *baseline* code (PLAIN, VOLATILE, or ATOMIC —
+        some baseline sites are already atomic, e.g. ECL-CC's hooking
+        CAS).
+    elem_bytes:
+        Element width in bytes (prices traffic; chars are 1).
+    is_store:
+        Whether the site writes.
+    is_rmw:
+        Read-modify-write site (always atomic in both variants).
+    shared:
+        Whether the data is shared between threads.  Non-shared sites
+        (e.g. read-only CSR structure) are untouched by the transform.
+    order:
+        Memory order used when the site is atomic.  Every code in the
+        suite gets away with RELAXED (Section IV.B); stronger orders
+        cost extra (see the memory-order ablation bench).
+    """
+
+    name: str
+    kind: AccessKind
+    elem_bytes: int = 4
+    is_store: bool = False
+    is_rmw: bool = False
+    shared: bool = True
+    order: MemoryOrder = MemoryOrder.RELAXED
+
+
+@dataclass(frozen=True)
+class AccessPlan:
+    """The full set of access sites of one algorithm."""
+
+    algorithm: str
+    sites: tuple[AccessSite, ...]
+
+    def site(self, name: str) -> AccessSite:
+        for s in self.sites:
+            if s.name == name:
+                return s
+        raise StudyError(
+            f"unknown access site {name!r} in plan for {self.algorithm}"
+        )
+
+    def racy_sites(self) -> list[AccessSite]:
+        """Sites that constitute data races: shared non-atomic accesses."""
+        return [s for s in self.sites
+                if s.shared and s.kind is not AccessKind.ATOMIC]
+
+    @property
+    def has_races(self) -> bool:
+        return bool(self.racy_sites())
+
+
+def remove_races(plan: AccessPlan) -> AccessPlan:
+    """Section IV.B: convert every racy site to a relaxed atomic.
+
+    RMW sites and already-atomic sites pass through unchanged;
+    non-shared sites (private or read-only data) keep their kind, since
+    unshared accesses cannot race.
+    """
+    converted = tuple(
+        replace(s, kind=AccessKind.ATOMIC) if s.shared else s
+        for s in plan.sites
+    )
+    return AccessPlan(plan.algorithm, converted)
+
+
+def remove_races_at(plan: AccessPlan, site_names: set[str] | list[str]
+                    ) -> AccessPlan:
+    """Partial conversion: make only the named sites atomic.
+
+    Models an *incomplete* race-removal pass — useful for incremental
+    migration studies and for failure injection in tests (a partially
+    converted plan still has races, and the detector must still find
+    them at the untouched sites).
+    """
+    names = set(site_names)
+    known = {s.name for s in plan.sites}
+    missing = names - known
+    if missing:
+        raise StudyError(
+            f"unknown site(s) {sorted(missing)} in plan for "
+            f"{plan.algorithm}"
+        )
+    converted = tuple(
+        replace(s, kind=AccessKind.ATOMIC)
+        if s.name in names and s.shared else s
+        for s in plan.sites
+    )
+    return AccessPlan(plan.algorithm, converted)
+
+
+def plan_for(plan: AccessPlan, variant: Variant) -> AccessPlan:
+    """The effective plan of a variant."""
+    if variant is Variant.BASELINE:
+        return plan
+    return remove_races(plan)
+
+
+def site_kind(plan: AccessPlan, variant: Variant, name: str) -> AccessKind:
+    """Access kind of ``name`` under ``variant`` — the single lookup
+    both execution levels use."""
+    return plan_for(plan, variant).site(name).kind
+
+
+def with_order(plan: AccessPlan, order: MemoryOrder) -> AccessPlan:
+    """Copy of ``plan`` with every shared site using ``order``.
+
+    The paper's codes need only RELAXED (Section IV.B); this helper
+    exists for the memory-order ablation, which quantifies what the
+    stronger defaults would cost.
+    """
+    return AccessPlan(plan.algorithm, tuple(
+        replace(s, order=order) if s.shared else s for s in plan.sites
+    ))

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed or inconsistent graph data."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing a graph file that violates its format."""
+
+
+class DeviceError(ReproError):
+    """Raised for unknown devices or invalid device specifications."""
+
+
+class KernelError(ReproError):
+    """Raised when a simulated kernel misbehaves (bad yield, bad index)."""
+
+
+class MemoryAccessError(KernelError):
+    """Raised for out-of-bounds or type-mismatched memory operations."""
+
+
+class DataRaceError(ReproError):
+    """Raised when the race checker is configured to fail on races."""
+
+
+class DeadlockError(KernelError):
+    """Raised when the SIMT executor detects that no thread can make
+    progress (e.g. a spin loop reading a register-cached stale value)."""
+
+
+class ValidationError(ReproError):
+    """Raised when an algorithm result fails verification."""
+
+
+class StudyError(ReproError):
+    """Raised for inconsistent experiment configurations."""

@@ -1,0 +1,48 @@
+"""Simulated GPU substrate.
+
+This package stands in for the CUDA hardware/software stack the paper
+measures on:
+
+* :mod:`repro.gpu.accesses` — the three access classes (plain, volatile,
+  atomic) whose semantics the paper contrasts, plus memory orders.
+* :mod:`repro.gpu.device` — device profiles for the paper's four GPUs
+  (Table I) including the timing constants of the cost model.
+* :mod:`repro.gpu.memory` — word-granular global memory with real word
+  tearing for elements wider than the native word.
+* :mod:`repro.gpu.atomics` — the libcu++-style atomic helpers of
+  Figs. 2-5 (relaxed atomicRead/atomicWrite, char-in-int masking,
+  int2-in-long-long half accessors).
+* :mod:`repro.gpu.simt` — an interleaving SIMT interpreter executing
+  kernels written as Python generators.
+* :mod:`repro.gpu.racecheck` — a dynamic data-race detector over the
+  interpreter's access history (the Compute Sanitizer / iGuard stand-in).
+* :mod:`repro.gpu.cache` — set-associative cache simulator and the
+  analytic cache model used by the performance level.
+* :mod:`repro.gpu.timing` — converts access statistics into simulated
+  runtime for a given device.
+"""
+
+from repro.gpu.accesses import AccessKind, DType, MemoryOrder, Scope
+from repro.gpu.device import PAPER_GPUS, DeviceSpec, get_device
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.simt import KernelLaunch, SimtExecutor, ThreadCtx
+from repro.gpu.racecheck import RaceDetector, RaceReport
+from repro.gpu.timing import AccessStats, TimingModel
+
+__all__ = [
+    "AccessKind",
+    "DType",
+    "MemoryOrder",
+    "Scope",
+    "DeviceSpec",
+    "PAPER_GPUS",
+    "get_device",
+    "GlobalMemory",
+    "SimtExecutor",
+    "KernelLaunch",
+    "ThreadCtx",
+    "RaceDetector",
+    "RaceReport",
+    "AccessStats",
+    "TimingModel",
+]

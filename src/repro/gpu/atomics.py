@@ -1,0 +1,186 @@
+"""libcu++-style atomic helpers for simulated kernels (Figs. 2-5).
+
+These are ``yield from``-able sub-generators: a kernel does
+
+    val = yield from atomic_read(ctx, labels, v)
+
+and the helper yields the underlying atomic :class:`Op` to the executor.
+They mirror, one-to-one, the helpers the paper adds to the race-free
+codes:
+
+* :func:`atomic_read` / :func:`atomic_write` — Fig. 2's relaxed
+  ``cuda::atomic`` load/store.
+* :func:`atomic_read_char` — Fig. 3b's typecast-and-mask read of a
+  ``char`` through an ``int``-sized atomic.
+* :func:`atomic_clear_char` — Fig. 4b's atomicAnd masking write of 0x00.
+* :func:`atomic_write_char` — general byte store via a CAS loop on the
+  containing word (used where the race-free code must store a nonzero
+  status byte).
+* :func:`read_first` / :func:`read_second` / :func:`write_first` /
+  :func:`write_second` — Fig. 5's half accessors for ``int2`` values
+  stored in ``long long`` elements.  Tearing *between* the halves is
+  acceptable (the SCC code treats them independently); tearing *within*
+  a half is prevented by the 32-bit atomic.
+
+All helpers use ``memory_order_relaxed`` — sufficient for every code in
+the suite (Section IV.B).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.accesses import AccessKind, MemoryOrder, RMWOp
+from repro.gpu.memory import ArrayHandle
+from repro.gpu.simt import ThreadCtx
+from repro.utils.bitops import (
+    byte_in_word,
+    insert_byte,
+    make_byte_mask,
+    to_signed,
+    to_unsigned,
+)
+
+_RELAXED = MemoryOrder.RELAXED
+
+
+def atomic_read(ctx: ThreadCtx, handle: ArrayHandle, index: int):
+    """Fig. 2: ``((cuda::atomic<T>*)p)->load(relaxed)``."""
+    value = yield ctx.load(handle, index, AccessKind.ATOMIC, _RELAXED)
+    return value
+
+
+def atomic_write(ctx: ThreadCtx, handle: ArrayHandle, index: int,
+                 value: int):
+    """Fig. 2: ``((cuda::atomic<T>*)p)->store(val, relaxed)``."""
+    yield ctx.store(handle, index, value, AccessKind.ATOMIC, _RELAXED)
+
+
+def atomic_add(ctx: ThreadCtx, handle: ArrayHandle, index: int, value: int):
+    """CUDA ``atomicAdd``; returns the old value."""
+    old = yield ctx.atomic_rmw(handle, index, RMWOp.ADD, value)
+    return old
+
+
+def atomic_min(ctx: ThreadCtx, handle: ArrayHandle, index: int, value: int):
+    """CUDA ``atomicMin``; returns the old value."""
+    old = yield ctx.atomic_rmw(handle, index, RMWOp.MIN, value)
+    return old
+
+
+def atomic_max(ctx: ThreadCtx, handle: ArrayHandle, index: int, value: int):
+    """CUDA ``atomicMax``; returns the old value."""
+    old = yield ctx.atomic_rmw(handle, index, RMWOp.MAX, value)
+    return old
+
+
+def atomic_exch(ctx: ThreadCtx, handle: ArrayHandle, index: int, value: int):
+    """CUDA ``atomicExch``; returns the old value."""
+    old = yield ctx.atomic_rmw(handle, index, RMWOp.EXCH, value)
+    return old
+
+
+def atomic_cas(ctx: ThreadCtx, handle: ArrayHandle, index: int,
+               expected: int, desired: int):
+    """CUDA ``atomicCAS``; returns the old value."""
+    old = yield ctx.atomic_cas(handle, index, expected, desired)
+    return old
+
+
+# ----------------------------------------------------------------------
+# char-in-int typecasting and masking (MIS status bytes, Figs. 3-4)
+# ----------------------------------------------------------------------
+
+def _word_span(handle: ArrayHandle, byte_index: int):
+    """The 4-byte aligned span containing byte ``byte_index`` —
+    Fig. 3b's ``(int*)node_stat`` + ``v / 4`` index computation."""
+    return handle.cast_span((byte_index // 4) * 4, 4)
+
+
+def atomic_read_char(ctx: ThreadCtx, handle: ArrayHandle, index: int):
+    """Fig. 3b: atomically read the ``int`` containing char ``index``,
+    then shift and mask out the byte."""
+    span = _word_span(handle, index)
+    word = yield ctx.load_span(span, AccessKind.ATOMIC)
+    return byte_in_word(word, index % 4)
+
+
+def atomic_clear_char(ctx: ThreadCtx, handle: ArrayHandle, index: int):
+    """Fig. 4b: atomically write 0x00 to char ``index`` using an
+    atomicAnd with a byte mask; returns the old byte."""
+    span = _word_span(handle, index)
+    old_word = yield ctx.atomic_rmw_span(span, RMWOp.AND,
+                                         make_byte_mask(index % 4))
+    return byte_in_word(old_word, index % 4)
+
+
+def atomic_or_char(ctx: ThreadCtx, handle: ArrayHandle, index: int,
+                   bits: int):
+    """Atomically OR ``bits`` into char ``index``; returns the old byte."""
+    if not 0 <= bits <= 0xFF:
+        raise ValueError(f"bits must fit in a byte, got {bits}")
+    span = _word_span(handle, index)
+    old_word = yield ctx.atomic_rmw_span(span, RMWOp.OR,
+                                         bits << ((index % 4) * 8))
+    return byte_in_word(old_word, index % 4)
+
+
+def atomic_write_char(ctx: ThreadCtx, handle: ArrayHandle, index: int,
+                      value: int):
+    """Atomically store an arbitrary byte via a CAS loop on the word.
+
+    The paper's codes get away with AND/OR because MIS status
+    transitions are monotonic; this general version is provided for
+    completeness and returns the old byte.
+    """
+    if not 0 <= value <= 0xFF:
+        raise ValueError(f"value must fit in a byte, got {value}")
+    span = _word_span(handle, index)
+    old_word = yield ctx.load_span(span, AccessKind.ATOMIC)
+    while True:
+        new_word = insert_byte(old_word, index % 4, value)
+        seen = yield ctx.atomic_rmw_span(span, RMWOp.CAS, new_word,
+                                         expected=old_word)
+        if seen == old_word:
+            return byte_in_word(old_word, index % 4)
+        old_word = seen
+
+
+# ----------------------------------------------------------------------
+# int2-in-long-long half accessors (SCC path pairs, Fig. 5)
+# ----------------------------------------------------------------------
+
+def read_first(ctx: ThreadCtx, handle: ArrayHandle, index: int):
+    """Fig. 5 ``readFirst``: atomic 32-bit read of the low half."""
+    raw = yield ctx.load_span(handle.subspan(index, 0, 4), AccessKind.ATOMIC)
+    return to_signed(raw, 32)
+
+
+def read_second(ctx: ThreadCtx, handle: ArrayHandle, index: int):
+    """Fig. 5 ``readSecond``: atomic 32-bit read of the high half."""
+    raw = yield ctx.load_span(handle.subspan(index, 4, 4), AccessKind.ATOMIC)
+    return to_signed(raw, 32)
+
+
+def write_first(ctx: ThreadCtx, handle: ArrayHandle, index: int,
+                value: int):
+    """Fig. 5 ``writeFirst``: atomic 32-bit write of the low half."""
+    yield ctx.store_span(handle.subspan(index, 0, 4),
+                         to_unsigned(value, 32), AccessKind.ATOMIC)
+
+
+def write_second(ctx: ThreadCtx, handle: ArrayHandle, index: int,
+                 value: int):
+    """Fig. 5 ``writeSecond``: atomic 32-bit write of the high half."""
+    yield ctx.store_span(handle.subspan(index, 4, 4),
+                         to_unsigned(value, 32), AccessKind.ATOMIC)
+
+
+def atomic_max_half(ctx: ThreadCtx, handle: ArrayHandle, index: int,
+                    half: int, value: int):
+    """Atomic 32-bit max on one half of an ``int2`` element (used by the
+    race-free SCC's monotonic max-ID propagation).  Returns the old half."""
+    if half not in (0, 1):
+        raise ValueError(f"half must be 0 or 1, got {half}")
+    span = handle.subspan(index, half * 4, 4)
+    old = yield ctx.atomic_rmw_span(span, RMWOp.MAX, to_unsigned(value, 32),
+                                    signed=True)
+    return old

@@ -1,0 +1,156 @@
+"""Device profiles for the paper's four GPUs (Table I).
+
+Each :class:`DeviceSpec` carries the hardware columns of Table I plus
+the constants of the timing model.  The timing constants encode the
+architectural mechanisms Section VI identifies:
+
+* Plain (non-volatile) accesses are served by the per-SM L1 cache.
+* Volatile accesses bypass L1 and are served by L2 (this is why the
+  codes whose baselines already use ``volatile`` — GC, MST, MIS — lose
+  little when converted to atomics, which are also L2 operations).
+* Atomic loads/stores are performed at L2 with an extra effective cost;
+  the paper observes this penalty *grows* on newer architectures
+  ("recent GPUs are more negatively affected by extra synchronization
+  than older GPUs", Section VII), so the atomic extras rise from Turing
+  to Ada, with stores/RMWs (which serialize at the L2 atomic units)
+  penalized much more than loads.
+* ``plain_staleness_rounds`` models the compiler keeping plain loads in
+  registers: a plain read may observe a value up to that many rounds
+  old.  Atomic (and volatile) reads observe current values.  This is
+  the mechanism behind the race-free MIS speedup (Section VI.A).
+
+The constants are calibration parameters of the simulation, not
+measured hardware numbers; see DESIGN.md Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A simulated GPU: Table I columns + timing-model constants."""
+
+    name: str
+    architecture: str
+    cores: int
+    sms: int
+    l1_kb: int
+    l2_mb: float
+    memory_gb: int
+    bandwidth_gbs: int
+    nvcc: str
+    nvcc_flags: str
+    # --- timing model constants -------------------------------------
+    clock_ghz: float = 1.5
+    l1_hit_cycles: float = 30.0
+    l2_hit_cycles: float = 55.0
+    dram_cycles: float = 160.0
+    # extra effective cost of an atomic load over a plain L2 access
+    atomic_load_extra_cycles: float = 6.0
+    # extra effective cost of an atomic store / RMW (these serialize at
+    # the L2 atomic units; the penalty grows on newer architectures)
+    atomic_store_extra_cycles: float = 20.0
+    # cycles charged per *contending* atomic store/RMW on one word
+    atomic_contention_cycles: float = 25.0
+    # extra cost of an atomic with a memory order stronger than relaxed
+    # (acquire/release/seq_cst restrict reordering around the access)
+    memory_order_extra_cycles: float = 120.0
+    # launch overhead, scaled with the suite's ~1/256 input scale so
+    # overhead amortization matches the paper's full-size regime
+    kernel_launch_us: float = 0.05
+    # compiler visibility model: plain reads may be this many rounds stale
+    plain_staleness_rounds: int = 2
+    # fraction of peak parallelism irregular kernels achieve
+    occupancy: float = 0.5
+    cache_line_bytes: int = 128
+    native_word_bits: int = 32
+    supports_64bit_atomics: bool = True
+    supports_libcupp: bool = True
+
+    @property
+    def l1_bytes(self) -> int:
+        return self.l1_kb * 1024
+
+    @property
+    def l2_bytes(self) -> int:
+        return int(self.l2_mb * 1024 * 1024)
+
+    @property
+    def parallel_lanes(self) -> float:
+        """Effective number of concurrently progressing threads."""
+        return self.cores * self.occupancy
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9) * 1e3
+
+
+def _gpu(**kwargs) -> DeviceSpec:
+    return DeviceSpec(**kwargs)
+
+
+#: The four evaluation GPUs of Table I.  The L1/L2/memory columns are the
+#: paper's; the cycle constants are calibrated so the per-algorithm
+#: geomean speedups land in the paper's bands (Fig. 6): 2070 Super is the
+#: least penalized by atomics, A100 and 4090 the most.
+PAPER_GPUS: dict[str, DeviceSpec] = {
+    "titanv": _gpu(
+        name="Titan V", architecture="Volta", cores=5120, sms=80,
+        l1_kb=96, l2_mb=4.5, memory_gb=12, bandwidth_gbs=652,
+        nvcc="10.1", nvcc_flags="-O3 -arch=sm_70",
+        clock_ghz=1.455,
+        l1_hit_cycles=30.0, l2_hit_cycles=55.0, dram_cycles=160.0,
+        atomic_load_extra_cycles=5.0, atomic_store_extra_cycles=15.0,
+        atomic_contention_cycles=40.0,
+        plain_staleness_rounds=3, occupancy=0.50,
+        supports_libcupp=False,  # CUDA 10.1 predates libcu++; CCCL used
+    ),
+    "2070super": _gpu(
+        name="2070 Super", architecture="Turing", cores=2560, sms=40,
+        l1_kb=96, l2_mb=4.0, memory_gb=8, bandwidth_gbs=448,
+        nvcc="12.0", nvcc_flags="-O3 -arch=sm_75",
+        clock_ghz=1.605,
+        l1_hit_cycles=32.0, l2_hit_cycles=40.0, dram_cycles=130.0,
+        atomic_load_extra_cycles=2.0, atomic_store_extra_cycles=6.0,
+        atomic_contention_cycles=15.0,
+        plain_staleness_rounds=2, occupancy=0.55,
+    ),
+    "a100": _gpu(
+        name="A100", architecture="Ampere", cores=6912, sms=108,
+        l1_kb=192, l2_mb=40.0, memory_gb=40, bandwidth_gbs=1555,
+        nvcc="12.0", nvcc_flags="-O3 -arch=sm_80",
+        clock_ghz=1.41,
+        l1_hit_cycles=32.0, l2_hit_cycles=55.0, dram_cycles=150.0,
+        atomic_load_extra_cycles=8.0, atomic_store_extra_cycles=22.0,
+        atomic_contention_cycles=150.0,
+        plain_staleness_rounds=3, occupancy=0.50,
+    ),
+    "4090": _gpu(
+        name="4090", architecture="Ada Lovelace", cores=16384, sms=128,
+        l1_kb=128, l2_mb=72.0, memory_gb=24, bandwidth_gbs=1008,
+        nvcc="12.0", nvcc_flags="-O3 -arch=sm_89",
+        clock_ghz=2.52,
+        l1_hit_cycles=30.0, l2_hit_cycles=120.0, dram_cycles=260.0,
+        atomic_load_extra_cycles=8.0, atomic_store_extra_cycles=40.0,
+        atomic_contention_cycles=170.0,
+        plain_staleness_rounds=2, occupancy=0.45,
+    ),
+}
+
+#: Canonical device ordering used by reports (oldest to newest).
+DEVICE_ORDER: tuple[str, ...] = ("titanv", "2070super", "a100", "4090")
+
+
+def get_device(key: str) -> DeviceSpec:
+    """Look up a device by key (``titanv``, ``2070super``, ``a100``,
+    ``4090``) or by its display name."""
+    norm = key.lower().replace(" ", "").replace("-", "")
+    if norm in PAPER_GPUS:
+        return PAPER_GPUS[norm]
+    for spec in PAPER_GPUS.values():
+        if spec.name.lower().replace(" ", "") == norm:
+            return spec
+    raise DeviceError(f"unknown device {key!r}; known: {sorted(PAPER_GPUS)}")

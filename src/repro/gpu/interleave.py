@@ -1,0 +1,81 @@
+"""Thread interleaving schedulers for the SIMT interpreter.
+
+A data race only manifests under *some* interleavings; these schedulers
+control which one a simulated kernel launch experiences.  Tests run the
+racy baselines under many random and adversarial schedules to expose
+tearing and staleness, and run the race-free versions under the same
+schedules to show their results never change.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class Scheduler:
+    """Chooses which runnable thread executes the next micro-step."""
+
+    def choose(self, runnable: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Called at each kernel launch."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Fair rotation over runnable threads (the most benign schedule)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, runnable: Sequence[int]) -> int:
+        candidates = [t for t in runnable if t >= self._next]
+        pick = min(candidates) if candidates else min(runnable)
+        self._next = pick + 1
+        return pick
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class RandomScheduler(Scheduler):
+    """Uniform random choice — the workhorse for stress tests."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self, runnable: Sequence[int]) -> int:
+        return runnable[int(self._rng.integers(0, len(runnable)))]
+
+
+class AdversarialScheduler(Scheduler):
+    """Random choice biased *away* from the last-run thread.
+
+    Maximizes context switches between consecutive memory operations,
+    which is exactly when word tearing and stale-read windows open up.
+    ``stickiness`` is the probability of letting the same thread
+    continue (0 = always switch).
+    """
+
+    def __init__(self, seed: int = 0, stickiness: float = 0.05) -> None:
+        if not 0.0 <= stickiness <= 1.0:
+            raise ValueError(f"stickiness must be in [0, 1], got {stickiness}")
+        self._rng = np.random.default_rng(seed)
+        self._stickiness = stickiness
+        self._last: int | None = None
+
+    def choose(self, runnable: Sequence[int]) -> int:
+        others = [t for t in runnable if t != self._last]
+        if others and (self._last is None
+                       or self._rng.random() >= self._stickiness):
+            pick = others[int(self._rng.integers(0, len(others)))]
+        else:
+            pick = runnable[int(self._rng.integers(0, len(runnable)))]
+        self._last = pick
+        return pick
+
+    def reset(self) -> None:
+        self._last = None

@@ -1,0 +1,224 @@
+"""Byte-granular simulated global memory.
+
+Memory is organized the way the paper's typecasting tricks require: the
+backing store of every array is a flat little-endian byte buffer, so a
+``char`` array can be reinterpreted as an ``int`` array (Fig. 3), an
+``int2`` pair lives in one 8-byte element whose halves are individually
+addressable (Fig. 5), and a non-atomic access wider than the native
+32-bit word is decomposed by the SIMT executor into word-size pieces
+that other threads can observe half-done — real word tearing, Fig. 1's
+``0xffffffff00000000`` chimera included.
+
+All element values cross the API as Python ints; signedness is applied
+per the array's :class:`~repro.gpu.accesses.DType` at the edges, like a
+C cast reinterpreting the bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MemoryAccessError
+from repro.gpu.accesses import DType, MemSpan
+from repro.utils.bitops import join_u64, split_u64, to_signed, to_unsigned
+
+NATIVE_WORD_BYTES = 4
+"""Width of one native memory transaction (CUDA's 32-bit word)."""
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """Reference to an allocated global array."""
+
+    name: str
+    dtype: DType
+    length: int
+
+    @property
+    def elem_bytes(self) -> int:
+        return self.dtype.width_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.length * self.elem_bytes
+
+    def span(self, element: int) -> MemSpan:
+        """The byte span of one whole element."""
+        if not 0 <= element < self.length:
+            raise MemoryAccessError(
+                f"{self.name}[{element}] out of range [0, {self.length})"
+            )
+        return MemSpan(self.name, element * self.elem_bytes, self.elem_bytes)
+
+    def subspan(self, element: int, byte_offset: int, nbytes: int) -> MemSpan:
+        """A byte range inside one element (int2 halves, Fig. 5)."""
+        base = self.span(element)
+        if byte_offset < 0 or byte_offset + nbytes > self.elem_bytes:
+            raise MemoryAccessError(
+                f"subspan [{byte_offset}, {byte_offset + nbytes}) outside "
+                f"element of {self.elem_bytes} bytes"
+            )
+        return MemSpan(self.name, base.start + byte_offset, nbytes)
+
+    def cast_span(self, byte_start: int, nbytes: int) -> MemSpan:
+        """A reinterpret-cast access (Fig. 3's ``(int*)node_stat``)."""
+        if byte_start < 0 or byte_start + nbytes > self.total_bytes:
+            raise MemoryAccessError(
+                f"cast span [{byte_start}, {byte_start + nbytes}) outside "
+                f"array {self.name!r} of {self.total_bytes} bytes"
+            )
+        return MemSpan(self.name, byte_start, nbytes)
+
+
+def split_native_words(span: MemSpan) -> list[MemSpan]:
+    """Split a span into native-word-or-smaller pieces along word
+    boundaries — the decomposition that makes wide plain accesses tear."""
+    pieces = []
+    pos = span.start
+    end = span.end
+    while pos < end:
+        boundary = (pos // NATIVE_WORD_BYTES + 1) * NATIVE_WORD_BYTES
+        piece_end = min(end, boundary)
+        pieces.append(MemSpan(span.array, pos, piece_end - pos))
+        pos = piece_end
+    return pieces
+
+
+def pack_int2(first: int, second: int) -> int:
+    """Pack an ``int2`` (two signed 32-bit ints) into its 64-bit element."""
+    return to_signed(
+        join_u64(to_unsigned(first, 32), to_unsigned(second, 32)), 64
+    )
+
+
+def unpack_int2(value: int) -> tuple[int, int]:
+    """Unpack a 64-bit ``int2`` element into its (first, second) ints."""
+    lo, hi = split_u64(to_unsigned(value, 64))
+    return to_signed(lo, 32), to_signed(hi, 32)
+
+
+class GlobalMemory:
+    """The simulated GPU's global memory: named, typed byte buffers."""
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, tuple[ArrayHandle, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation and bulk transfer (host-side, not simulated accesses)
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, length: int, dtype: DType,
+              fill: int = 0) -> ArrayHandle:
+        """Allocate ``length`` elements of ``dtype`` under ``name``."""
+        if name in self._arrays:
+            raise MemoryAccessError(f"array {name!r} already allocated")
+        if length < 0:
+            raise MemoryAccessError(f"negative length {length}")
+        handle = ArrayHandle(name, dtype, length)
+        store = np.zeros(handle.total_bytes, dtype=np.uint8)
+        self._arrays[name] = (handle, store)
+        if fill != 0:
+            self.fill(handle, fill)
+        return handle
+
+    def fill(self, handle: ArrayHandle, value: int) -> None:
+        """Set every element to ``value`` (cudaMemset analog)."""
+        store = self._store(handle)
+        raw = to_unsigned(value, handle.dtype.width_bits)
+        pattern = raw.to_bytes(handle.elem_bytes, "little")
+        store[:] = np.frombuffer(
+            pattern * handle.length, dtype=np.uint8
+        )
+
+    def free(self, name: str) -> None:
+        """Release an allocation."""
+        if name not in self._arrays:
+            raise MemoryAccessError(f"array {name!r} not allocated")
+        del self._arrays[name]
+
+    def handle(self, name: str) -> ArrayHandle:
+        try:
+            return self._arrays[name][0]
+        except KeyError:
+            raise MemoryAccessError(f"array {name!r} not allocated") from None
+
+    def arrays(self) -> list[ArrayHandle]:
+        return [h for h, _ in self._arrays.values()]
+
+    def upload(self, handle: ArrayHandle, values: np.ndarray | list) -> None:
+        """Host-to-device bulk copy (cudaMemcpy analog)."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape[0] != handle.length:
+            raise MemoryAccessError(
+                f"upload length {values.shape[0]} != {handle.length}"
+            )
+        width = handle.dtype.width_bits
+        if width == 8:
+            raw = (values & 0xFF).astype(np.uint8)
+            self._store(handle)[:] = raw
+        elif width == 32:
+            raw = (values.astype(np.uint64) & np.uint64(0xFFFFFFFF)).astype("<u4")
+            self._store(handle)[:] = raw.view(np.uint8)
+        else:
+            raw = values.astype(np.uint64).astype("<u8")
+            self._store(handle)[:] = raw.view(np.uint8)
+
+    def download(self, handle: ArrayHandle) -> np.ndarray:
+        """Device-to-host bulk copy, decoded per the array's dtype."""
+        store = self._store(handle)
+        width = handle.dtype.width_bits
+        if width == 8:
+            return store.astype(np.int64)
+        if width == 32:
+            raw = store.view("<u4").astype(np.int64)
+            if handle.dtype.signed:
+                raw = np.where(raw >= (1 << 31), raw - (1 << 32), raw)
+            return raw
+        raw = store.view("<u8")
+        return raw.astype(np.int64) if handle.dtype.signed else raw.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Span-level operations (what the SIMT executor drives)
+    # ------------------------------------------------------------------
+    def span_read(self, span: MemSpan) -> int:
+        """Read ``span`` as an unsigned little-endian integer."""
+        store = self._check(span)
+        return int.from_bytes(store[span.start:span.end].tobytes(), "little")
+
+    def span_write(self, span: MemSpan, value: int) -> None:
+        """Write ``span`` from an unsigned little-endian integer."""
+        store = self._check(span)
+        raw = to_unsigned(value, span.nbytes * 8)
+        store[span.start:span.end] = np.frombuffer(
+            raw.to_bytes(span.nbytes, "little"), dtype=np.uint8
+        )
+
+    # ------------------------------------------------------------------
+    # Element-level convenience (tests and host code)
+    # ------------------------------------------------------------------
+    def element_read(self, handle: ArrayHandle, index: int) -> int:
+        raw = self.span_read(handle.span(index))
+        if handle.dtype.signed:
+            return to_signed(raw, handle.dtype.width_bits)
+        return raw
+
+    def element_write(self, handle: ArrayHandle, index: int,
+                      value: int) -> None:
+        self.span_write(handle.span(index), value)
+
+    # ------------------------------------------------------------------
+    def _store(self, handle: ArrayHandle) -> np.ndarray:
+        return self._store_by_name(handle.name)
+
+    def _store_by_name(self, name: str) -> np.ndarray:
+        try:
+            return self._arrays[name][1]
+        except KeyError:
+            raise MemoryAccessError(f"array {name!r} not allocated") from None
+
+    def _check(self, span: MemSpan) -> np.ndarray:
+        store = self._store_by_name(span.array)
+        if span.start < 0 or span.end > store.shape[0] or span.nbytes <= 0:
+            raise MemoryAccessError(f"{span} out of bounds")
+        return store

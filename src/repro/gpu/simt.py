@@ -1,0 +1,660 @@
+"""Interleaving SIMT interpreter.
+
+Kernels are Python *generator functions*: every memory operation is
+``yield``-ed as an :class:`Op`, the executor performs it against
+:class:`~repro.gpu.memory.GlobalMemory`, and the result is sent back
+into the generator.  A pluggable :class:`~repro.gpu.interleave.Scheduler`
+decides which thread advances next, one memory *micro-operation* at a
+time, so every interleaving a real GPU could exhibit (and a few nastier
+ones) is reachable:
+
+* A non-atomic access wider than the native 32-bit word is decomposed
+  into word-size micro-operations — other threads can run in between,
+  producing genuine word tearing (Fig. 1).
+* Plain loads are subject to a *compiler register-caching model*: once a
+  thread has loaded a location plainly, later plain loads of the same
+  location return the registered value without touching memory — the
+  optimization that turns Fig. 1's thread T4 into an infinite loop.
+  Volatile and atomic accesses always reach memory.
+* Atomic operations execute as single indivisible transactions.
+
+Every micro-operation is recorded as an :class:`AccessEvent`; the race
+detector and cache simulator consume that stream.
+
+Example kernel::
+
+    def copy_kernel(ctx, src, dst):
+        i = ctx.tid
+        if i < src.length:
+            val = yield ctx.load(src, i, AccessKind.PLAIN)
+            yield ctx.store(dst, i, val, AccessKind.PLAIN)
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import DeadlockError, KernelError, MemoryAccessError
+from repro.gpu.accesses import AccessKind, DType, MemoryOrder, MemSpan, RMWOp
+from repro.gpu.interleave import RoundRobinScheduler, Scheduler
+from repro.gpu.memory import (
+    ArrayHandle,
+    GlobalMemory,
+    split_native_words,
+)
+from repro.utils.bitops import to_signed, to_unsigned
+
+MAX_ATOMIC_BYTES = 8
+"""CUDA atomics support at most 64-bit operands."""
+
+
+class OpKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    RMW = "rmw"
+    BARRIER = "barrier"
+    FENCE = "fence"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operation yielded by a kernel."""
+
+    kind: OpKind
+    span: MemSpan | None = None
+    access: AccessKind = AccessKind.PLAIN
+    order: MemoryOrder = MemoryOrder.RELAXED
+    value: int | None = None          # store value / rmw operand
+    rmw: RMWOp | None = None
+    expected: int | None = None       # CAS expected value
+    signed: bool = False              # sign-extend load results
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One micro-operation against global memory."""
+
+    step: int
+    launch: int
+    tid: int
+    block: int
+    epoch: int
+    span: MemSpan
+    is_read: bool
+    is_write: bool
+    access: AccessKind
+    value: int
+
+
+@dataclass
+class LaunchStats:
+    """Operation counters for one kernel launch."""
+
+    loads: dict[AccessKind, int] = field(
+        default_factory=lambda: {k: 0 for k in AccessKind})
+    stores: dict[AccessKind, int] = field(
+        default_factory=lambda: {k: 0 for k in AccessKind})
+    rmws: int = 0
+    register_hits: int = 0
+    barriers: int = 0
+    steps: int = 0
+
+
+class ThreadCtx:
+    """Per-thread handle passed to kernels: ids plus op constructors."""
+
+    __slots__ = ("tid", "block", "lane", "num_threads", "block_dim",
+                 "_shared")
+
+    def __init__(self, tid: int, block: int, lane: int,
+                 num_threads: int, block_dim: int,
+                 shared: dict[str, "ArrayHandle"] | None = None) -> None:
+        self.tid = tid
+        self.block = block
+        self.lane = lane
+        self.num_threads = num_threads
+        self.block_dim = block_dim
+        self._shared = shared or {}
+
+    def shared(self, name: str) -> "ArrayHandle":
+        """This block's instance of the named ``__shared__`` array."""
+        try:
+            return self._shared[name]
+        except KeyError:
+            raise KernelError(
+                f"no shared array {name!r} declared at launch; known: "
+                f"{sorted(self._shared)}"
+            ) from None
+
+    # -- element accesses ---------------------------------------------
+    def load(self, handle: ArrayHandle, index: int,
+             kind: AccessKind = AccessKind.PLAIN,
+             order: MemoryOrder = MemoryOrder.RELAXED) -> Op:
+        return Op(OpKind.LOAD, handle.span(index), kind, order,
+                  signed=handle.dtype.signed)
+
+    def store(self, handle: ArrayHandle, index: int, value: int,
+              kind: AccessKind = AccessKind.PLAIN,
+              order: MemoryOrder = MemoryOrder.RELAXED) -> Op:
+        return Op(OpKind.STORE, handle.span(index), kind, order, value=value)
+
+    # -- raw span accesses (typecasting tricks) ------------------------
+    def load_span(self, span: MemSpan,
+                  kind: AccessKind = AccessKind.PLAIN,
+                  signed: bool = False,
+                  order: MemoryOrder = MemoryOrder.RELAXED) -> Op:
+        return Op(OpKind.LOAD, span, kind, order, signed=signed)
+
+    def store_span(self, span: MemSpan, value: int,
+                   kind: AccessKind = AccessKind.PLAIN,
+                   order: MemoryOrder = MemoryOrder.RELAXED) -> Op:
+        return Op(OpKind.STORE, span, kind, order, value=value)
+
+    # -- read-modify-write atomics -------------------------------------
+    def atomic_rmw(self, handle: ArrayHandle, index: int, op: RMWOp,
+                   value: int, expected: int | None = None) -> Op:
+        return Op(OpKind.RMW, handle.span(index), AccessKind.ATOMIC,
+                  MemoryOrder.RELAXED, value=value, rmw=op,
+                  expected=expected, signed=handle.dtype.signed)
+
+    def atomic_rmw_span(self, span: MemSpan, op: RMWOp, value: int,
+                        expected: int | None = None,
+                        signed: bool = False) -> Op:
+        return Op(OpKind.RMW, span, AccessKind.ATOMIC, MemoryOrder.RELAXED,
+                  value=value, rmw=op, expected=expected, signed=signed)
+
+    def atomic_cas(self, handle: ArrayHandle, index: int,
+                   expected: int, desired: int) -> Op:
+        return self.atomic_rmw(handle, index, RMWOp.CAS, desired,
+                               expected=expected)
+
+    # -- synchronization -----------------------------------------------
+    def barrier(self) -> Op:
+        """Block-level ``__syncthreads()``."""
+        return Op(OpKind.BARRIER)
+
+    def fence(self, order: MemoryOrder = MemoryOrder.SEQ_CST) -> Op:
+        """``__threadfence()`` — also discards register-cached values."""
+        return Op(OpKind.FENCE, order=order)
+
+
+# ----------------------------------------------------------------------
+# Micro-operations
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Micro:
+    span: MemSpan
+    is_read: bool
+    is_write: bool
+    access: AccessKind
+    # STORE: the piece's value; RMW: handled via fn
+    value: int = 0
+    rmw: RMWOp | None = None
+    operand: int = 0
+    expected: int | None = None
+
+
+@dataclass
+class _Thread:
+    tid: int
+    block: int
+    gen: Iterator
+    started: bool = False
+    done: bool = False
+    at_barrier: bool = False
+    micro: deque = field(default_factory=deque)
+    current_op: Op | None = None
+    pieces: list[int] = field(default_factory=list)  # loaded piece values
+    send_value: Any = None
+    reg_cache: dict[MemSpan, int] = field(default_factory=dict)
+    #: weak-memory mode: issued but not yet globally visible stores
+    store_buffer: list[tuple[MemSpan, int]] = field(default_factory=list)
+
+
+def _apply_rmw(op: RMWOp, old: int, operand: int, expected: int | None,
+               nbytes: int, signed: bool) -> int:
+    """Compute the new raw (unsigned) value of an atomic RMW."""
+    bits = nbytes * 8
+    if signed:
+        old_v = to_signed(old, bits)
+        operand_v = to_signed(to_unsigned(operand, bits), bits)
+    else:
+        old_v = old
+        operand_v = to_unsigned(operand, bits)
+    if op is RMWOp.ADD:
+        new = old_v + operand_v
+    elif op is RMWOp.AND:
+        new = old & to_unsigned(operand, bits)
+        return to_unsigned(new, bits)
+    elif op is RMWOp.OR:
+        new = old | to_unsigned(operand, bits)
+        return to_unsigned(new, bits)
+    elif op is RMWOp.XOR:
+        new = old ^ to_unsigned(operand, bits)
+        return to_unsigned(new, bits)
+    elif op is RMWOp.MIN:
+        new = min(old_v, operand_v)
+    elif op is RMWOp.MAX:
+        new = max(old_v, operand_v)
+    elif op is RMWOp.EXCH:
+        new = operand_v
+    elif op is RMWOp.CAS:
+        if expected is None:
+            raise KernelError("CAS requires an expected value")
+        exp = to_unsigned(expected, bits)
+        new = operand_v if old == exp else old_v
+    else:  # pragma: no cover - enum is closed
+        raise KernelError(f"unknown RMW op {op}")
+    return to_unsigned(new, bits)
+
+
+class SimtExecutor:
+    """Executes kernel launches against a :class:`GlobalMemory`.
+
+    Parameters
+    ----------
+    memory:
+        The global memory all launches share.
+    scheduler:
+        Interleaving policy; defaults to round-robin.
+    register_cache_plain:
+        Model the compiler register-caching plain loads (on by default —
+        this is what an optimizing compiler is *allowed* to do, which is
+        the paper's core correctness argument).
+    record_events:
+        Keep the full :class:`AccessEvent` stream (needed by the race
+        detector and the cache simulator; costs memory).
+    max_steps:
+        Abort a launch with :class:`DeadlockError` after this many
+        micro-steps — catches the infinite polling loops that register
+        caching induces in racy code.
+    """
+
+    def __init__(
+        self,
+        memory: GlobalMemory,
+        scheduler: Scheduler | None = None,
+        register_cache_plain: bool = True,
+        record_events: bool = True,
+        max_steps: int = 2_000_000,
+        warp_lockstep: bool = False,
+        warp_size: int = 32,
+        weak_memory: bool = False,
+        store_buffer_capacity: int = 8,
+    ) -> None:
+        self.memory = memory
+        self.scheduler = scheduler or RoundRobinScheduler()
+        self.register_cache_plain = register_cache_plain
+        self.record_events = record_events
+        self.max_steps = max_steps
+        if warp_size <= 0:
+            raise KernelError(f"warp_size must be positive, got {warp_size}")
+        self.warp_lockstep = warp_lockstep
+        self.warp_size = warp_size
+        if store_buffer_capacity <= 0:
+            raise KernelError(
+                f"store_buffer_capacity must be positive, got "
+                f"{store_buffer_capacity}"
+            )
+        #: model per-thread store buffers with *out-of-order* drain:
+        #: non-atomic stores become globally visible late and in an
+        #: address-sorted (not program) order — the relaxed GPU memory
+        #: model that makes unsynchronized message passing fail.
+        #: Atomics, fences, barriers, and thread exit drain the buffer.
+        self.weak_memory = weak_memory
+        self.store_buffer_capacity = store_buffer_capacity
+        self.events: list[AccessEvent] = []
+        self.launch_count = 0
+
+    # ------------------------------------------------------------------
+    def launch(self, kernel: Callable, num_threads: int, *args,
+               block_dim: int = 32,
+               shared: dict[str, tuple[int, DType]] | None = None,
+               ) -> LaunchStats:
+        """Run one kernel launch to completion and return its stats.
+
+        ``kernel`` is called as ``kernel(ctx, *args)`` for every thread;
+        it must be a generator function (or return None for a no-op
+        thread, e.g. when guarded by ``if ctx.tid >= n: return``).
+
+        ``shared`` declares block-shared scratchpads (``__shared__``
+        arrays): ``{name: (length, dtype)}``.  Each block gets its own
+        instance, reachable in the kernel via ``ctx.shared(name)``; the
+        instances are freed when the launch completes.  ECL-APSP's
+        tiled Floyd-Warshall is the suite's heavy user of this memory.
+        """
+        if num_threads <= 0:
+            raise KernelError(f"num_threads must be positive, got {num_threads}")
+        if block_dim <= 0:
+            raise KernelError(f"block_dim must be positive, got {block_dim}")
+        launch_id = self.launch_count
+        self.launch_count += 1
+        self.scheduler.reset()
+
+        n_blocks = (num_threads + block_dim - 1) // block_dim
+        shared_handles: dict[int, dict[str, ArrayHandle]] = {}
+        if shared:
+            for block in range(n_blocks):
+                shared_handles[block] = {
+                    name: self.memory.alloc(
+                        f"__shared__{launch_id}_{block}_{name}",
+                        length, dtype)
+                    for name, (length, dtype) in shared.items()
+                }
+
+        threads: list[_Thread] = []
+        for tid in range(num_threads):
+            block = tid // block_dim
+            ctx = ThreadCtx(tid, block, tid % block_dim, num_threads,
+                            block_dim,
+                            shared=shared_handles.get(block))
+            gen = kernel(ctx, *args)
+            if gen is None:
+                gen = iter(())
+            threads.append(_Thread(tid=tid, block=block, gen=gen))
+
+        epochs: dict[int, int] = {t.block: 0 for t in threads}
+        stats = LaunchStats()
+
+        # prime every generator to its first op
+        for t in threads:
+            self._advance(t, stats, threads, epochs)
+
+        while True:
+            runnable = [t.tid for t in threads if not t.done and not t.at_barrier]
+            if not runnable:
+                waiting = [t.tid for t in threads if t.at_barrier]
+                if waiting:
+                    raise DeadlockError(
+                        f"barrier divergence: threads {waiting} wait at a "
+                        "barrier no peer will reach"
+                    )
+                break  # all done
+            stats.steps += 1
+            if stats.steps > self.max_steps:
+                raise DeadlockError(
+                    f"launch exceeded {self.max_steps} micro-steps; "
+                    "likely an infinite polling loop on a stale "
+                    "register-cached value"
+                )
+            if self.warp_lockstep:
+                # pre-Volta semantics: the scheduler picks a warp and
+                # every runnable lane advances one micro-op in lane order
+                warps = sorted({tid // self.warp_size for tid in runnable})
+                wid = self.scheduler.choose(warps)
+                lanes = [tid for tid in runnable
+                         if tid // self.warp_size == wid]
+                for tid in lanes:
+                    thread = threads[tid]
+                    if thread.done or thread.at_barrier:
+                        continue  # state may change mid-warp (barriers)
+                    self._step(thread, threads, epochs, stats, launch_id)
+            else:
+                tid = self.scheduler.choose(runnable)
+                thread = threads[tid]
+                self._step(thread, threads, epochs, stats, launch_id)
+
+        for block_map in shared_handles.values():
+            for handle in block_map.values():
+                self.memory.free(handle.name)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _step(self, thread: _Thread, threads: list[_Thread],
+              epochs: dict[int, int], stats: LaunchStats,
+              launch_id: int) -> None:
+        """Execute one micro-operation of ``thread``."""
+        if not thread.micro:
+            # just released from a barrier: resume the generator
+            self._advance(thread, stats, threads, epochs)
+            return
+        micro: _Micro = thread.micro.popleft()
+        span = micro.span
+        if self.weak_memory:
+            if micro.access is AccessKind.ATOMIC or micro.rmw is not None:
+                self._drain_buffer(thread)  # atomics synchronize
+            elif micro.is_read:
+                # store-to-load forwarding, simplified: make own pending
+                # stores visible before reading over them
+                if any(s.overlaps(span) for s, _ in thread.store_buffer):
+                    self._drain_buffer(thread)
+        if micro.rmw is not None:
+            old = self.memory.span_read(span)
+            # micro.value carries the op's signedness flag for RMW
+            new = _apply_rmw(micro.rmw, old, micro.operand, micro.expected,
+                             span.nbytes, signed=bool(micro.value))
+            self.memory.span_write(span, new)
+            thread.pieces.append(old)
+            stats.rmws += 1
+            self._record(stats, launch_id, thread, epochs, span,
+                         True, True, AccessKind.ATOMIC, old)
+        elif micro.is_write:
+            if self.weak_memory and micro.access is not AccessKind.ATOMIC:
+                thread.store_buffer.append((span, micro.value))
+                if len(thread.store_buffer) > self.store_buffer_capacity:
+                    self._drain_one(thread)
+            else:
+                self.memory.span_write(span, micro.value)
+            self._invalidate_overlapping(thread, span)
+            which = stats.stores
+            which[micro.access] = which[micro.access] + 1
+            self._record(stats, launch_id, thread, epochs, span,
+                         False, True, micro.access, micro.value)
+        else:
+            value = self.memory.span_read(span)
+            thread.pieces.append(value)
+            which = stats.loads
+            which[micro.access] = which[micro.access] + 1
+            self._record(stats, launch_id, thread, epochs, span,
+                         True, False, micro.access, value)
+
+        if not thread.micro:
+            self._complete_op(thread, stats)
+            self._advance(thread, stats, threads, epochs)
+
+    def _record(self, stats: LaunchStats, launch_id: int, thread: _Thread,
+                epochs: dict[int, int], span: MemSpan, is_read: bool,
+                is_write: bool, access: AccessKind, value: int) -> None:
+        if self.record_events:
+            self.events.append(AccessEvent(
+                step=stats.steps, launch=launch_id, tid=thread.tid,
+                block=thread.block, epoch=epochs[thread.block], span=span,
+                is_read=is_read, is_write=is_write, access=access,
+                value=value,
+            ))
+
+    def _complete_op(self, thread: _Thread, stats: LaunchStats) -> None:
+        """All micro-ops of the current op are done: build its result."""
+        op = thread.current_op
+        if op is None:
+            return
+        if op.kind is OpKind.LOAD:
+            value = 0
+            shift = 0
+            # pieces were queued (and therefore loaded) low-to-high
+            for piece_span, piece in zip(self._pieces_of(op), thread.pieces):
+                value |= piece << shift
+                shift += piece_span.nbytes * 8
+            if op.signed:
+                value = to_signed(value, op.span.nbytes * 8)
+            thread.send_value = value
+            if (self.register_cache_plain
+                    and op.access is AccessKind.PLAIN):
+                thread.reg_cache[op.span] = value
+        elif op.kind is OpKind.RMW:
+            old = thread.pieces[0]
+            if op.signed:
+                old = to_signed(old, op.span.nbytes * 8)
+            thread.send_value = old
+        else:
+            thread.send_value = None
+        thread.pieces = []
+        thread.current_op = None
+
+    def _pieces_of(self, op: Op) -> list[MemSpan]:
+        if op.access is AccessKind.ATOMIC or op.kind is OpKind.RMW:
+            return [op.span]
+        return split_native_words(op.span)
+
+    #: register-hit ops one thread may satisfy without reaching memory
+    #: before we declare it stuck in a stale-value polling loop
+    MAX_FREE_OPS = 65_536
+
+    def _advance(self, thread: _Thread, stats: LaunchStats,
+                 threads: list[_Thread] | None = None,
+                 epochs: dict[int, int] | None = None) -> None:
+        """Run the generator until it yields the next op (or finishes),
+        translating the op into micro-operations.  Pure compute between
+        memory operations is free."""
+        free_ops = 0
+        while True:
+            free_ops += 1
+            if free_ops > self.MAX_FREE_OPS:
+                raise DeadlockError(
+                    f"thread {thread.tid} satisfied {self.MAX_FREE_OPS} "
+                    "consecutive operations from registers without touching "
+                    "memory — an infinite polling loop on a stale "
+                    "register-cached value (Fig. 1's thread T4)"
+                )
+            try:
+                if not thread.started:
+                    thread.started = True
+                    op = next(thread.gen)
+                else:
+                    op = thread.gen.send(thread.send_value)
+            except StopIteration:
+                thread.done = True
+                if self.weak_memory:
+                    self._drain_buffer(thread)  # exit makes stores visible
+                return
+            thread.send_value = None
+            if not isinstance(op, Op):
+                raise KernelError(
+                    f"kernel thread {thread.tid} yielded {op!r}; kernels "
+                    "must yield Op objects built via ThreadCtx"
+                )
+            if op.kind is OpKind.FENCE:
+                thread.reg_cache.clear()
+                if self.weak_memory:
+                    self._drain_buffer(thread)
+                continue  # free
+            if op.kind is OpKind.BARRIER:
+                if self.weak_memory:
+                    self._drain_buffer(thread)
+                if threads is None or epochs is None:
+                    raise KernelError("barrier before first micro-step")
+                thread.at_barrier = True
+                stats.barriers += 1
+                self._maybe_release_barrier(thread.block, threads, epochs)
+                return
+            self._translate(thread, op, stats)
+            if thread.micro:
+                thread.current_op = op
+                return
+            # op satisfied without memory traffic (register hit): loop on
+
+    def _translate(self, thread: _Thread, op: Op, stats: LaunchStats) -> None:
+        """Turn an Op into queued micro-operations."""
+        span = op.span
+        if span is None:
+            raise KernelError(f"{op.kind} op requires a span")
+        if op.kind is OpKind.LOAD:
+            if op.access is AccessKind.ATOMIC:
+                self._check_atomic_span(span)
+                thread.micro.append(_Micro(span, True, False, op.access))
+            else:
+                if (self.register_cache_plain
+                        and op.access is AccessKind.PLAIN
+                        and span in thread.reg_cache):
+                    stats.register_hits += 1
+                    thread.send_value = thread.reg_cache[span]
+                    return
+                for piece in split_native_words(span):
+                    thread.micro.append(
+                        _Micro(piece, True, False, op.access))
+        elif op.kind is OpKind.STORE:
+            raw = to_unsigned(op.value, span.nbytes * 8)
+            if op.access is AccessKind.ATOMIC:
+                self._check_atomic_span(span)
+                thread.micro.append(
+                    _Micro(span, False, True, op.access, value=raw))
+            else:
+                shift = 0
+                for piece in split_native_words(span):
+                    piece_raw = (raw >> shift) & ((1 << (piece.nbytes * 8)) - 1)
+                    thread.micro.append(
+                        _Micro(piece, False, True, op.access,
+                               value=piece_raw))
+                    shift += piece.nbytes * 8
+        elif op.kind is OpKind.RMW:
+            self._check_atomic_span(span)
+            thread.reg_cache.clear()  # atomics synchronize the thread
+            thread.micro.append(_Micro(
+                span, True, True, AccessKind.ATOMIC, value=int(op.signed),
+                rmw=op.rmw, operand=op.value or 0, expected=op.expected))
+        else:  # pragma: no cover - closed enum
+            raise KernelError(f"unhandled op kind {op.kind}")
+
+    @staticmethod
+    def _check_atomic_span(span: MemSpan) -> None:
+        if span.nbytes not in (4, 8):
+            raise KernelError(
+                f"atomic access of {span.nbytes} bytes unsupported: CUDA "
+                "atomics require 32- or 64-bit operands (use the "
+                "typecast-and-mask helpers for small types)"
+            )
+        if span.start % span.nbytes != 0:
+            raise MemoryAccessError(f"misaligned atomic access at {span}")
+
+    def _drain_buffer(self, thread: _Thread) -> None:
+        """Make all of a thread's buffered stores globally visible."""
+        while thread.store_buffer:
+            self._drain_one(thread)
+
+    def _drain_one(self, thread: _Thread) -> None:
+        """Drain one buffered store — deliberately *out of program
+        order* (lowest address first), modelling a relaxed GPU memory
+        system rather than TSO."""
+        idx = min(range(len(thread.store_buffer)),
+                  key=lambda i: (thread.store_buffer[i][0].array,
+                                 thread.store_buffer[i][0].start))
+        span, value = thread.store_buffer.pop(idx)
+        self.memory.span_write(span, value)
+
+    def _invalidate_overlapping(self, thread: _Thread, span: MemSpan) -> None:
+        stale = [s for s in thread.reg_cache if s.overlaps(span)]
+        for s in stale:
+            del thread.reg_cache[s]
+
+    def _maybe_release_barrier(self, block: int, threads: list[_Thread],
+                               epochs: dict[int, int]) -> None:
+        members = [t for t in threads if t.block == block]
+        live = [t for t in members if not t.done]
+        if live and all(t.at_barrier for t in live):
+            if any(t.done for t in members):
+                raise DeadlockError(
+                    f"barrier divergence in block {block}: some threads "
+                    "already exited"
+                )
+            epochs[block] += 1
+            for t in live:
+                t.at_barrier = False
+                t.reg_cache.clear()  # barrier implies visibility
+
+
+@dataclass
+class KernelLaunch:
+    """A recorded launch: kernel + config, for replay under many schedules."""
+
+    kernel: Callable
+    num_threads: int
+    args: tuple
+    block_dim: int = 32
+
+    def run(self, executor: SimtExecutor) -> LaunchStats:
+        return executor.launch(self.kernel, self.num_threads, *self.args,
+                               block_dim=self.block_dim)

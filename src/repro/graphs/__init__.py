@@ -1,0 +1,27 @@
+"""Graph substrate: CSR storage, generators, I/O, and the paper's input suite.
+
+All ECL codes operate on graphs in compressed-sparse-row (CSR) format
+[48]; this package provides that representation plus synthetic
+generators standing in for the paper's inputs (Tables II and III).
+"""
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.properties import GraphProperties, compute_properties
+from repro.graphs import generators
+from repro.graphs.suite import (
+    DIRECTED_SUITE,
+    UNDIRECTED_SUITE,
+    load_suite_graph,
+    suite_names,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GraphProperties",
+    "compute_properties",
+    "generators",
+    "UNDIRECTED_SUITE",
+    "DIRECTED_SUITE",
+    "load_suite_graph",
+    "suite_names",
+]

@@ -1,0 +1,122 @@
+"""Graph serialization.
+
+Two formats are supported:
+
+* A binary format modelled on the ECL ``.egr`` layout the paper's suite
+  uses (header + CSR arrays), extended with a flags word for direction
+  and weights.
+* A human-readable edge-list text format for small fixtures.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.csr import CSRGraph
+
+_MAGIC = b"ECLR"
+_VERSION = 1
+_FLAG_DIRECTED = 1
+_FLAG_WEIGHTED = 2
+
+
+def write_binary(graph: CSRGraph, path: str | Path) -> None:
+    """Write ``graph`` in the binary CSR format."""
+    path = Path(path)
+    flags = 0
+    if graph.directed:
+        flags |= _FLAG_DIRECTED
+    if graph.has_weights:
+        flags |= _FLAG_WEIGHTED
+    with open(path, "wb") as f:
+        f.write(_MAGIC)
+        f.write(struct.pack("<IIQQ", _VERSION, flags,
+                            graph.num_vertices, graph.num_edges))
+        f.write(graph.row_offsets.astype("<i8").tobytes())
+        f.write(graph.col_indices.astype("<i4").tobytes())
+        if graph.weights is not None:
+            f.write(graph.weights.astype("<i8").tobytes())
+
+
+def read_binary(path: str | Path) -> CSRGraph:
+    """Read a graph written by :func:`write_binary`."""
+    path = Path(path)
+    with open(path, "rb") as f:
+        magic = f.read(4)
+        if magic != _MAGIC:
+            raise GraphFormatError(f"{path}: bad magic {magic!r}")
+        header = f.read(struct.calcsize("<IIQQ"))
+        version, flags, n, m = struct.unpack("<IIQQ", header)
+        if version != _VERSION:
+            raise GraphFormatError(f"{path}: unsupported version {version}")
+        def read_array(count: int, itemsize: int, dtype: str,
+                       label: str) -> np.ndarray:
+            raw = f.read(count * itemsize)
+            if len(raw) != count * itemsize:
+                raise GraphFormatError(f"{path}: truncated {label}")
+            return np.frombuffer(raw, dtype=dtype)
+
+        offsets = read_array(n + 1, 8, "<i8", "offsets")
+        indices = read_array(m, 4, "<i4", "indices")
+        weights = None
+        if flags & _FLAG_WEIGHTED:
+            weights = read_array(m, 8, "<i8", "weights")
+    return CSRGraph(offsets.copy(), indices.copy(),
+                    directed=bool(flags & _FLAG_DIRECTED),
+                    weights=None if weights is None else weights.copy(),
+                    name=path.stem)
+
+
+def write_edgelist(graph: CSRGraph, path: str | Path) -> None:
+    """Write a text edge list: header line, then ``u v [w]`` per edge."""
+    path = Path(path)
+    with open(path, "w") as f:
+        f.write(f"# vertices {graph.num_vertices} "
+                f"directed {int(graph.directed)} "
+                f"weighted {int(graph.has_weights)}\n")
+        src, dst = graph.edge_array()
+        if graph.has_weights:
+            for u, v, w in zip(src.tolist(), dst.tolist(),
+                               graph.weights.tolist()):
+                f.write(f"{u} {v} {w}\n")
+        else:
+            for u, v in zip(src.tolist(), dst.tolist()):
+                f.write(f"{u} {v}\n")
+
+
+def read_edgelist(path: str | Path) -> CSRGraph:
+    """Read a text edge list written by :func:`write_edgelist`."""
+    path = Path(path)
+    with open(path) as f:
+        header = f.readline().split()
+        if (len(header) != 7 or header[0] != "#" or header[1] != "vertices"
+                or header[3] != "directed" or header[5] != "weighted"):
+            raise GraphFormatError(f"{path}: bad header line")
+        n = int(header[2])
+        directed = bool(int(header[4]))
+        weighted = bool(int(header[6]))
+        edges: list[tuple[int, int]] = []
+        weights: list[int] = []
+        for lineno, line in enumerate(f, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            expected = 3 if weighted else 2
+            if len(parts) != expected:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected {expected} fields, "
+                    f"got {len(parts)}"
+                )
+            edges.append((int(parts[0]), int(parts[1])))
+            if weighted:
+                weights.append(int(parts[2]))
+    return CSRGraph.from_edges(
+        n, np.array(edges, dtype=np.int64).reshape(-1, 2),
+        directed=directed,
+        weights=np.array(weights, dtype=np.int64) if weighted else None,
+        name=path.stem, dedupe=False,
+    )

@@ -1,0 +1,42 @@
+"""Graph property extraction for Tables II, III, and IX.
+
+Table IX correlates the race-free speedup with the edge count, vertex
+count, and average degree of the input graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class GraphProperties:
+    """The per-input columns of Tables II and III."""
+
+    name: str
+    num_edges: int
+    num_vertices: int
+    kind: str
+    d_avg: float
+    d_max: int
+
+    def as_row(self) -> tuple[str, int, int, str, float, int]:
+        """The row layout of Table II/III."""
+        return (self.name, self.num_edges, self.num_vertices, self.kind,
+                self.d_avg, self.d_max)
+
+
+def compute_properties(graph: CSRGraph, kind: str = "") -> GraphProperties:
+    """Compute Table II/III-style properties of ``graph``."""
+    degrees = graph.degrees()
+    n = graph.num_vertices
+    return GraphProperties(
+        name=graph.name,
+        num_edges=graph.num_edges,
+        num_vertices=n,
+        kind=kind,
+        d_avg=float(graph.num_edges) / n if n else 0.0,
+        d_max=int(degrees.max()) if n else 0,
+    )

@@ -1,0 +1,22 @@
+"""Parallel code-pattern microbenchmarks (the Indigo lineage).
+
+The paper's group maintains the Indigo/Indigo3 suites of small parallel
+code patterns with and without data races, used to evaluate verification
+tools (Section III).  This package provides the same kind of corpus for
+the simulated GPU: each :class:`~repro.patterns.library.Pattern` pairs a
+racy kernel with its race-free fix, plus two deliberately *race-free*
+patterns that naive detectors misflag (byte neighbors, kernel-boundary
+ordering — the false-positive sources Section IV attributes to the real
+tools).
+"""
+
+from repro.patterns.library import (
+    PATTERNS,
+    Pattern,
+    PatternOutcome,
+    get_pattern,
+    run_pattern,
+)
+
+__all__ = ["PATTERNS", "Pattern", "PatternOutcome", "get_pattern",
+           "run_pattern"]

@@ -1,0 +1,321 @@
+"""The pattern corpus: racy idioms and their race-free fixes.
+
+Each pattern provides both variants as SIMT kernels plus a result
+check.  ``expected_racy`` records whether the *buggy* variant actually
+contains a data race: two patterns are intentionally race-free despite
+looking suspicious — they exist to catch detector false positives
+(Section IV: "iGuard seems to ignore the implicit barrier between
+kernel launches, causing false positive reports").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.variants import Variant
+from repro.errors import DeadlockError, ReproError
+from repro.gpu.accesses import AccessKind, DType, RMWOp
+from repro.gpu.atomics import atomic_add, atomic_read, atomic_write
+from repro.gpu.interleave import AdversarialScheduler
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.racecheck import RaceDetector
+from repro.gpu.simt import SimtExecutor
+
+
+class PatternOutcome(enum.Enum):
+    """What running one pattern variant produced."""
+
+    CORRECT = "correct"          # result check passed
+    WRONG_RESULT = "wrong"       # completed with a bad result
+    LIVELOCK = "livelock"        # never terminated (stale polling)
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One microbenchmark: a racy idiom and its fix.
+
+    ``build(variant)`` returns ``(kernel, num_threads, setup, check)``
+    where ``setup(mem)`` allocates and returns the kernel arguments and
+    ``check(mem, handles)`` returns True iff the result is correct.
+    """
+
+    name: str
+    description: str
+    expected_racy: bool  # does the BASELINE variant contain a race?
+    build: Callable
+
+
+def _pattern(name, description, expected_racy=True):
+    def register(fn):
+        PATTERNS[name] = Pattern(name, description, expected_racy, fn)
+        return fn
+    return register
+
+
+PATTERNS: dict[str, Pattern] = {}
+
+N_THREADS = 16
+
+
+# ----------------------------------------------------------------------
+@_pattern("lost_update",
+          "plain read-modify-write increments lose updates; atomicAdd "
+          "does not")
+def _lost_update(variant: Variant):
+    def setup(mem):
+        return (mem.alloc("ctr", 1, DType.I32),)
+
+    if variant is Variant.BASELINE:
+        def kernel(ctx, ctr):
+            v = yield ctx.load(ctr, 0, AccessKind.VOLATILE)
+            yield ctx.store(ctr, 0, v + 1, AccessKind.VOLATILE)
+    else:
+        def kernel(ctx, ctr):
+            yield from atomic_add(ctx, ctr, 0, 1)
+
+    def check(mem, handles):
+        return mem.element_read(handles[0], 0) == N_THREADS
+
+    return kernel, N_THREADS, setup, check
+
+
+# ----------------------------------------------------------------------
+@_pattern("flag_spin",
+          "polling a plain flag register-caches the first read and "
+          "spins forever (Fig. 1's T4); an atomic poll terminates")
+def _flag_spin(variant: Variant):
+    def setup(mem):
+        return (mem.alloc("flag", 1, DType.I32),)
+
+    if variant is Variant.BASELINE:
+        def kernel(ctx, flag):
+            if ctx.tid == 0:
+                yield ctx.store(flag, 0, 1, AccessKind.PLAIN)
+            else:
+                while True:
+                    v = yield ctx.load(flag, 0, AccessKind.PLAIN)
+                    if v:
+                        return
+    else:
+        def kernel(ctx, flag):
+            if ctx.tid == 0:
+                yield from atomic_write(ctx, flag, 0, 1)
+            else:
+                while True:
+                    v = yield from atomic_read(ctx, flag, 0)
+                    if v:
+                        return
+
+    def check(mem, handles):
+        return mem.element_read(handles[0], 0) == 1
+
+    return kernel, 2, setup, check
+
+
+# ----------------------------------------------------------------------
+@_pattern("torn_wide_write",
+          "a plain 64-bit store tears into two words; a reader can see "
+          "a chimera (Fig. 1's T1/T2)")
+def _torn_wide_write(variant: Variant):
+    def setup(mem):
+        wide = mem.alloc("wide", 1, DType.I64, fill=-1)
+        seen = mem.alloc("seen", 1, DType.I64)
+        return wide, seen
+
+    if variant is Variant.BASELINE:
+        def kernel(ctx, wide, seen):
+            if ctx.tid == 0:
+                yield ctx.store(wide, 0, 0, AccessKind.PLAIN)
+            else:
+                v = yield ctx.load(wide, 0, AccessKind.PLAIN)
+                yield ctx.store(seen, 0, v, AccessKind.PLAIN)
+    else:
+        def kernel(ctx, wide, seen):
+            if ctx.tid == 0:
+                yield from atomic_write(ctx, wide, 0, 0)
+            else:
+                v = yield from atomic_read(ctx, wide, 0)
+                yield ctx.store(seen, 0, v, AccessKind.PLAIN)
+
+    def check(mem, handles):
+        return mem.element_read(handles[1], 0) in (-1, 0)
+
+    return kernel, 2, setup, check
+
+
+# ----------------------------------------------------------------------
+@_pattern("publish_payload",
+          "publishing a payload through a plain flag lets the flag "
+          "write overtake the data write; atomics keep the order")
+def _publish_payload(variant: Variant):
+    def setup(mem):
+        buf = mem.alloc("buf", 2, DType.I32)  # [0] = flag, [1] = data
+        got = mem.alloc("got", 1, DType.I32, fill=99)
+        return buf, got
+
+    if variant is Variant.BASELINE:
+        def kernel(ctx, buf, got):
+            if ctx.tid == 0:
+                yield ctx.store(buf, 1, 99, AccessKind.PLAIN)
+                yield ctx.store(buf, 0, 1, AccessKind.PLAIN)
+            else:
+                flag = yield ctx.load(buf, 0, AccessKind.VOLATILE)
+                if flag:
+                    v = yield ctx.load(buf, 1, AccessKind.VOLATILE)
+                    yield ctx.store(got, 0, v, AccessKind.PLAIN)
+    else:
+        def kernel(ctx, buf, got):
+            if ctx.tid == 0:
+                yield from atomic_write(ctx, buf, 1, 99)
+                yield from atomic_write(ctx, buf, 0, 1)
+            else:
+                flag = yield from atomic_read(ctx, buf, 0)
+                if flag:
+                    v = yield from atomic_read(ctx, buf, 1)
+                    yield ctx.store(got, 0, v, AccessKind.PLAIN)
+
+    def check(mem, handles):
+        return mem.element_read(handles[1], 0) == 99
+
+    return kernel, 2, setup, check
+
+
+# ----------------------------------------------------------------------
+@_pattern("byte_neighbors",
+          "threads write ADJACENT bytes of one word — looks racy at "
+          "word granularity but is race-free (distinct locations)",
+          expected_racy=False)
+def _byte_neighbors(variant: Variant):
+    del variant  # both variants identical: there is no race to remove
+
+    def setup(mem):
+        return (mem.alloc("bytes", 4, DType.U8),)
+
+    def kernel(ctx, arr):
+        yield ctx.store(arr, ctx.tid, ctx.tid + 1, AccessKind.PLAIN)
+
+    def check(mem, handles):
+        return np.array_equal(mem.download(handles[0]), [1, 2, 3, 4])
+
+    return kernel, 4, setup, check
+
+
+# ----------------------------------------------------------------------
+@_pattern("kernel_boundary",
+          "a write in one launch read by the next launch — ordered by "
+          "the implicit barrier between kernels (iGuard's false "
+          "positive), race-free",
+          expected_racy=False)
+def _kernel_boundary(variant: Variant):
+    del variant
+
+    def setup(mem):
+        return (mem.alloc("cell", 2, DType.I32),)
+
+    def kernel(ctx, cell):
+        # phase is communicated via cell[1] set by the host between
+        # launches; see run_pattern's two-launch driver
+        phase = yield ctx.load(cell, 1, AccessKind.PLAIN)
+        if phase == 0 and ctx.tid == 0:
+            yield ctx.store(cell, 0, 41, AccessKind.PLAIN)
+        elif phase == 1 and ctx.tid == 1:
+            v = yield ctx.load(cell, 0, AccessKind.PLAIN)
+            yield ctx.store(cell, 0, v + 1, AccessKind.PLAIN)
+
+    def check(mem, handles):
+        return mem.element_read(handles[0], 0) == 42
+
+    return kernel, 2, setup, check
+
+
+# ----------------------------------------------------------------------
+@_pattern("missing_barrier",
+          "a block reduction that forgets __syncthreads() races on the "
+          "shared partial sums; the fixed version synchronizes")
+def _missing_barrier(variant: Variant):
+    n = 8
+
+    def setup(mem):
+        vals = mem.alloc("vals", n, DType.I32)
+        mem.upload(vals, np.arange(1, n + 1))
+        out = mem.alloc("out", 1, DType.I32)
+        return vals, out
+
+    insert_barrier = variant is Variant.RACE_FREE
+
+    def kernel(ctx, vals, out):
+        # tree reduction in place: stride halving
+        stride = n // 2
+        while stride:
+            if ctx.tid < stride:
+                a = yield ctx.load(vals, ctx.tid, AccessKind.PLAIN)
+                b = yield ctx.load(vals, ctx.tid + stride,
+                                   AccessKind.PLAIN)
+                yield ctx.store(vals, ctx.tid, a + b, AccessKind.PLAIN)
+            if insert_barrier:
+                yield ctx.barrier()
+            stride //= 2
+        if ctx.tid == 0:
+            total = yield ctx.load(vals, 0, AccessKind.PLAIN)
+            yield ctx.store(out, 0, total, AccessKind.PLAIN)
+
+    def check(mem, handles):
+        return mem.element_read(handles[1], 0) == n * (n + 1) // 2
+
+    return kernel, n, setup, check
+
+
+# ----------------------------------------------------------------------
+
+@dataclass
+class PatternRun:
+    """Result of running one pattern variant under one schedule."""
+
+    pattern: str
+    variant: Variant
+    outcome: PatternOutcome
+    races: int
+
+
+def get_pattern(name: str) -> Pattern:
+    try:
+        return PATTERNS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown pattern {name!r}; known: {sorted(PATTERNS)}"
+        ) from None
+
+
+def run_pattern(name: str, variant: Variant, seed: int = 0,
+                max_steps: int = 300_000) -> PatternRun:
+    """Execute one pattern variant under an adversarial schedule and
+    race-check it."""
+    pattern = get_pattern(name)
+    kernel, n_threads, setup, check = pattern.build(variant)
+    mem = GlobalMemory()
+    handles = setup(mem)
+    ex = SimtExecutor(mem, scheduler=AdversarialScheduler(seed),
+                      max_steps=max_steps)
+    try:
+        if name == "kernel_boundary":
+            # two launches with a host-side phase flip in between
+            mem.element_write(handles[0], 1, 0)
+            ex.launch(kernel, n_threads, *handles,
+                      block_dim=max(1, n_threads))
+            mem.element_write(handles[0], 1, 1)
+            ex.launch(kernel, n_threads, *handles,
+                      block_dim=max(1, n_threads))
+        else:
+            ex.launch(kernel, n_threads, *handles,
+                      block_dim=max(1, n_threads))
+    except DeadlockError:
+        return PatternRun(name, variant, PatternOutcome.LIVELOCK,
+                          len(RaceDetector().check(ex)))
+    races = len(RaceDetector().check(ex))
+    outcome = (PatternOutcome.CORRECT if check(mem, handles)
+               else PatternOutcome.WRONG_RESULT)
+    return PatternRun(name, variant, outcome, races)

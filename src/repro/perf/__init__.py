@@ -1,0 +1,21 @@
+"""Performance-level execution engine.
+
+Runs the algorithms as vectorized rounds over numpy arrays while a
+:class:`~repro.perf.engine.Recorder` counts every shared-memory access
+by its site's access kind; the timing model then prices the counts for
+a device.  See DESIGN.md Section 2 for the two-level simulator split.
+"""
+
+from repro.perf.engine import PerfRun, Recorder, run_algorithm
+from repro.perf.profiler import RunProfile, compare_profiles, profile_run
+from repro.perf.visibility import DelayedView
+
+__all__ = [
+    "PerfRun",
+    "Recorder",
+    "run_algorithm",
+    "DelayedView",
+    "RunProfile",
+    "profile_run",
+    "compare_profiles",
+]

@@ -1,0 +1,216 @@
+"""The performance engine: recorded vectorized execution.
+
+Algorithms at the performance level are ordinary numpy code, but every
+access to *shared* data goes through a :class:`Recorder`, which
+
+* looks up the access kind of the named site under the active variant
+  (consulting the algorithm's :class:`~repro.core.transform.AccessPlan`
+  and the race-removal transform),
+* counts the access into the matching bucket of
+  :class:`~repro.gpu.timing.AccessStats`, and
+* for atomic streams, measures same-address contention (collisions
+  within the round's access vector — CC/MST's hot set representatives).
+
+``run_algorithm`` is the single entry point the study framework uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.transform import AccessPlan, plan_for, site_kind
+from repro.core.variants import Variant
+from repro.errors import StudyError
+from repro.gpu.accesses import AccessKind, MemoryOrder
+from repro.gpu.device import DeviceSpec
+from repro.gpu.timing import AccessStats, TimingModel
+
+
+@dataclass
+class PerfRun:
+    """Outcome of one performance-level run."""
+
+    algorithm: str
+    variant: Variant
+    device: DeviceSpec
+    output: dict[str, Any]
+    stats: AccessStats
+    runtime_ms: float
+    rounds: int
+
+
+class Recorder:
+    """Counts the shared-memory traffic of one run."""
+
+    def __init__(self, plan: AccessPlan, variant: Variant,
+                 device: DeviceSpec) -> None:
+        self.plan = plan
+        self.variant = variant
+        self.device = device
+        self.stats = AccessStats()
+        self._footprints: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def _count(self, indices: np.ndarray | None, count: float | None) -> float:
+        if count is not None:
+            return float(count)
+        if indices is None:
+            raise StudyError("pass either indices or count")
+        return float(np.asarray(indices).shape[0])
+
+    def _contention(self, indices: np.ndarray | None) -> float:
+        if indices is None:
+            return 0.0
+        idx = np.asarray(indices)
+        if idx.size == 0:
+            return 0.0
+        return float(idx.shape[0] - np.unique(idx).shape[0])
+
+    def _bucket(self, kind: AccessKind, n: float, store: bool) -> None:
+        s = self.stats
+        if kind is AccessKind.PLAIN:
+            if store:
+                s.plain_stores += n
+            else:
+                s.plain_loads += n
+        elif kind is AccessKind.VOLATILE:
+            if store:
+                s.volatile_stores += n
+            else:
+                s.volatile_loads += n
+        else:
+            if store:
+                s.atomic_stores += n
+            else:
+                s.atomic_loads += n
+
+    # ------------------------------------------------------------------
+    def _site(self, name: str):
+        return plan_for(self.plan, self.variant).site(name)
+
+    #: relative fence strength per memory order (relaxed is free;
+    #: seq_cst forbids all reordering and costs double the one-sided
+    #: acquire/release orders)
+    ORDER_WEIGHT = {
+        MemoryOrder.RELAXED: 0.0,
+        MemoryOrder.ACQUIRE: 1.0,
+        MemoryOrder.RELEASE: 1.0,
+        MemoryOrder.ACQ_REL: 1.0,
+        MemoryOrder.SEQ_CST: 2.0,
+    }
+
+    def _order_extra(self, site, n: float) -> None:
+        if site.kind is AccessKind.ATOMIC:
+            self.stats.ordered_atomics += n * self.ORDER_WEIGHT[site.order]
+
+    def load(self, site: str, indices: np.ndarray | None = None,
+             count: float | None = None) -> None:
+        """Record loads at ``site`` (one per index, or ``count``)."""
+        s = self._site(site)
+        n = self._count(indices, count)
+        self._bucket(s.kind, n, store=False)
+        self._order_extra(s, n)
+        # same-address atomic *loads* do not serialize on the modelled
+        # hardware (L2 read combining); only stores and RMWs contend
+
+    def store(self, site: str, indices: np.ndarray | None = None,
+              count: float | None = None) -> None:
+        """Record stores at ``site``."""
+        s = self._site(site)
+        n = self._count(indices, count)
+        self._bucket(s.kind, n, store=True)
+        self._order_extra(s, n)
+        if s.kind is AccessKind.ATOMIC:
+            self.stats.contended_atomics += self._contention(indices)
+
+    def rmw(self, site: str, indices: np.ndarray | None = None,
+            count: float | None = None) -> None:
+        """Record read-modify-write atomics (atomic in *both* variants)."""
+        s = self._site(site)
+        n = self._count(indices, count)
+        self.stats.atomic_rmws += n
+        self._order_extra(s, n)
+        self.stats.contended_atomics += self._contention(indices)
+
+    def structure(self, count: float) -> None:
+        """Read-only CSR structure loads: plain in both variants (no
+        thread ever writes the graph, so these cannot race)."""
+        self.stats.plain_loads += float(count)
+
+    def compute(self, ops: float) -> None:
+        """Non-memory work (index arithmetic, comparisons)."""
+        self.stats.compute_ops += float(ops)
+
+    def round(self, launches: int = 1) -> None:
+        """One host-side iteration: ``launches`` kernel launches."""
+        self.stats.rounds += launches
+
+    def touch(self, name: str, nbytes: float) -> None:
+        """Declare data footprint (unique bytes) of array ``name``."""
+        self._footprints[name] = max(self._footprints.get(name, 0.0),
+                                     float(nbytes))
+        self.stats.footprint_bytes = sum(self._footprints.values())
+
+    # ------------------------------------------------------------------
+    def staleness(self, site: str) -> int:
+        """Visibility delay (rounds) readers of ``site`` experience.
+
+        Non-zero only for PLAIN sites — the register-caching compiler
+        model — and scaled by the device's staleness constant.
+        """
+        kind = site_kind(self.plan, self.variant, site)
+        if kind is AccessKind.PLAIN:
+            return self.device.plain_staleness_rounds
+        return 0
+
+
+#: relative sigma of the run-to-run noise model (the paper reports a
+#: median relative deviation of 0.6 % across its nine hardware runs)
+RUNTIME_NOISE_SIGMA = 0.004
+
+
+def run_algorithm(algorithm, graph, device: DeviceSpec, variant: Variant,
+                  seed: int = 0) -> PerfRun:
+    """Run one (algorithm, input, device, variant) configuration.
+
+    ``algorithm`` is an :class:`~repro.core.variants.AlgorithmInfo`;
+    its ``perf_runner(graph, recorder, seed)`` does the work and returns
+    the output arrays.  The runtime is then priced by the timing model,
+    plus a small seeded noise term standing in for hardware run-to-run
+    variance (clock jitter, scheduling), so the paper's median-of-nine
+    protocol remains meaningful on configurations whose computation is
+    otherwise seed-invariant.
+    """
+    recorder = Recorder(algorithm_plan(algorithm), variant, device)
+    output = algorithm.perf_runner(graph, recorder, seed)
+    noise_rng = np.random.default_rng(
+        (seed * 2654435761 + hash((algorithm.key, variant.value))) & 0xFFFFFFFF
+    )
+    noise = 1.0 + float(np.clip(noise_rng.normal(0.0, RUNTIME_NOISE_SIGMA),
+                                -0.015, 0.015))
+    runtime = TimingModel(device).estimate_ms(recorder.stats) * noise
+    return PerfRun(
+        algorithm=algorithm.key,
+        variant=variant,
+        device=device,
+        output=output,
+        stats=recorder.stats,
+        runtime_ms=runtime,
+        rounds=recorder.stats.rounds,
+    )
+
+
+def algorithm_plan(algorithm) -> AccessPlan:
+    """Fetch the ACCESS_PLAN declared by the algorithm's module."""
+    import importlib
+
+    module = importlib.import_module(algorithm.module)
+    try:
+        return module.ACCESS_PLAN
+    except AttributeError:
+        raise StudyError(
+            f"module {algorithm.module} does not declare ACCESS_PLAN"
+        ) from None

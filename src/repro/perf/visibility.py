@@ -1,0 +1,73 @@
+"""Visibility / staleness modelling for asynchronous kernels.
+
+The paper attributes the race-free MIS speedup to update visibility:
+the baseline's plain accesses let the compiler keep polled values in
+registers, "delaying when updates become visible to other threads",
+whereas the inserted atomics force every poll to observe current memory
+(Section VI.A).
+
+:class:`DelayedView` reproduces that mechanism for the round-based
+performance engine: readers of a shared array observe, per element, the
+value from up to ``delay`` rounds ago.  Only a configurable *fraction*
+of elements is delayed each round — the compiler register-allocates
+*some* of the accesses, not all of them ("the compiler may 'optimize'
+some of these accesses", Section VI.A) — selected deterministically so
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+class DelayedView:
+    """A shared array with bounded-staleness reads.
+
+    Parameters
+    ----------
+    values:
+        The authoritative current array (mutated by the caller between
+        ``commit()`` calls).
+    delay:
+        Maximum staleness in rounds.  0 = always current (the race-free
+        behaviour).
+    stale_fraction:
+        Fraction of elements whose read is served from the stale
+        snapshot each round.
+    seed:
+        Determinism for the per-round stale subsets.
+    """
+
+    def __init__(self, values: np.ndarray, delay: int,
+                 stale_fraction: float = 1.0, seed: int = 0) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        if not 0.0 <= stale_fraction <= 1.0:
+            raise ValueError(
+                f"stale_fraction must be in [0, 1], got {stale_fraction}")
+        self.values = values
+        self.delay = delay
+        self.stale_fraction = stale_fraction
+        self._rng = np.random.default_rng(seed)
+        self._history: deque[np.ndarray] = deque(maxlen=delay + 1)
+        self._round = 0
+        self.commit()
+
+    def commit(self) -> None:
+        """Snapshot the current values: call once per round."""
+        self._history.append(self.values.copy())
+        self._round += 1
+
+    def read(self) -> np.ndarray:
+        """The array as concurrent readers observe it this round."""
+        if self.delay == 0 or len(self._history) == 1:
+            return self.values
+        stale = self._history[0]
+        if self.stale_fraction >= 1.0:
+            return stale
+        mask = self._rng.random(self.values.shape[0]) < self.stale_fraction
+        out = self.values.copy()
+        out[mask] = stale[mask]
+        return out

@@ -1,0 +1,33 @@
+"""Small shared utilities: bit manipulation, statistics, table rendering."""
+
+from repro.utils.bitops import (
+    WORD_BITS,
+    byte_in_word,
+    clear_byte,
+    insert_byte,
+    make_byte_mask,
+    split_u64,
+    join_u64,
+    to_signed,
+    to_unsigned,
+)
+from repro.utils.stats import geometric_mean, median, relative_deviation
+from repro.utils.correlation import pearson
+from repro.utils.tables import format_table
+
+__all__ = [
+    "WORD_BITS",
+    "byte_in_word",
+    "clear_byte",
+    "insert_byte",
+    "make_byte_mask",
+    "split_u64",
+    "join_u64",
+    "to_signed",
+    "to_unsigned",
+    "geometric_mean",
+    "median",
+    "relative_deviation",
+    "pearson",
+    "format_table",
+]

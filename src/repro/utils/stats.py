@@ -1,0 +1,56 @@
+"""Statistics used by the experimental methodology (Section V/VI).
+
+The paper runs every configuration nine times and reports the median;
+table footers report min, geometric mean, and max; Section VI.A quotes a
+median relative deviation of 0.6 %.  These helpers implement exactly
+those statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """Return the median of a non-empty sequence.
+
+    For an even count, returns the mean of the two central values —
+    matching :func:`statistics.median`, reimplemented here so numpy
+    floats pass through unchanged.
+    """
+    if len(values) == 0:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2 == 1:
+        return float(ordered[mid])
+    return (float(ordered[mid - 1]) + float(ordered[mid])) / 2.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values (table footers, Fig. 6)."""
+    log_sum = 0.0
+    count = 0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {v}")
+        log_sum += math.log(v)
+        count += 1
+    if count == 0:
+        raise ValueError("geometric mean of empty sequence")
+    return math.exp(log_sum / count)
+
+
+def relative_deviation(values: Sequence[float]) -> float:
+    """Median absolute deviation from the median, relative to the median.
+
+    This is the "median relative deviation" statistic the paper uses to
+    argue repeated runs are stable (0.6 % in Section VI.A).
+    """
+    m = median(values)
+    if m == 0:
+        raise ValueError("relative deviation undefined for zero median")
+    deviations = [abs(v - m) / abs(m) for v in values]
+    return median(deviations)

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the benchmark harness output.
+
+The harness prints the same rows the paper's tables report.  Markdown
+pipes keep the output copy-pasteable into the experiment log
+(EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned markdown table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Each row must have the same arity as ``headers``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[fmt(c) for c in row] for row in rows]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        padded = [c.ljust(widths[j]) for j, c in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    out = [line(list(headers))]
+    out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)

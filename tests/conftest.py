@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """A 24-vertex undirected random graph (fast SIMT runs)."""
+    return gen.random_uniform(24, 3.0, seed=5, name="tiny")
+
+
+@pytest.fixture
+def tiny_directed() -> CSRGraph:
+    """A 20-vertex directed power-law graph with nontrivial SCCs."""
+    return gen.directed_powerlaw(20, 2.5, seed=3, name="tinyd")
+
+
+@pytest.fixture
+def small_graph() -> CSRGraph:
+    """A few hundred vertices: big enough to exercise vectorized paths."""
+    return gen.preferential_attachment(300, 3, seed=11, name="small")
+
+
+@pytest.fixture
+def path_graph() -> CSRGraph:
+    """A 10-vertex path (deterministic degenerate structure)."""
+    edges = np.array([(i, i + 1) for i in range(9)], dtype=np.int64)
+    return CSRGraph.from_edges(10, edges, directed=False, symmetrize=True,
+                               name="path10")
+
+
+@pytest.fixture
+def two_triangles() -> CSRGraph:
+    """Two disconnected triangles: 2 components, chromatic number 3."""
+    edges = np.array(
+        [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)], dtype=np.int64
+    )
+    return CSRGraph.from_edges(6, edges, directed=False, symmetrize=True,
+                               name="triangles")
+
+
+@pytest.fixture
+def directed_cycle() -> CSRGraph:
+    """An 8-vertex directed cycle: one SCC."""
+    edges = np.array([(i, (i + 1) % 8) for i in range(8)], dtype=np.int64)
+    return CSRGraph.from_edges(8, edges, directed=True, name="cycle8")

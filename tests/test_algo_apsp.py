@@ -1,0 +1,87 @@
+"""Tests for ECL-APSP — the regular, race-free-by-construction code."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import apsp, verify
+from repro.core.transform import remove_races
+from repro.core.variants import Variant, get_algorithm
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph
+from repro.gpu.device import get_device
+from repro.gpu.interleave import AdversarialScheduler, RandomScheduler
+from repro.gpu.racecheck import RaceDetector
+from repro.perf.engine import run_algorithm
+
+ALGO = lambda: get_algorithm("apsp")
+DEV = lambda: get_device("titanv")
+
+
+class TestPerfCorrectness:
+    def test_small_weighted_graph(self):
+        g = gen.random_uniform(24, 3.0, seed=2).with_random_weights(seed=1)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        verify.check_apsp(g, run.output["dist"])
+
+    def test_disconnected_pairs_stay_infinite(self, two_triangles):
+        g = two_triangles.with_random_weights(seed=1)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        dist = run.output["dist"]
+        assert dist[0, 3] >= apsp.INF
+        assert dist[0, 0] == 0
+
+    def test_triangle_inequality_holds(self):
+        g = gen.preferential_attachment(30, 2, seed=3).with_random_weights(2)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        d = run.output["dist"].astype(float)
+        d = np.where(d >= apsp.INF, np.inf, d)
+        for k in (0, 7, 19):
+            assert np.all(d <= d[:, [k]] + d[[k], :] + 1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 20), st.integers(0, 50))
+    def test_random_graphs_match_scipy(self, n, seed):
+        g = gen.random_uniform(n, 2.5, seed=seed).with_random_weights(seed)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        verify.check_apsp(g, run.output["dist"])
+
+
+class TestNoRaces:
+    def test_plan_has_no_racy_sites(self):
+        """Section IV.A: APSP is regular and has no data races."""
+        assert not apsp.ACCESS_PLAN.has_races
+
+    def test_transform_is_identity(self):
+        assert remove_races(apsp.ACCESS_PLAN) == apsp.ACCESS_PLAN
+
+    def test_registry_marks_no_races(self):
+        assert not ALGO().has_races
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_simt_race_free_under_any_schedule(self, seed):
+        """The detector must find nothing, even adversarially."""
+        g = gen.random_uniform(5, 2.0, seed=seed).with_random_weights(seed)
+        dist, ex = apsp.run_simt(g, scheduler=AdversarialScheduler(seed))
+        verify.check_apsp(g, dist)
+        assert RaceDetector().check(ex) == []
+
+    def test_simt_matches_perf_level(self):
+        g = gen.random_uniform(6, 2.0, seed=9).with_random_weights(9)
+        dist_simt, _ = apsp.run_simt(g, scheduler=RandomScheduler(1))
+        run = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        assert np.array_equal(dist_simt, run.output["dist"])
+
+
+class TestStudyExclusion:
+    def test_study_refuses_apsp_speedup(self):
+        """Like the paper, the study does not measure APSP speedups."""
+        from repro import Study
+        from repro.errors import StudyError
+
+        g = gen.random_uniform(10, 2.0, seed=1).with_random_weights(1)
+        with pytest.raises(StudyError):
+            Study(reps=1).speedup("apsp", g, "titanv")

@@ -1,0 +1,120 @@
+"""Tests for ECL-CC (both execution levels, both variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import cc, verify
+from repro.core.variants import Variant, get_algorithm
+from repro.errors import ValidationError
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph
+from repro.gpu.device import get_device
+from repro.gpu.interleave import AdversarialScheduler, RandomScheduler
+from repro.gpu.racecheck import RaceDetector
+from repro.perf.engine import run_algorithm
+
+ALGO = lambda: get_algorithm("cc")
+DEV = lambda: get_device("titanv")
+
+
+class TestPerfCorrectness:
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_two_triangles(self, two_triangles, variant):
+        run = run_algorithm(ALGO(), two_triangles, DEV(), variant)
+        verify.check_components(two_triangles, run.output["labels"])
+        assert len(set(run.output["labels"].tolist())) == 2
+
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_path_is_one_component(self, path_graph, variant):
+        run = run_algorithm(ALGO(), path_graph, DEV(), variant)
+        assert len(set(run.output["labels"].tolist())) == 1
+
+    def test_edgeless_graph(self):
+        g = CSRGraph.empty(7, name="isolated")
+        run = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        assert len(set(run.output["labels"].tolist())) == 7
+
+    def test_variants_agree(self, small_graph):
+        base = run_algorithm(ALGO(), small_graph, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        assert np.array_equal(base.output["labels"], free.output["labels"])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(10, 60), st.floats(1.0, 5.0), st.integers(0, 100))
+    def test_random_graphs_verified(self, n, avg, seed):
+        g = gen.random_uniform(n, avg, seed=seed)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.RACE_FREE)
+        verify.check_components(g, run.output["labels"])
+
+
+class TestAccessProfile:
+    def test_racefree_has_no_racy_accesses(self, small_graph):
+        run = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        s = run.stats
+        # only the read-only CSR structure may stay plain
+        assert s.volatile_loads == 0 and s.volatile_stores == 0
+        assert s.atomic_loads > 0 and s.atomic_stores > 0
+
+    def test_baseline_jump_reads_are_plain(self, small_graph):
+        run = run_algorithm(ALGO(), small_graph, DEV(), Variant.BASELINE)
+        s = run.stats
+        assert s.plain_loads > s.atomic_loads
+        assert s.atomic_rmws > 0  # hooking CAS is atomic in the baseline
+
+    def test_hook_rmws_identical_across_variants(self, small_graph):
+        base = run_algorithm(ALGO(), small_graph, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        assert base.stats.atomic_rmws == free.stats.atomic_rmws
+
+    def test_racefree_slower_on_titanv(self, small_graph):
+        """The headline CC result: race-free is substantially slower."""
+        base = run_algorithm(ALGO(), small_graph, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        assert base.runtime_ms < free.runtime_ms
+
+
+class TestSimtLevel:
+    @pytest.mark.parametrize("variant", list(Variant))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_correct_under_random_schedules(self, tiny_graph, variant, seed):
+        labels, _ = cc.run_simt(tiny_graph, variant,
+                                scheduler=RandomScheduler(seed))
+        verify.check_components(tiny_graph, labels)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_correct_under_adversarial_schedules(self, tiny_graph, seed):
+        for variant in Variant:
+            labels, _ = cc.run_simt(tiny_graph, variant,
+                                    scheduler=AdversarialScheduler(seed))
+            verify.check_components(tiny_graph, labels)
+
+    def test_baseline_has_races_racefree_does_not(self, tiny_graph):
+        _, ex_base = cc.run_simt(tiny_graph, Variant.BASELINE,
+                                 scheduler=RandomScheduler(9))
+        base_races = RaceDetector().check(ex_base)
+        assert base_races, "baseline CC should exhibit label races"
+        assert any(r.array == "cc_label" for r in base_races)
+
+        _, ex_free = cc.run_simt(tiny_graph, Variant.RACE_FREE,
+                                 scheduler=RandomScheduler(9))
+        assert RaceDetector().check(ex_free) == []
+
+
+class TestVerifier:
+    def test_rejects_merged_components(self, two_triangles):
+        labels = np.zeros(6, dtype=np.int64)  # everything one component
+        with pytest.raises(ValidationError):
+            verify.check_components(two_triangles, labels)
+
+    def test_rejects_split_component(self, path_graph):
+        labels = np.arange(10, dtype=np.int64)
+        with pytest.raises(ValidationError):
+            verify.check_components(path_graph, labels)
+
+    def test_rejects_wrong_length(self, path_graph):
+        with pytest.raises(ValidationError):
+            verify.check_components(path_graph, np.zeros(3, dtype=np.int64))

@@ -1,0 +1,126 @@
+"""Tests for ECL-GC (both execution levels, both variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import gc, verify
+from repro.core.variants import Variant, get_algorithm
+from repro.errors import ValidationError
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph
+from repro.gpu.device import get_device
+from repro.gpu.interleave import AdversarialScheduler, RandomScheduler
+from repro.gpu.racecheck import RaceDetector
+from repro.perf.engine import run_algorithm
+
+ALGO = lambda: get_algorithm("gc")
+DEV = lambda: get_device("titanv")
+
+
+class TestPerfCorrectness:
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_triangle_needs_three_colors(self, two_triangles, variant):
+        run = run_algorithm(ALGO(), two_triangles, DEV(), variant)
+        colors = run.output["colors"]
+        verify.check_coloring(two_triangles, colors)
+        assert len(set(colors.tolist())) == 3
+
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_path_within_jones_plassmann_bound(self, path_graph, variant):
+        run = run_algorithm(ALGO(), path_graph, DEV(), variant)
+        verify.check_coloring(path_graph, run.output["colors"])
+        # Jones-Plassmann guarantees at most max-degree + 1 colors
+        assert set(run.output["colors"].tolist()) <= {0, 1, 2}
+
+    def test_edgeless_uses_one_color(self):
+        g = CSRGraph.empty(5)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        assert set(run.output["colors"].tolist()) == {0}
+
+    def test_variants_agree(self, small_graph):
+        base = run_algorithm(ALGO(), small_graph, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        assert np.array_equal(base.output["colors"], free.output["colors"])
+
+    def test_color_count_bounded_by_max_degree(self, small_graph):
+        run = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        n_colors = int(run.output["colors"].max()) + 1
+        assert n_colors <= int(small_graph.degrees().max()) + 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(10, 60), st.floats(1.0, 5.0), st.integers(0, 100))
+    def test_random_graphs_verified(self, n, avg, seed):
+        g = gen.random_uniform(n, avg, seed=seed)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.RACE_FREE)
+        verify.check_coloring(g, run.output["colors"])
+
+
+class TestAccessProfile:
+    def test_baseline_uses_volatile(self, small_graph):
+        """ECL-GC's shared arrays are already volatile — the reason its
+        race-free conversion is almost free."""
+        run = run_algorithm(ALGO(), small_graph, DEV(), Variant.BASELINE)
+        assert run.stats.volatile_loads > 0
+        assert run.stats.atomic_loads == 0
+
+    def test_conversion_is_cheap(self, small_graph):
+        base = run_algorithm(ALGO(), small_graph, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        speedup = base.runtime_ms / free.runtime_ms
+        assert speedup > 0.90  # paper: geomean 0.96-1.00
+
+    def test_rounds_identical_across_variants(self, small_graph):
+        base = run_algorithm(ALGO(), small_graph, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        assert base.rounds == free.rounds
+
+
+class TestSimtLevel:
+    @pytest.mark.parametrize("variant", list(Variant))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_correct_under_schedules(self, tiny_graph, variant, seed):
+        colors, _ = gc.run_simt(tiny_graph, variant,
+                                scheduler=RandomScheduler(seed))
+        verify.check_coloring(tiny_graph, colors)
+
+    def test_adversarial_schedule(self, tiny_graph):
+        colors, _ = gc.run_simt(tiny_graph, Variant.RACE_FREE,
+                                scheduler=AdversarialScheduler(5))
+        verify.check_coloring(tiny_graph, colors)
+
+    def test_baseline_races_found_racefree_clean(self, tiny_graph):
+        _, ex_base = gc.run_simt(tiny_graph, Variant.BASELINE,
+                                 scheduler=RandomScheduler(2))
+        assert any(r.array == "gc_color"
+                   for r in RaceDetector().check(ex_base))
+        _, ex_free = gc.run_simt(tiny_graph, Variant.RACE_FREE,
+                                 scheduler=RandomScheduler(2))
+        assert RaceDetector().check(ex_free) == []
+
+
+class TestVerifier:
+    def test_rejects_adjacent_same_color(self, two_triangles):
+        with pytest.raises(ValidationError):
+            verify.check_coloring(two_triangles, np.zeros(6, dtype=np.int64))
+
+    def test_rejects_uncolored(self, two_triangles):
+        colors = np.array([0, 1, 2, 0, 1, -1], dtype=np.int64)
+        with pytest.raises(ValidationError):
+            verify.check_coloring(two_triangles, colors)
+
+
+class TestPriorities:
+    def test_largest_degree_first(self, small_graph):
+        prio = gc.make_priorities(small_graph, seed=0)
+        degs = small_graph.degrees()
+        hub = int(np.argmax(degs))
+        leaf = int(np.argmin(degs))
+        assert prio[hub] > prio[leaf]
+
+    def test_priorities_distinct(self, small_graph):
+        prio = gc.make_priorities(small_graph, seed=0)
+        assert len(np.unique(prio)) == small_graph.num_vertices

@@ -1,0 +1,133 @@
+"""Tests for ECL-MIS (both execution levels, both variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import mis, verify
+from repro.core.variants import Variant, get_algorithm
+from repro.errors import ValidationError
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph
+from repro.gpu.device import get_device
+from repro.gpu.interleave import AdversarialScheduler, RandomScheduler
+from repro.gpu.racecheck import RaceDetector
+from repro.perf.engine import run_algorithm
+
+ALGO = lambda: get_algorithm("mis")
+DEV = lambda: get_device("titanv")
+
+
+class TestPerfCorrectness:
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_triangles(self, two_triangles, variant):
+        run = run_algorithm(ALGO(), two_triangles, DEV(), variant)
+        verify.check_mis(two_triangles, run.output["in_set"])
+        # one vertex per triangle
+        assert run.output["in_set"].sum() == 2
+
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_path(self, path_graph, variant):
+        run = run_algorithm(ALGO(), path_graph, DEV(), variant)
+        verify.check_mis(path_graph, run.output["in_set"])
+
+    def test_isolated_vertices_are_members(self):
+        g = CSRGraph.empty(4)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        assert run.output["in_set"].sum() == 4
+
+    def test_both_variants_valid_even_if_different(self, small_graph):
+        base = run_algorithm(ALGO(), small_graph, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        verify.check_mis(small_graph, base.output["in_set"])
+        verify.check_mis(small_graph, free.output["in_set"])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(10, 60), st.floats(1.0, 5.0), st.integers(0, 100))
+    def test_random_graphs_verified_baseline(self, n, avg, seed):
+        """The baseline's stale reads must never break correctness —
+        Luby decisions with static priorities tolerate staleness."""
+        g = gen.random_uniform(n, avg, seed=seed)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE, seed=seed)
+        verify.check_mis(g, run.output["in_set"])
+
+
+class TestVisibilityMechanism:
+    def test_baseline_needs_more_rounds(self, small_graph):
+        """Stale polls delay decisions (Section VI.A)."""
+        base = run_algorithm(ALGO(), small_graph, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        assert base.rounds >= free.rounds
+
+    def test_racefree_is_faster(self, small_graph):
+        """The paper's headline: race-free MIS wins by 5-11 %."""
+        base = run_algorithm(ALGO(), small_graph, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        assert base.runtime_ms / free.runtime_ms > 1.0
+
+    def test_racefree_polls_are_atomic(self, small_graph):
+        free = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        assert free.stats.atomic_loads > 0
+        assert free.stats.volatile_loads == 0
+
+    def test_set_quality_priority_favors_low_degree(self, small_graph):
+        """ECL-MIS's inverse-degree priorities produce large sets."""
+        run = run_algorithm(ALGO(), small_graph, DEV(), Variant.RACE_FREE)
+        in_set = run.output["in_set"].astype(bool)
+        # compare against a greedy MIS over ascending ids
+        greedy = np.zeros(small_graph.num_vertices, dtype=bool)
+        blocked = np.zeros(small_graph.num_vertices, dtype=bool)
+        for v in range(small_graph.num_vertices):
+            if not blocked[v]:
+                greedy[v] = True
+                blocked[small_graph.neighbors(v)] = True
+        assert in_set.sum() >= 0.8 * greedy.sum()
+
+
+class TestSimtLevel:
+    @pytest.mark.parametrize("variant", list(Variant))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_correct_under_schedules(self, tiny_graph, variant, seed):
+        in_set, _ = mis.run_simt(tiny_graph, variant,
+                                 scheduler=RandomScheduler(seed))
+        verify.check_mis(tiny_graph, in_set)
+
+    def test_adversarial_schedules(self, tiny_graph):
+        for seed in (7, 8):
+            in_set, _ = mis.run_simt(tiny_graph, Variant.RACE_FREE,
+                                     scheduler=AdversarialScheduler(seed))
+            verify.check_mis(tiny_graph, in_set)
+
+    def test_baseline_races_on_status_bytes(self, tiny_graph):
+        _, ex = mis.run_simt(tiny_graph, Variant.BASELINE,
+                             scheduler=RandomScheduler(3))
+        races = RaceDetector().check(ex)
+        assert any(r.array == "mis_nstat" for r in races)
+
+    def test_racefree_clean(self, tiny_graph):
+        _, ex = mis.run_simt(tiny_graph, Variant.RACE_FREE,
+                             scheduler=RandomScheduler(3))
+        assert RaceDetector().check(ex) == []
+
+
+class TestVerifier:
+    def test_rejects_adjacent_members(self, path_graph):
+        bad = np.ones(10, dtype=np.int8)
+        with pytest.raises(ValidationError):
+            verify.check_mis(path_graph, bad)
+
+    def test_rejects_non_maximal(self, path_graph):
+        with pytest.raises(ValidationError):
+            verify.check_mis(path_graph, np.zeros(10, dtype=np.int8))
+
+
+class TestPriorities:
+    def test_inverse_degree(self, small_graph):
+        prio = mis.make_priorities(small_graph, seed=0)
+        degs = small_graph.degrees()
+        hub = int(np.argmax(degs))
+        leaf = int(np.argmin(degs))
+        assert prio[leaf] > prio[hub]

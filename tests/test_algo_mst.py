@@ -1,0 +1,162 @@
+"""Tests for ECL-MST (both execution levels, both variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import mst, verify
+from repro.core.variants import Variant, get_algorithm
+from repro.errors import ValidationError
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph
+from repro.gpu.device import get_device
+from repro.gpu.interleave import AdversarialScheduler, RandomScheduler
+from repro.gpu.racecheck import RaceDetector
+from repro.perf.engine import run_algorithm
+
+ALGO = lambda: get_algorithm("mst")
+DEV = lambda: get_device("titanv")
+
+
+def weighted(graph, seed=1):
+    return graph.with_random_weights(seed=seed)
+
+
+class TestPerfCorrectness:
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_path_takes_all_edges(self, path_graph, variant):
+        g = weighted(path_graph)
+        run = run_algorithm(ALGO(), g, DEV(), variant)
+        verify.check_mst(g, run.output["in_mst"])
+        assert run.output["in_mst"].sum() == 9  # n - 1 canonical edges
+
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_forest_on_disconnected_graph(self, two_triangles, variant):
+        g = weighted(two_triangles)
+        run = run_algorithm(ALGO(), g, DEV(), variant)
+        verify.check_mst(g, run.output["in_mst"])
+        assert run.output["in_mst"].sum() == 4  # 2 edges per triangle
+
+    def test_known_tiny_instance(self):
+        # square with diagonal: MST must take the three lightest edges
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+        w = [1, 8, 2, 9, 3]
+        g = CSRGraph.from_edges(4, np.array(edges), directed=False,
+                                symmetrize=True, weights=np.array(w))
+        run = run_algorithm(ALGO(), g, DEV(), Variant.RACE_FREE)
+        assert run.output["weight"] == 1 + 2 + 3
+        verify.check_mst(g, run.output["in_mst"])
+
+    def test_variants_agree_on_weight(self, small_graph):
+        g = weighted(small_graph)
+        base = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), g, DEV(), Variant.RACE_FREE)
+        assert base.output["weight"] == free.output["weight"]
+
+    def test_edgeless_graph(self):
+        g = CSRGraph.empty(3).with_weights(np.zeros(0, dtype=np.int64))
+        run = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        assert run.output["weight"] == 0
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(8, 50), st.floats(1.5, 5.0), st.integers(0, 100))
+    def test_random_graphs_verified(self, n, avg, seed):
+        g = weighted(gen.random_uniform(n, avg, seed=seed), seed=seed)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.RACE_FREE)
+        verify.check_mst(g, run.output["in_mst"])
+
+
+class TestAccessProfile:
+    def test_baseline_parent_reads_volatile(self, small_graph):
+        """ECL-MST's shared structures are volatile in the baseline."""
+        run = run_algorithm(ALGO(), weighted(small_graph), DEV(),
+                            Variant.BASELINE)
+        assert run.stats.volatile_loads > 0
+        assert run.stats.atomic_rmws > 0  # atomicMin elections
+
+    def test_conversion_is_cheap(self, small_graph):
+        """Paper: MST slows only 0-8 % (implicit path compression)."""
+        g = weighted(small_graph)
+        base = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), g, DEV(), Variant.RACE_FREE)
+        assert base.runtime_ms / free.runtime_ms > 0.85
+
+    def test_path_compression_bounds_jump_traffic(self, small_graph):
+        """Converted (jump) loads must stay within a small multiple of
+        the edge count — the compression argument of Section VI.A."""
+        g = weighted(small_graph)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.RACE_FREE)
+        assert run.stats.atomic_loads < 10 * g.num_edges
+
+
+class TestSimtLevel:
+    @pytest.mark.parametrize("variant", list(Variant))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_correct_under_schedules(self, tiny_graph, variant, seed):
+        g = weighted(tiny_graph, seed=9)
+        mask, _ = mst.run_simt(g, variant, scheduler=RandomScheduler(seed))
+        verify.check_mst(g, mask)
+
+    def test_adversarial_schedule(self, tiny_graph):
+        g = weighted(tiny_graph, seed=9)
+        mask, _ = mst.run_simt(g, Variant.RACE_FREE,
+                               scheduler=AdversarialScheduler(11))
+        verify.check_mst(g, mask)
+
+    def test_baseline_races_racefree_clean(self, tiny_graph):
+        g = weighted(tiny_graph, seed=9)
+        _, ex_base = mst.run_simt(g, Variant.BASELINE,
+                                  scheduler=RandomScheduler(2))
+        assert RaceDetector().check(ex_base)
+        _, ex_free = mst.run_simt(g, Variant.RACE_FREE,
+                                  scheduler=RandomScheduler(2))
+        assert RaceDetector().check(ex_free) == []
+
+
+class TestPacking:
+    def test_pack_orders_by_weight_then_edge(self):
+        assert mst._pack(1, 99) < mst._pack(2, 0)
+        assert mst._pack(5, 1) < mst._pack(5, 2)
+
+    def test_unpack_edge(self):
+        assert mst._unpack_edge(mst._pack(123, 456)) == 456
+
+
+class TestVerifier:
+    def test_rejects_cycle(self, two_triangles):
+        g = weighted(two_triangles)
+        mask = np.ones(g.num_edges, dtype=bool)
+        src, dst = g.edge_array()
+        mask[src > dst] = False  # all canonical edges: contains cycles
+        with pytest.raises(ValidationError):
+            verify.check_mst(g, mask)
+
+    def test_rejects_non_spanning(self, path_graph):
+        g = weighted(path_graph)
+        with pytest.raises(ValidationError):
+            verify.check_mst(g, np.zeros(g.num_edges, dtype=bool))
+
+    def test_rejects_unweighted(self, path_graph):
+        with pytest.raises(ValidationError):
+            verify.check_mst(path_graph,
+                             np.zeros(path_graph.num_edges, dtype=bool))
+
+    def test_rejects_suboptimal_weight(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        w = [1, 1, 10]
+        g = CSRGraph.from_edges(3, np.array(edges), directed=False,
+                                symmetrize=True, weights=np.array(w))
+        # spanning but includes the heavy edge
+        src, dst = g.edge_array()
+        mask = np.zeros(g.num_edges, dtype=bool)
+        picked = 0
+        for i, (u, v) in enumerate(zip(src.tolist(), dst.tolist())):
+            if u < v and (u, v) in {(0, 1), (0, 2)}:
+                mask[i] = True
+                picked += 1
+        assert picked == 2
+        with pytest.raises(ValidationError):
+            verify.check_mst(g, mask)

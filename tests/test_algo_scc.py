@@ -1,0 +1,149 @@
+"""Tests for ECL-SCC (both execution levels, both variants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import scc, verify
+from repro.core.variants import Variant, get_algorithm
+from repro.errors import ValidationError
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph
+from repro.gpu.device import get_device
+from repro.gpu.interleave import AdversarialScheduler, RandomScheduler
+from repro.gpu.racecheck import RaceDetector
+from repro.perf.engine import run_algorithm
+
+ALGO = lambda: get_algorithm("scc")
+DEV = lambda: get_device("titanv")
+
+
+class TestPerfCorrectness:
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_cycle_is_one_scc(self, directed_cycle, variant):
+        run = run_algorithm(ALGO(), directed_cycle, DEV(), variant)
+        verify.check_scc(directed_cycle, run.output["labels"])
+        assert len(set(run.output["labels"].tolist())) == 1
+
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_dag_is_all_trivial(self, variant):
+        edges = np.array([(0, 1), (1, 2), (0, 2), (2, 3)])
+        g = CSRGraph.from_edges(4, edges, directed=True)
+        run = run_algorithm(ALGO(), g, DEV(), variant)
+        verify.check_scc(g, run.output["labels"])
+        assert len(set(run.output["labels"].tolist())) == 4
+
+    def test_two_cycles_bridged(self):
+        # 0->1->2->0 and 3->4->5->3 with a one-way bridge 2->3
+        edges = np.array([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3),
+                          (2, 3)])
+        g = CSRGraph.from_edges(6, edges, directed=True)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.RACE_FREE)
+        verify.check_scc(g, run.output["labels"])
+        labels = run.output["labels"]
+        assert len(set(labels.tolist())) == 2
+
+    def test_variants_agree(self, tiny_directed):
+        base = run_algorithm(ALGO(), tiny_directed, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), tiny_directed, DEV(), Variant.RACE_FREE)
+        assert np.array_equal(base.output["labels"], free.output["labels"])
+
+    def test_mesh_graph(self):
+        g = gen.directed_torus(6, 5)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        verify.check_scc(g, run.output["labels"])
+        assert len(set(run.output["labels"].tolist())) == 1
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(6, 40), st.floats(1.0, 3.0), st.integers(0, 100))
+    def test_random_digraphs_verified(self, n, avg, seed):
+        g = gen.directed_powerlaw(n, avg, seed=seed)
+        run = run_algorithm(ALGO(), g, DEV(), Variant.RACE_FREE)
+        verify.check_scc(g, run.output["labels"])
+
+
+class TestAccessProfile:
+    def test_baseline_pathmax_is_plain(self, tiny_directed):
+        run = run_algorithm(ALGO(), tiny_directed, DEV(), Variant.BASELINE)
+        assert run.stats.plain_loads > 0
+        assert run.stats.atomic_loads == 0
+
+    def test_racefree_substantially_slower(self):
+        """The paper's SCC result (geomean 0.50-0.81)."""
+        g = gen.directed_powerlaw(800, 8.0, seed=5)
+        base = run_algorithm(ALGO(), g, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), g, DEV(), Variant.RACE_FREE)
+        assert base.runtime_ms / free.runtime_ms < 0.95
+
+    def test_goagain_contention_only_racefree(self, tiny_directed):
+        base = run_algorithm(ALGO(), tiny_directed, DEV(), Variant.BASELINE)
+        free = run_algorithm(ALGO(), tiny_directed, DEV(), Variant.RACE_FREE)
+        assert base.stats.contended_atomics == 0
+        assert free.stats.contended_atomics > 0
+
+    def test_mesh_needs_more_rounds_than_powerlaw(self):
+        """Long mesh diameters drive SCC's propagation round count."""
+        mesh = gen.directed_torus(16, 16)
+        pl = gen.directed_powerlaw(256, 6.0, seed=2)
+        mesh_run = run_algorithm(ALGO(), mesh, DEV(), Variant.BASELINE)
+        pl_run = run_algorithm(ALGO(), pl, DEV(), Variant.BASELINE)
+        assert mesh_run.rounds > pl_run.rounds
+
+
+class TestSimtLevel:
+    @pytest.mark.parametrize("variant", list(Variant))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_correct_under_schedules(self, tiny_directed, variant, seed):
+        labels, _ = scc.run_simt(tiny_directed, variant,
+                                 scheduler=RandomScheduler(seed))
+        verify.check_scc(tiny_directed, labels)
+
+    def test_adversarial_schedule(self, directed_cycle):
+        labels, _ = scc.run_simt(directed_cycle, Variant.RACE_FREE,
+                                 scheduler=AdversarialScheduler(4))
+        verify.check_scc(directed_cycle, labels)
+
+    def test_baseline_races_on_int2_pairs(self, tiny_directed):
+        _, ex = scc.run_simt(tiny_directed, Variant.BASELINE,
+                             scheduler=RandomScheduler(6))
+        races = RaceDetector().check(ex)
+        assert any(r.array == "scc_pathmax" for r in races)
+
+    def test_racefree_clean(self, tiny_directed):
+        _, ex = scc.run_simt(tiny_directed, Variant.RACE_FREE,
+                             scheduler=RandomScheduler(6))
+        assert RaceDetector().check(ex) == []
+
+
+class TestTarjanReference:
+    def test_tarjan_on_known_graph(self):
+        edges = np.array([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)])
+        g = CSRGraph.from_edges(4, edges, directed=True)
+        comp = verify.tarjan_scc(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+
+    def test_tarjan_matches_networkx(self, tiny_directed):
+        import networkx as nx
+
+        comp = verify.tarjan_scc(tiny_directed)
+        nxg = tiny_directed.to_networkx()
+        for component in nx.strongly_connected_components(nxg):
+            labels = {int(comp[v]) for v in component}
+            assert len(labels) == 1
+
+
+class TestVerifier:
+    def test_rejects_merge(self):
+        edges = np.array([(0, 1), (1, 0), (2, 3), (3, 2)])
+        g = CSRGraph.from_edges(4, edges, directed=True)
+        with pytest.raises(ValidationError):
+            verify.check_scc(g, np.zeros(4, dtype=np.int64))
+
+    def test_rejects_split(self, directed_cycle):
+        with pytest.raises(ValidationError):
+            verify.check_scc(directed_cycle, np.arange(8, dtype=np.int64))

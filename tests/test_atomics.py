@@ -1,0 +1,222 @@
+"""Tests for the libcu++-style helpers of Figs. 2-5."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.accesses import DType
+from repro.gpu.atomics import (
+    atomic_add,
+    atomic_cas,
+    atomic_clear_char,
+    atomic_exch,
+    atomic_max,
+    atomic_max_half,
+    atomic_min,
+    atomic_or_char,
+    atomic_read,
+    atomic_read_char,
+    atomic_write,
+    atomic_write_char,
+    read_first,
+    read_second,
+    write_first,
+    write_second,
+)
+from repro.gpu.interleave import AdversarialScheduler
+from repro.gpu.memory import GlobalMemory, pack_int2
+from repro.gpu.simt import SimtExecutor
+
+
+def run_single(kernel, *alloc_spec, n_threads=1, fill=0):
+    mem = GlobalMemory()
+    handles = [mem.alloc(f"a{i}", length, dtype, fill=fill)
+               for i, (length, dtype) in enumerate(alloc_spec)]
+    ex = SimtExecutor(mem)
+    ex.launch(kernel, n_threads, *handles)
+    return mem, handles
+
+
+class TestFig2ReadWrite:
+    def test_atomic_read_write_roundtrip(self):
+        results = []
+
+        def kernel(ctx, arr):
+            yield from atomic_write(ctx, arr, 2, -99)
+            v = yield from atomic_read(ctx, arr, 2)
+            results.append(v)
+
+        run_single(kernel, (4, DType.I32))
+        assert results == [-99]
+
+    def test_rmw_helpers(self):
+        olds = []
+
+        def kernel(ctx, arr):
+            olds.append((yield from atomic_add(ctx, arr, 0, 5)))
+            olds.append((yield from atomic_min(ctx, arr, 0, -3)))
+            olds.append((yield from atomic_max(ctx, arr, 0, 10)))
+            olds.append((yield from atomic_exch(ctx, arr, 0, 7)))
+            olds.append((yield from atomic_cas(ctx, arr, 0, 7, 1)))
+
+        mem, (arr,) = run_single(kernel, (1, DType.I32))
+        assert olds == [0, 5, -3, 10, 7]
+        assert mem.element_read(arr, 0) == 1
+
+
+class TestFig3Fig4CharTricks:
+    def test_read_char_matches_plain_bytes(self):
+        """Fig. 3b must read exactly what the byte holds, for any index
+        modulo 4."""
+        seen = {}
+
+        def kernel(ctx, arr):
+            for v in range(8):
+                b = yield from atomic_read_char(ctx, arr, v)
+                seen[v] = b
+
+        mem = GlobalMemory()
+        arr = mem.alloc("stat", 8, DType.U8)
+        expect = [3, 0, 255, 17, 128, 9, 64, 250]
+        mem.upload(arr, np.array(expect))
+        SimtExecutor(mem).launch(kernel, 1, arr)
+        assert [seen[v] for v in range(8)] == expect
+
+    def test_clear_char_zeroes_only_target(self):
+        """Fig. 4b: atomicAnd with the byte mask clears one char."""
+
+        def kernel(ctx, arr):
+            old = yield from atomic_clear_char(ctx, arr, 5)
+            assert old == 55
+
+        mem = GlobalMemory()
+        arr = mem.alloc("stat", 8, DType.U8)
+        vals = np.array([10, 11, 12, 13, 14, 55, 16, 17])
+        mem.upload(arr, vals)
+        SimtExecutor(mem).launch(kernel, 1, arr)
+        got = mem.download(arr)
+        vals[5] = 0
+        assert np.array_equal(got, vals)
+
+    def test_or_char(self):
+        def kernel(ctx, arr):
+            old = yield from atomic_or_char(ctx, arr, 2, 0x0F)
+            assert old == 0xF0
+
+        mem = GlobalMemory()
+        arr = mem.alloc("stat", 4, DType.U8)
+        mem.upload(arr, np.array([0, 0, 0xF0, 0]))
+        SimtExecutor(mem).launch(kernel, 1, arr)
+        assert mem.element_read(arr, 2) == 0xFF
+
+    def test_or_char_validates_byte(self):
+        def kernel(ctx, arr):
+            yield from atomic_or_char(ctx, arr, 0, 0x100)
+
+        with pytest.raises(ValueError):
+            run_single(kernel, (4, DType.U8))
+
+    def test_write_char_cas_loop(self):
+        def kernel(ctx, arr):
+            old = yield from atomic_write_char(ctx, arr, 1, 0xAB)
+            assert old == 7
+
+        mem = GlobalMemory()
+        arr = mem.alloc("stat", 4, DType.U8)
+        mem.upload(arr, np.array([1, 7, 2, 3]))
+        SimtExecutor(mem).launch(kernel, 1, arr)
+        assert np.array_equal(mem.download(arr), [1, 0xAB, 2, 3])
+
+    def test_concurrent_char_ops_do_not_corrupt_neighbors(self):
+        """8 threads each OR their own byte: all must land (the whole
+        point of the word-level atomics)."""
+
+        def kernel(ctx, arr):
+            yield from atomic_or_char(ctx, arr, ctx.tid, ctx.tid + 1)
+
+        for seed in range(30):
+            mem = GlobalMemory()
+            arr = mem.alloc("stat", 8, DType.U8)
+            ex = SimtExecutor(mem, scheduler=AdversarialScheduler(seed),
+                              record_events=False)
+            ex.launch(kernel, 8, arr)
+            assert np.array_equal(mem.download(arr), np.arange(1, 9))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 255), min_size=8, max_size=8),
+           st.integers(0, 7), st.integers(0, 255))
+    def test_write_char_property(self, init, index, value):
+        def kernel(ctx, arr):
+            yield from atomic_write_char(ctx, arr, index, value)
+
+        mem = GlobalMemory()
+        arr = mem.alloc("stat", 8, DType.U8)
+        mem.upload(arr, np.array(init))
+        SimtExecutor(mem).launch(kernel, 1, arr)
+        expect = list(init)
+        expect[index] = value
+        assert np.array_equal(mem.download(arr), expect)
+
+
+class TestFig5Int2Halves:
+    def test_half_accessors_roundtrip(self):
+        reads = []
+
+        def kernel(ctx, arr):
+            yield from write_first(ctx, arr, 1, -5)
+            yield from write_second(ctx, arr, 1, 77)
+            reads.append((yield from read_first(ctx, arr, 1)))
+            reads.append((yield from read_second(ctx, arr, 1)))
+
+        mem, (arr,) = run_single(kernel, (2, DType.INT2))
+        assert reads == [-5, 77]
+        assert mem.element_read(arr, 1) == pack_int2(-5, 77)
+
+    def test_halves_are_independent(self):
+        def kernel(ctx, arr):
+            yield from write_first(ctx, arr, 0, 111)
+
+        mem = GlobalMemory()
+        arr = mem.alloc("pm", 1, DType.INT2)
+        mem.element_write(arr, 0, pack_int2(1, 2))
+        SimtExecutor(mem).launch(kernel, 1, arr)
+        assert mem.element_read(arr, 0) == pack_int2(111, 2)
+
+    def test_atomic_max_half(self):
+        olds = []
+
+        def kernel(ctx, arr):
+            olds.append((yield from atomic_max_half(ctx, arr, 0, 0, 50)))
+            olds.append((yield from atomic_max_half(ctx, arr, 0, 1, -2)))
+
+        mem = GlobalMemory()
+        arr = mem.alloc("pm", 1, DType.INT2)
+        mem.element_write(arr, 0, pack_int2(10, -7))
+        SimtExecutor(mem).launch(kernel, 1, arr)
+        assert olds == [10, -7]
+        assert mem.element_read(arr, 0) == pack_int2(50, -2)
+
+    def test_atomic_max_half_validates(self):
+        def kernel(ctx, arr):
+            yield from atomic_max_half(ctx, arr, 0, 2, 0)
+
+        with pytest.raises(ValueError):
+            run_single(kernel, (1, DType.INT2))
+
+    def test_concurrent_half_writes_do_not_interfere(self):
+        def kernel(ctx, arr):
+            if ctx.tid == 0:
+                yield from write_first(ctx, arr, 0, 123)
+            else:
+                yield from write_second(ctx, arr, 0, 456)
+
+        for seed in range(40):
+            mem = GlobalMemory()
+            arr = mem.alloc("pm", 1, DType.INT2)
+            ex = SimtExecutor(mem, scheduler=AdversarialScheduler(seed),
+                              record_events=False)
+            ex.launch(kernel, 2, arr)
+            assert mem.element_read(arr, 0) == pack_int2(123, 456)

@@ -1,0 +1,124 @@
+"""Unit and property tests for the typecasting/masking bit helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    byte_in_word,
+    clear_byte,
+    insert_byte,
+    join_u64,
+    make_byte_mask,
+    split_u64,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestSignConversion:
+    def test_to_unsigned_negative_one_is_all_ones(self):
+        assert to_unsigned(-1, 8) == 0xFF
+        assert to_unsigned(-1, 32) == 0xFFFFFFFF
+        assert to_unsigned(-1, 64) == 0xFFFFFFFFFFFFFFFF
+
+    def test_to_signed_high_bit(self):
+        assert to_signed(0x80, 8) == -128
+        assert to_signed(0x7F, 8) == 127
+        assert to_signed(0x80000000, 32) == -(1 << 31)
+
+    def test_zero_roundtrip(self):
+        assert to_signed(to_unsigned(0, 32), 32) == 0
+
+    @pytest.mark.parametrize("bits", [0, -3])
+    def test_invalid_bits_rejected(self, bits):
+        with pytest.raises(ValueError):
+            to_unsigned(1, bits)
+        with pytest.raises(ValueError):
+            to_signed(1, bits)
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_roundtrip_32(self, value):
+        assert to_signed(to_unsigned(value, 32), 32) == value
+
+    @given(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1))
+    def test_roundtrip_64(self, value):
+        assert to_signed(to_unsigned(value, 64), 64) == value
+
+
+class TestByteInWord:
+    """Fig. 3b's shift-and-mask byte extraction."""
+
+    def test_extracts_each_position(self):
+        word = 0x44332211
+        assert byte_in_word(word, 0) == 0x11
+        assert byte_in_word(word, 1) == 0x22
+        assert byte_in_word(word, 2) == 0x33
+        assert byte_in_word(word, 3) == 0x44
+
+    def test_negative_word_reinterpreted(self):
+        assert byte_in_word(-1, 2) == 0xFF
+
+    @pytest.mark.parametrize("idx", [-1, 4, 100])
+    def test_bad_index(self, idx):
+        with pytest.raises(ValueError):
+            byte_in_word(0, idx)
+
+
+class TestByteMasking:
+    """Fig. 4b's atomicAnd mask construction."""
+
+    def test_mask_zeroes_only_target_byte(self):
+        word = 0xAABBCCDD
+        assert clear_byte(word, 0) == 0xAABBCC00
+        assert clear_byte(word, 1) == 0xAABB00DD
+        assert clear_byte(word, 2) == 0xAA00CCDD
+        assert clear_byte(word, 3) == 0x00BBCCDD
+
+    def test_mask_value_matches_paper(self):
+        # ~(0xff << ((v % 4) * 8)) for v % 4 == 1
+        assert make_byte_mask(1) == 0xFFFF00FF
+
+    def test_insert_byte(self):
+        assert insert_byte(0x44332211, 2, 0xEE) == 0x44EE2211
+
+    def test_insert_rejects_wide_values(self):
+        with pytest.raises(ValueError):
+            insert_byte(0, 0, 0x100)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=3),
+           st.integers(min_value=0, max_value=0xFF))
+    def test_insert_then_extract(self, word, idx, value):
+        assert byte_in_word(insert_byte(word, idx, value), idx) == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=3))
+    def test_clear_preserves_other_bytes(self, word, idx):
+        cleared = clear_byte(word, idx)
+        for other in range(4):
+            if other != idx:
+                assert byte_in_word(cleared, other) == byte_in_word(word, other)
+        assert byte_in_word(cleared, idx) == 0
+
+
+class TestU64Halves:
+    """Fig. 5's long-long half accessors."""
+
+    def test_split_low_high(self):
+        first, second = split_u64(0x1122334455667788)
+        assert first == 0x55667788
+        assert second == 0x11223344
+
+    def test_join_inverse(self):
+        assert join_u64(0x55667788, 0x11223344) == 0x1122334455667788
+
+    def test_negative_reinterpreted(self):
+        first, second = split_u64(-1)
+        assert first == second == 0xFFFFFFFF
+
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+    def test_roundtrip(self, value):
+        assert join_u64(*split_u64(value)) == value

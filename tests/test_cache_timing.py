@@ -1,0 +1,195 @@
+"""Tests for the cache models and the timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.accesses import MemSpan
+from repro.gpu.cache import AnalyticCache, CacheHierarchy, CacheSim
+from repro.gpu.device import DEVICE_ORDER, PAPER_GPUS, get_device
+from repro.gpu.timing import AccessStats, TimingModel
+
+
+class TestCacheSim:
+    def test_first_touch_misses_second_hits(self):
+        c = CacheSim(capacity_bytes=1024, ways=2, line_bytes=128)
+        span = MemSpan("a", 0, 4)
+        assert c.access(span) == 0
+        assert c.access(span) == 1
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+
+    def test_eviction_under_capacity_pressure(self):
+        c = CacheSim(capacity_bytes=256, ways=1, line_bytes=128)
+        for i in range(16):
+            c.access(MemSpan("a", i * 128, 4))
+        assert c.stats.evictions > 0
+
+    def test_multi_line_span_counts_per_line(self):
+        c = CacheSim(capacity_bytes=1024, ways=2, line_bytes=128)
+        c.access(MemSpan("a", 0, 256))
+        assert c.stats.accesses == 2
+
+    def test_contains_is_non_mutating(self):
+        c = CacheSim(capacity_bytes=1024, ways=2, line_bytes=128)
+        span = MemSpan("a", 0, 4)
+        assert not c.contains(span)
+        c.access(span)
+        assert c.contains(span)
+        assert c.stats.accesses == 1
+
+    def test_flush(self):
+        c = CacheSim(capacity_bytes=1024, ways=2, line_bytes=128)
+        span = MemSpan("a", 0, 4)
+        c.access(span)
+        c.flush()
+        assert not c.contains(span)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(DeviceError):
+            CacheSim(0)
+
+    def test_distinct_arrays_distinct_tags(self):
+        c = CacheSim(capacity_bytes=4096, ways=4, line_bytes=128)
+        c.access(MemSpan("a", 0, 4))
+        assert c.access(MemSpan("b", 0, 4)) == 0  # different array: miss
+
+    def test_hit_rate_statistic(self):
+        c = CacheSim(capacity_bytes=1024, ways=2, line_bytes=128)
+        span = MemSpan("a", 0, 4)
+        for _ in range(10):
+            c.access(span)
+        assert c.stats.hit_rate == pytest.approx(0.9)
+
+
+class TestAnalyticCache:
+    def test_fully_resident_footprint_hits_on_rereference(self):
+        c = AnalyticCache(capacity_bytes=1 << 20)
+        rate = c.hit_rate(footprint_bytes=1 << 16, accesses=1e6)
+        assert rate > 0.95
+
+    def test_oversized_footprint_scales_down(self):
+        c = AnalyticCache(capacity_bytes=1 << 16)
+        small = c.hit_rate(footprint_bytes=1 << 16, accesses=1e6)
+        large = c.hit_rate(footprint_bytes=1 << 22, accesses=1e6)
+        assert large < small
+
+    def test_no_reuse_means_no_hits(self):
+        c = AnalyticCache(capacity_bytes=1 << 20, line_bytes=128)
+        # every access touches a fresh line
+        rate = c.hit_rate(footprint_bytes=128 * 1000, accesses=1000)
+        assert rate == pytest.approx(0.0)
+
+    def test_zero_inputs(self):
+        c = AnalyticCache(capacity_bytes=1 << 20)
+        assert c.hit_rate(0, 100) == 0.0
+        assert c.hit_rate(100, 0) == 0.0
+
+    def test_hierarchy_aggregates_l1_over_sms(self):
+        dev = get_device("titanv")
+        h = CacheHierarchy.for_device(dev)
+        assert h.l1.capacity_bytes == dev.l1_bytes * dev.sms
+        assert h.l2.capacity_bytes == dev.l2_bytes
+
+
+class TestDevices:
+    def test_paper_table1_specs(self):
+        tv = get_device("titanv")
+        assert (tv.cores, tv.sms, tv.l1_kb) == (5120, 80, 96)
+        a100 = get_device("a100")
+        assert a100.l2_mb == 40.0 and a100.memory_gb == 40
+        rtx = get_device("4090")
+        assert rtx.cores == 16384 and rtx.architecture == "Ada Lovelace"
+
+    def test_lookup_by_display_name(self):
+        assert get_device("2070 Super").name == "2070 Super"
+        assert get_device("Titan V").architecture == "Volta"
+
+    def test_unknown_device(self):
+        with pytest.raises(DeviceError):
+            get_device("h100")
+
+    def test_device_order_covers_all(self):
+        assert set(DEVICE_ORDER) == set(PAPER_GPUS)
+
+    def test_titanv_predates_libcupp(self):
+        assert not get_device("titanv").supports_libcupp
+
+    def test_newer_devices_penalize_atomics_more(self):
+        """The Fig. 6 trend: synchronization hurts more on newer parts."""
+        t = get_device("2070super")
+        for newer in ("a100", "4090"):
+            d = get_device(newer)
+            assert d.atomic_store_extra_cycles > t.atomic_store_extra_cycles
+            assert d.atomic_contention_cycles > t.atomic_contention_cycles
+
+
+class TestTimingModel:
+    def _stats(self, **kwargs) -> AccessStats:
+        base = dict(footprint_bytes=1 << 16, rounds=1)
+        base.update(kwargs)
+        return AccessStats(**base)
+
+    def test_atomics_cost_more_than_plain(self):
+        model = TimingModel(get_device("titanv"))
+        plain = model.estimate_ms(self._stats(plain_loads=1e6))
+        atomic = model.estimate_ms(self._stats(atomic_loads=1e6))
+        assert atomic > plain
+
+    def test_atomic_stores_cost_more_than_atomic_loads(self):
+        model = TimingModel(get_device("titanv"))
+        loads = model.estimate_ms(self._stats(atomic_loads=1e6))
+        stores = model.estimate_ms(self._stats(atomic_stores=1e6))
+        assert stores > loads
+
+    def test_volatile_close_to_atomic_loads(self):
+        """The paper's GC/MST observation: volatile -> atomic is cheap."""
+        model = TimingModel(get_device("titanv"))
+        vol = model.estimate_ms(self._stats(volatile_loads=1e6))
+        atm = model.estimate_ms(self._stats(atomic_loads=1e6))
+        assert atm / vol < 1.25
+
+    def test_contention_adds_cost(self):
+        model = TimingModel(get_device("a100"))
+        free = model.estimate_ms(self._stats(atomic_rmws=1e5))
+        hot = model.estimate_ms(self._stats(atomic_rmws=1e5,
+                                            contended_atomics=1e5))
+        assert hot > free
+
+    def test_rounds_add_launch_overhead(self):
+        model = TimingModel(get_device("titanv"))
+        one = model.estimate_ms(self._stats(rounds=1))
+        many = model.estimate_ms(self._stats(rounds=1000))
+        assert many > one
+
+    def test_register_hits_are_free(self):
+        model = TimingModel(get_device("titanv"))
+        a = model.estimate_ms(self._stats(plain_loads=1000))
+        b = model.estimate_ms(self._stats(plain_loads=1000,
+                                          register_hits=1e9))
+        assert a == pytest.approx(b)
+
+    def test_breakdown_sums_to_total(self):
+        model = TimingModel(get_device("4090"))
+        stats = self._stats(plain_loads=1e5, volatile_loads=1e4,
+                            atomic_rmws=1e3, compute_ops=1e4, rounds=7)
+        bd = model.estimate(stats)
+        dev = model.device
+        cycles = (bd.plain_cycles + bd.volatile_cycles + bd.atomic_cycles
+                  + bd.contention_cycles + bd.compute_cycles)
+        expect = dev.cycles_to_ms(cycles / dev.parallel_lanes)
+        assert bd.total_ms == pytest.approx(expect + bd.launch_overhead_ms)
+
+    def test_merge_accumulates_and_footprint_maxes(self):
+        a = AccessStats(plain_loads=10, footprint_bytes=100)
+        b = AccessStats(plain_loads=5, footprint_bytes=400)
+        a.merge(b)
+        assert a.plain_loads == 15
+        assert a.footprint_bytes == 400
+
+    def test_total_accesses(self):
+        s = AccessStats(plain_loads=1, plain_stores=2, volatile_loads=3,
+                        volatile_stores=4, atomic_loads=5, atomic_stores=6,
+                        atomic_rmws=7)
+        assert s.total_accesses == 28

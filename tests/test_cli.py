@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_algo_and_input(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algo", "cc"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["run", "--algo", "cc", "--input", "internet"])
+        assert args.device == "titanv"
+        assert args.reps == 9
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "titanv" in out
+        assert "mis" in out
+        assert "amazon0601" in out
+        assert "wikipedia" in out
+
+    def test_run_racy_algorithm(self, capsys):
+        rc = main(["run", "--algo", "mis", "--input", "internet",
+                   "--reps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "race-free" in out
+        assert "speedup" in out
+
+    def test_run_apsp_reports_no_races(self, capsys):
+        rc = main(["run", "--algo", "apsp", "--input", "internet",
+                   "--reps", "1"])
+        assert rc == 0
+        assert "no races" in capsys.readouterr().out
+
+    def test_run_with_validation(self, capsys):
+        rc = main(["run", "--algo", "cc", "--input", "internet",
+                   "--reps", "1", "--validate"])
+        assert rc == 0
+
+    def test_races_racy_code(self, capsys):
+        rc = main(["races", "--algo", "gc"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gc baseline:" in out
+        assert "no data races detected" in out  # the race-free line
+
+    def test_races_apsp(self, capsys):
+        rc = main(["races", "--algo", "apsp"])
+        assert rc == 0
+        assert "no data races" in capsys.readouterr().out
+
+    def test_table_scc(self, capsys):
+        rc = main(["table", "--device", "2070super", "--algo", "scc",
+                   "--reps", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table VIII" in out
+        assert "Geomean Speedup" in out

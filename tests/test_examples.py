@@ -1,0 +1,87 @@
+"""Smoke tests: every example must run end to end.
+
+The examples are part of the public surface (README points users at
+them), so the test-suite executes each one's ``main()`` and checks the
+narrative output it promises.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "race-free speedup" in out
+        assert "verified" in out
+
+    def test_word_tearing_demo(self, capsys):
+        load_example("word_tearing_demo").main()
+        out = capsys.readouterr().out
+        assert "CHIMERA" in out
+        assert "livelock detected" in out
+        assert "nonsensical" in out
+
+    def test_race_detection_demo(self, capsys):
+        load_example("race_detection_demo").main()
+        out = capsys.readouterr().out
+        assert out.count("race-free: clean (result verified)") == 5
+        assert "APSP" in out
+
+    def test_profile_cc(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["profile_cc.py", "internet"])
+        load_example("profile_cc").main()
+        out = capsys.readouterr().out
+        assert "dominant racy site: cc.label.jump_read" in out
+        assert "L1-path share" in out
+
+    def test_custom_graph_analysis(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["custom_graph_analysis.py"])
+        load_example("custom_graph_analysis").main()
+        out = capsys.readouterr().out
+        assert "All results validated" in out
+
+    def test_migration_planner(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv",
+                            ["migration_planner.py", "cc", "internet"])
+        load_example("migration_planner").main()
+        out = capsys.readouterr().out
+        assert "migration plan" in out
+        assert "race-free" in out
+        assert "ship only the last row" in out
+
+    def test_weak_memory_demo(self, capsys):
+        load_example("weak_memory_demo").main()
+        out = capsys.readouterr().out
+        assert "LIVELOCKED" in out
+        assert "TORN/STALE" in out
+        assert out.count("all runs correct") >= 3
+
+    @pytest.mark.slow
+    def test_speedup_study(self, capsys, monkeypatch):
+        module = load_example("speedup_study")
+        # shrink the sweep for test time
+        monkeypatch.setattr(module, "UNDIRECTED",
+                            ["internet", "USA-road-d.NY"])
+        monkeypatch.setattr(module, "DIRECTED", ["star", "toroid-wedge"])
+        monkeypatch.setattr(module, "DEVICES", ["titanv"])
+        module.main()
+        out = capsys.readouterr().out
+        assert "Geometric-mean speedups" in out
+        assert "Table IX" in out

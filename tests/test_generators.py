@@ -1,0 +1,146 @@
+"""Tests for the synthetic graph generators (structural regimes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.properties import compute_properties
+
+
+class TestGrid:
+    def test_grid_degrees(self):
+        g = gen.grid2d(8)
+        assert g.num_vertices == 64
+        degs = g.degrees()
+        # corners 2, edges 3, interior 4
+        assert degs.max() == 4
+        assert degs.min() == 2
+        assert not g.directed
+
+    def test_grid_symmetric(self):
+        assert gen.grid2d(5).check_symmetric()
+
+    def test_grid_too_small(self):
+        with pytest.raises(GraphError):
+            gen.grid2d(1)
+
+
+class TestRandomAndRmat:
+    def test_random_uniform_degree_regime(self):
+        g = gen.random_uniform(2000, 8.0, seed=1)
+        p = compute_properties(g)
+        assert 6.0 < p.d_avg < 8.5
+        assert p.d_max < 8 * p.d_avg  # binomial: no heavy tail
+
+    def test_rmat_heavy_tail(self):
+        g = gen.rmat(10, 8, seed=2)
+        p = compute_properties(g)
+        assert p.d_max > 8 * p.d_avg  # power-law-ish tail
+
+    def test_kronecker_extreme_hubs(self):
+        g = gen.kronecker(10, 16, seed=3)
+        p = compute_properties(g)
+        assert p.d_max > 20 * p.d_avg
+
+    def test_rmat_invalid_probabilities(self):
+        with pytest.raises(GraphError):
+            gen.rmat(4, 2, a=0.9, b=0.2, c=0.2)
+
+    def test_determinism(self):
+        a = gen.rmat(8, 4, seed=42)
+        b = gen.rmat(8, 4, seed=42)
+        assert np.array_equal(a.col_indices, b.col_indices)
+        c = gen.rmat(8, 4, seed=43)
+        assert not np.array_equal(a.col_indices, c.col_indices)
+
+
+class TestPreferentialAttachment:
+    def test_connected_and_skewed(self):
+        g = gen.preferential_attachment(500, 3, seed=4)
+        p = compute_properties(g)
+        assert p.d_max > 4 * p.d_avg
+        # PA graphs are connected by construction
+        import networkx as nx
+        assert nx.is_connected(g.to_networkx())
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            gen.preferential_attachment(3, 5)
+        with pytest.raises(GraphError):
+            gen.preferential_attachment(10, 0)
+
+
+class TestRoadmapAndMesh:
+    def test_roadmap_low_degree_large_diameter(self):
+        g = gen.roadmap(900, seed=5)
+        p = compute_properties(g)
+        assert p.d_avg < 3.5
+        assert p.d_max <= 8
+        import networkx as nx
+        nxg = g.to_networkx()
+        assert nx.is_connected(nxg)  # spanning tree base keeps it whole
+
+    def test_delaunay_planar_regime(self):
+        g = gen.delaunay(300, seed=6)
+        p = compute_properties(g)
+        assert 4.0 < p.d_avg < 7.0
+
+    def test_copaper_high_average_degree(self):
+        g = gen.copaper_graph(400, 40.0, seed=7)
+        assert compute_properties(g).d_avg > 20
+
+
+class TestDirectedMeshes:
+    def test_torus_is_one_scc(self):
+        g = gen.directed_torus(8, 6)
+        from repro.algorithms.verify import tarjan_scc
+        comp = tarjan_scc(g)
+        assert len(set(comp.tolist())) == 1
+
+    def test_torus_chord_raises_degree(self):
+        plain = gen.directed_torus(8, 6, chord=0)
+        hexed = gen.directed_torus(8, 6, chord=3)
+        assert hexed.num_edges > plain.num_edges
+
+    def test_star_mesh_uniform_out_degree(self):
+        g = gen.star_mesh(64)
+        assert g.degrees().max() == 2
+        assert g.degrees().min() == 2
+
+    def test_star_mesh_single_scc(self):
+        from repro.algorithms.verify import tarjan_scc
+        comp = tarjan_scc(gen.star_mesh(32))
+        assert len(set(comp.tolist())) == 1
+
+    def test_klein_bottle_degree_regime(self):
+        g = gen.klein_bottle_mesh(16, 8)
+        p = compute_properties(g)
+        assert 1.9 < p.d_avg < 2.6
+
+    def test_layered_flow_has_multiple_sccs(self):
+        from repro.algorithms.verify import tarjan_scc
+        g = gen.layered_flow(300, seed=8)
+        comp = tarjan_scc(g)
+        n_comps = len(set(comp.tolist()))
+        assert 1 < n_comps < g.num_vertices  # nontrivial partition
+
+    def test_circuit_has_giant_hub(self):
+        g = gen.circuit_graph(2000, seed=9)
+        p = compute_properties(g)
+        assert p.d_max > g.num_vertices * 0.05
+
+    def test_directed_powerlaw_giant_plus_trivial_sccs(self):
+        from repro.algorithms.verify import tarjan_scc
+        g = gen.directed_powerlaw(600, 8.0, seed=10)
+        comp = tarjan_scc(g)
+        sizes = np.bincount(comp)
+        assert sizes.max() > 50          # a giant SCC
+        assert (sizes == 1).sum() > 10   # plus many trivial ones
+
+    def test_cage_banded(self):
+        g = gen.cage_graph(500, seed=11, band=20)
+        src, dst = g.edge_array()
+        assert np.abs(src.astype(int) - dst.astype(int)).max() <= 20

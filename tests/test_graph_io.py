@@ -1,0 +1,83 @@
+"""Round-trip tests for graph serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import generators as gen
+from repro.graphs.io import (
+    read_binary,
+    read_edgelist,
+    write_binary,
+    write_edgelist,
+)
+
+
+def _assert_same(a, b):
+    assert a.num_vertices == b.num_vertices
+    assert a.directed == b.directed
+    assert np.array_equal(a.row_offsets, b.row_offsets)
+    assert np.array_equal(a.col_indices, b.col_indices)
+    if a.weights is None:
+        assert b.weights is None
+    else:
+        assert np.array_equal(a.weights, b.weights)
+
+
+class TestBinary:
+    def test_roundtrip_unweighted(self, tmp_path):
+        g = gen.random_uniform(50, 4.0, seed=1)
+        path = tmp_path / "g.eclr"
+        write_binary(g, path)
+        _assert_same(g, read_binary(path))
+
+    def test_roundtrip_weighted_directed(self, tmp_path):
+        g = gen.directed_powerlaw(40, 3.0, seed=2).with_random_weights(5)
+        path = tmp_path / "g.eclr"
+        write_binary(g, path)
+        back = read_binary(path)
+        _assert_same(g, back)
+        assert back.directed
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.eclr"
+        path.write_bytes(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(GraphFormatError):
+            read_binary(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        g = gen.random_uniform(50, 4.0, seed=1)
+        path = tmp_path / "g.eclr"
+        write_binary(g, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(GraphFormatError):
+            read_binary(path)
+
+
+class TestEdgelist:
+    def test_roundtrip(self, tmp_path):
+        g = gen.grid2d(5)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        _assert_same(g, read_edgelist(path))
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = gen.grid2d(4).with_random_weights(seed=1)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        _assert_same(g, read_edgelist(path))
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("not a header\n0 1\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# vertices 3 directed 0 weighted 0\n0 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist(path)

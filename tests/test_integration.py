@@ -1,0 +1,99 @@
+"""End-to-end integration tests: the paper's headline shapes.
+
+These run the real study machinery on a handful of scaled suite inputs
+and assert the *qualitative* results of Section VI — who wins, roughly
+by how much, and the cross-device trend — not exact table cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Study, Variant
+from repro.core.report import geomean_summary
+from repro.core.variants import list_algorithms
+from repro.utils.stats import geometric_mean
+
+INPUTS = ["internet", "amazon0601", "citationCiteseer", "rmat16.sym",
+          "USA-road-d.NY"]
+DIRECTED = ["star", "toroid-wedge", "web-Google"]
+
+
+@pytest.fixture(scope="module")
+def study():
+    return Study(reps=3)
+
+
+def geomean_speedup(study, algo, device, inputs):
+    cells = [study.speedup(algo, name, device) for name in inputs]
+    return geometric_mean([c.speedup for c in cells])
+
+
+class TestHeadlineShapes:
+    def test_cc_substantially_slower(self, study):
+        """Tables IV-VII: race-free CC loses 10-60 %."""
+        for device in ("titanv", "4090"):
+            gm = geomean_speedup(study, "cc", device, INPUTS)
+            assert gm < 0.9, f"CC on {device}: {gm}"
+
+    def test_scc_substantially_slower(self, study):
+        """Table VIII: race-free SCC loses 20-50 %."""
+        for device in ("titanv", "a100"):
+            gm = geomean_speedup(study, "scc", device, DIRECTED)
+            assert gm < 0.95, f"SCC on {device}: {gm}"
+
+    def test_gc_and_mst_nearly_unaffected(self, study):
+        """Tables IV-VII: GC and MST stay above ~0.92 geomean."""
+        for algo in ("gc", "mst"):
+            gm = geomean_speedup(study, algo, "titanv", INPUTS)
+            assert gm > 0.90, f"{algo}: {gm}"
+
+    def test_mis_racefree_faster(self, study):
+        """The headline: race-free MIS wins on every device."""
+        for device in ("titanv", "2070super", "a100", "4090"):
+            gm = geomean_speedup(study, "mis", device, INPUTS)
+            assert gm > 1.0, f"MIS on {device}: {gm}"
+
+    def test_2070super_least_penalized_for_cc(self, study):
+        """Fig. 6: the Turing part suffers least from the conversion."""
+        turing = geomean_speedup(study, "cc", "2070super", INPUTS)
+        for device in ("titanv", "a100", "4090"):
+            assert turing > geomean_speedup(study, "cc", device, INPUTS)
+
+    def test_newer_gpus_hurt_more_overall(self, study):
+        """Section VII's trend, aggregated over CC+SCC."""
+        old = (geomean_speedup(study, "cc", "2070super", INPUTS)
+               * geomean_speedup(study, "scc", "2070super", DIRECTED))
+        new = (geomean_speedup(study, "cc", "4090", INPUTS)
+               * geomean_speedup(study, "scc", "4090", DIRECTED))
+        assert new < old
+
+
+class TestCrossCutting:
+    def test_all_racy_algorithms_registered(self):
+        keys = {a.key for a in list_algorithms()}
+        assert keys == {"apsp", "cc", "gc", "mis", "mst", "scc"}
+
+    def test_racefree_runs_have_no_racy_traffic(self, study):
+        """After the transform, no shared site may remain plain or
+        volatile — checked on real runs via the recorded stats."""
+        for algo in ("cc", "gc", "mis", "scc"):
+            result = study.run(algo, "internet" if algo != "scc" else "star",
+                               "titanv", Variant.RACE_FREE)
+            assert result.last_run.stats.volatile_loads == 0
+            assert result.last_run.stats.volatile_stores == 0
+
+    def test_geomean_summary_over_multiple_devices(self, study):
+        cells = []
+        for device in ("titanv", "4090"):
+            for name in INPUTS[:2]:
+                cells.append(study.speedup("mis", name, device))
+        summary = geomean_summary(cells)
+        assert set(summary) == {"titanv", "4090"}
+
+    def test_run_to_run_determinism(self):
+        """Same seeds, same graphs, same devices: identical medians."""
+        a = Study(reps=2).speedup("cc", "internet", "titanv")
+        b = Study(reps=2).speedup("cc", "internet", "titanv")
+        assert a.baseline_ms == b.baseline_ms
+        assert a.racefree_ms == b.racefree_ms

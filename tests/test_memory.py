@@ -1,0 +1,168 @@
+"""Tests for the byte-granular global memory model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryAccessError
+from repro.gpu.accesses import DType, MemSpan
+from repro.gpu.memory import (
+    GlobalMemory,
+    pack_int2,
+    split_native_words,
+    unpack_int2,
+)
+
+
+class TestAllocation:
+    def test_alloc_and_fill(self):
+        mem = GlobalMemory()
+        h = mem.alloc("a", 4, DType.I32, fill=-1)
+        assert all(mem.element_read(h, i) == -1 for i in range(4))
+
+    def test_double_alloc_rejected(self):
+        mem = GlobalMemory()
+        mem.alloc("a", 1, DType.I32)
+        with pytest.raises(MemoryAccessError):
+            mem.alloc("a", 1, DType.I32)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(MemoryAccessError):
+            GlobalMemory().alloc("a", -1, DType.I32)
+
+    def test_free_then_use_rejected(self):
+        mem = GlobalMemory()
+        h = mem.alloc("a", 1, DType.I32)
+        mem.free("a")
+        with pytest.raises(MemoryAccessError):
+            mem.element_read(h, 0)
+
+    def test_free_unallocated_rejected(self):
+        with pytest.raises(MemoryAccessError):
+            GlobalMemory().free("nope")
+
+    def test_handle_lookup(self):
+        mem = GlobalMemory()
+        h = mem.alloc("x", 3, DType.U8)
+        assert mem.handle("x") == h
+        with pytest.raises(MemoryAccessError):
+            mem.handle("y")
+
+
+class TestTransfer:
+    def test_upload_download_i32(self):
+        mem = GlobalMemory()
+        h = mem.alloc("a", 5, DType.I32)
+        vals = np.array([-2, -1, 0, 1, 2], dtype=np.int64)
+        mem.upload(h, vals)
+        assert np.array_equal(mem.download(h), vals)
+
+    def test_upload_download_u8(self):
+        mem = GlobalMemory()
+        h = mem.alloc("a", 4, DType.U8)
+        mem.upload(h, np.array([0, 127, 200, 255]))
+        assert np.array_equal(mem.download(h), [0, 127, 200, 255])
+
+    def test_upload_download_i64(self):
+        mem = GlobalMemory()
+        h = mem.alloc("a", 3, DType.I64)
+        vals = np.array([-(1 << 40), 0, (1 << 40)], dtype=np.int64)
+        mem.upload(h, vals)
+        assert np.array_equal(mem.download(h), vals)
+
+    def test_upload_length_checked(self):
+        mem = GlobalMemory()
+        h = mem.alloc("a", 3, DType.I32)
+        with pytest.raises(MemoryAccessError):
+            mem.upload(h, np.zeros(4))
+
+
+class TestElementOps:
+    @pytest.mark.parametrize("dtype,value", [
+        (DType.U8, 0xAB),
+        (DType.I32, -123456),
+        (DType.U32, 0xDEADBEEF),
+        (DType.I64, -(1 << 50)),
+        (DType.U64, (1 << 60) + 7),
+        (DType.INT2, pack_int2(-3, 9)),
+    ])
+    def test_write_read_roundtrip(self, dtype, value):
+        mem = GlobalMemory()
+        h = mem.alloc("a", 2, dtype)
+        mem.element_write(h, 1, value)
+        assert mem.element_read(h, 1) == value
+
+    def test_out_of_bounds_element(self):
+        mem = GlobalMemory()
+        h = mem.alloc("a", 2, DType.I32)
+        with pytest.raises(MemoryAccessError):
+            h.span(2)
+        with pytest.raises(MemoryAccessError):
+            h.span(-1)
+
+    def test_subspan_bounds(self):
+        mem = GlobalMemory()
+        h = mem.alloc("a", 1, DType.I64)
+        h.subspan(0, 4, 4)  # high half OK
+        with pytest.raises(MemoryAccessError):
+            h.subspan(0, 5, 4)
+
+    def test_cast_span_bounds(self):
+        mem = GlobalMemory()
+        h = mem.alloc("a", 8, DType.U8)
+        h.cast_span(4, 4)
+        with pytest.raises(MemoryAccessError):
+            h.cast_span(6, 4)
+
+    def test_char_array_int_view(self):
+        """Fig. 3: an int-sized read over a char array sees 4 bytes."""
+        mem = GlobalMemory()
+        h = mem.alloc("stat", 8, DType.U8)
+        for i, b in enumerate([0x11, 0x22, 0x33, 0x44]):
+            mem.element_write(h, 4 + i, b)
+        word = mem.span_read(h.cast_span(4, 4))
+        assert word == 0x44332211  # little-endian
+
+
+class TestWordSplitting:
+    def test_aligned_64bit_splits_in_two(self):
+        pieces = split_native_words(MemSpan("a", 8, 8))
+        assert [(p.start, p.nbytes) for p in pieces] == [(8, 4), (12, 4)]
+
+    def test_single_byte_stays_whole(self):
+        pieces = split_native_words(MemSpan("a", 5, 1))
+        assert len(pieces) == 1
+
+    def test_unaligned_span_splits_at_boundary(self):
+        pieces = split_native_words(MemSpan("a", 6, 4))
+        assert [(p.start, p.nbytes) for p in pieces] == [(6, 2), (8, 2)]
+
+    @given(st.integers(0, 64), st.integers(1, 16))
+    def test_pieces_cover_exactly(self, start, nbytes):
+        pieces = split_native_words(MemSpan("a", start, nbytes))
+        covered = []
+        for p in pieces:
+            covered.extend(range(p.start, p.end))
+        assert covered == list(range(start, start + nbytes))
+
+
+class TestInt2:
+    def test_pack_unpack(self):
+        assert unpack_int2(pack_int2(-5, 1 << 30)) == (-5, 1 << 30)
+
+    @given(st.integers(-(2 ** 31), 2 ** 31 - 1),
+           st.integers(-(2 ** 31), 2 ** 31 - 1))
+    def test_roundtrip(self, a, b):
+        assert unpack_int2(pack_int2(a, b)) == (a, b)
+
+
+class TestSpanOverlap:
+    def test_overlap_same_array(self):
+        assert MemSpan("a", 0, 4).overlaps(MemSpan("a", 3, 4))
+        assert not MemSpan("a", 0, 4).overlaps(MemSpan("a", 4, 4))
+
+    def test_no_overlap_across_arrays(self):
+        assert not MemSpan("a", 0, 4).overlaps(MemSpan("b", 0, 4))

@@ -1,0 +1,78 @@
+"""Tests for the memory-order pricing extension (Section IV.B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transform import AccessPlan, AccessSite, with_order
+from repro.core.variants import Variant
+from repro.gpu.accesses import AccessKind, MemoryOrder
+from repro.gpu.device import get_device
+from repro.gpu.timing import AccessStats, TimingModel
+from repro.perf.engine import Recorder
+
+
+def plan_with(order: MemoryOrder) -> AccessPlan:
+    return with_order(AccessPlan("t", (
+        AccessSite("t.site", AccessKind.PLAIN),
+        AccessSite("t.private", AccessKind.PLAIN, shared=False),
+    )), order)
+
+
+class TestWithOrder:
+    def test_sets_order_on_shared_sites(self):
+        plan = plan_with(MemoryOrder.SEQ_CST)
+        assert plan.site("t.site").order is MemoryOrder.SEQ_CST
+
+    def test_private_sites_untouched(self):
+        plan = plan_with(MemoryOrder.SEQ_CST)
+        assert plan.site("t.private").order is MemoryOrder.RELAXED
+
+    def test_default_plans_are_relaxed(self):
+        from repro.algorithms.cc import ACCESS_PLAN
+
+        assert all(s.order is MemoryOrder.RELAXED
+                   for s in ACCESS_PLAN.sites)
+
+
+class TestOrderedAtomicCounting:
+    def _count(self, order: MemoryOrder, variant=Variant.RACE_FREE):
+        recorder = Recorder(plan_with(order), variant,
+                            get_device("titanv"))
+        recorder.load("t.site", count=100)
+        recorder.store("t.site", count=10)
+        return recorder.stats.ordered_atomics
+
+    def test_relaxed_counts_nothing(self):
+        assert self._count(MemoryOrder.RELAXED) == 0
+
+    def test_acq_rel_counts_once(self):
+        assert self._count(MemoryOrder.ACQ_REL) == 110
+
+    def test_seq_cst_counts_double(self):
+        assert self._count(MemoryOrder.SEQ_CST) == 220
+
+    def test_baseline_plain_accesses_never_ordered(self):
+        assert self._count(MemoryOrder.SEQ_CST,
+                           variant=Variant.BASELINE) == 0
+
+
+class TestOrderedAtomicPricing:
+    def test_ordered_atomics_cost_extra(self):
+        model = TimingModel(get_device("titanv"))
+        base = AccessStats(atomic_loads=1e5, footprint_bytes=1 << 16,
+                           rounds=1)
+        ordered = AccessStats(atomic_loads=1e5, ordered_atomics=1e5,
+                              footprint_bytes=1 << 16, rounds=1)
+        assert model.estimate_ms(ordered) > model.estimate_ms(base)
+
+    def test_extra_scales_with_device_constant(self):
+        import dataclasses
+
+        dev = get_device("titanv")
+        cheap = dataclasses.replace(dev, memory_order_extra_cycles=10.0)
+        pricey = dataclasses.replace(dev, memory_order_extra_cycles=500.0)
+        stats = AccessStats(atomic_loads=1e5, ordered_atomics=1e5,
+                            footprint_bytes=1 << 16, rounds=1)
+        assert (TimingModel(pricey).estimate_ms(stats)
+                > TimingModel(cheap).estimate_ms(stats))

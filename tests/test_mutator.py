@@ -1,0 +1,102 @@
+"""Tests for the Indigo3-style bug-variant generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variants import Variant
+from repro.errors import StudyError
+from repro.gpu.device import get_device
+from repro.graphs import generators as gen
+from repro.patterns.mutator import (
+    enumerate_variants,
+    migration_path,
+)
+
+
+def cc_plan():
+    from repro.algorithms.cc import ACCESS_PLAN
+
+    return ACCESS_PLAN
+
+
+class TestEnumeration:
+    def test_counts_subsets(self):
+        plan = cc_plan()
+        k = len(plan.racy_sites())
+        variants = list(enumerate_variants(plan))
+        assert len(variants) == 2 ** k
+
+    def test_first_is_baseline_last_is_complete(self):
+        variants = list(enumerate_variants(cc_plan()))
+        assert variants[0].label == "baseline"
+        assert not variants[0].is_complete
+        assert variants[-1].is_complete
+        assert variants[-1].label == "race-free"
+
+    def test_partial_variants_still_have_races(self):
+        variants = list(enumerate_variants(cc_plan()))
+        for v in variants[:-1]:
+            assert v.plan.has_races, v.label
+
+    def test_max_variants_cap(self):
+        variants = list(enumerate_variants(cc_plan(), max_variants=3))
+        assert len(variants) == 3
+
+    def test_raceless_plan_rejected(self):
+        from repro.algorithms.apsp import ACCESS_PLAN
+
+        with pytest.raises(StudyError):
+            list(enumerate_variants(ACCESS_PLAN))
+
+    def test_detector_flags_every_partial_variant(self, tiny_graph):
+        """The Indigo3 use-case: a sound detector must flag every
+        variant that is not the full conversion."""
+        from repro.algorithms import cc
+        from repro.gpu.interleave import RandomScheduler
+        from repro.gpu.racecheck import RaceDetector
+
+        original = cc.ACCESS_PLAN
+        try:
+            for variant in enumerate_variants(cc_plan()):
+                cc.ACCESS_PLAN = variant.plan
+                _, ex = cc.run_simt(tiny_graph, Variant.BASELINE,
+                                    scheduler=RandomScheduler(3))
+                races = RaceDetector().check(ex)
+                if variant.is_complete:
+                    assert not races, variant.label
+                else:
+                    assert races, f"missed races in {variant.label}"
+        finally:
+            cc.ACCESS_PLAN = original
+
+
+class TestMigrationPath:
+    @pytest.fixture(scope="class")
+    def path(self):
+        graph = gen.preferential_attachment(300, 3, seed=11)
+        return migration_path("cc", graph, get_device("titanv"))
+
+    def test_covers_all_sites(self, path):
+        assert path[0].remaining_racy_sites == len(cc_plan().racy_sites())
+        assert path[-1].remaining_racy_sites == 0
+        assert path[-1].variant.is_complete
+
+    def test_runtime_monotonically_nondecreasing(self, path):
+        """Converting a racy site can only add cost in this model."""
+        runtimes = [s.runtime_ms for s in path]
+        assert all(a <= b + 1e-12 for a, b in zip(runtimes, runtimes[1:]))
+
+    def test_greedy_defers_the_expensive_jump_reads(self, path):
+        """CC's conversion budget concentrates in the jump reads, so
+        the greedy order converts them last."""
+        assert "cc.label.jump_read" in path[-1].variant.converted
+        order = list(path[-1].variant.converted)
+        assert order.index("cc.label.jump_read") == len(order) - 1
+
+    def test_no_races_no_path(self):
+        with pytest.raises(StudyError):
+            migration_path("apsp",
+                           gen.random_uniform(8, 2.0, seed=1)
+                           .with_random_weights(1),
+                           get_device("titanv"))

@@ -1,0 +1,81 @@
+"""Tests for the Indigo-style pattern corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variants import Variant
+from repro.errors import ReproError
+from repro.patterns import PATTERNS, PatternOutcome, get_pattern, run_pattern
+
+RACY_PATTERNS = [p.name for p in PATTERNS.values() if p.expected_racy]
+CLEAN_PATTERNS = [p.name for p in PATTERNS.values() if not p.expected_racy]
+
+
+class TestCorpus:
+    def test_corpus_is_nonempty_and_mixed(self):
+        assert len(RACY_PATTERNS) >= 4
+        assert len(CLEAN_PATTERNS) >= 2  # the false-positive probes
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ReproError):
+            get_pattern("nope")
+
+    def test_patterns_have_descriptions(self):
+        for p in PATTERNS.values():
+            assert len(p.description) > 20
+
+
+class TestRacyPatterns:
+    @pytest.mark.parametrize("name", RACY_PATTERNS)
+    def test_baseline_variant_races(self, name):
+        """Every racy pattern's buggy variant must be flagged."""
+        result = run_pattern(name, Variant.BASELINE, seed=1)
+        assert result.races > 0, f"{name}: detector missed the race"
+
+    @pytest.mark.parametrize("name", RACY_PATTERNS)
+    def test_fixed_variant_clean_and_correct(self, name):
+        for seed in range(4):
+            result = run_pattern(name, Variant.RACE_FREE, seed=seed)
+            assert result.races == 0, f"{name}: fix still races"
+            assert result.outcome is PatternOutcome.CORRECT, \
+                f"{name}: fix computed a wrong result (seed {seed})"
+
+    def test_lost_update_actually_loses_updates(self):
+        outcomes = {run_pattern("lost_update", Variant.BASELINE, seed=s).outcome
+                    for s in range(30)}
+        assert PatternOutcome.WRONG_RESULT in outcomes
+
+    def test_flag_spin_can_livelock(self):
+        outcomes = {run_pattern("flag_spin", Variant.BASELINE, seed=s,
+                                max_steps=50_000).outcome
+                    for s in range(10)}
+        assert PatternOutcome.LIVELOCK in outcomes
+
+    def test_torn_write_can_produce_chimera(self):
+        # tearing needs the reader's two word loads to straddle the
+        # writer's two word stores — a rare window, so many schedules
+        outcomes = {run_pattern("torn_wide_write", Variant.BASELINE,
+                                seed=s).outcome
+                    for s in range(300)}
+        assert PatternOutcome.WRONG_RESULT in outcomes
+
+    def test_missing_barrier_can_compute_wrong_sum(self):
+        outcomes = {run_pattern("missing_barrier", Variant.BASELINE,
+                                seed=s).outcome
+                    for s in range(40)}
+        assert PatternOutcome.WRONG_RESULT in outcomes
+
+
+class TestCleanPatterns:
+    """The false-positive probes: these LOOK racy but are not; a
+    byte-granular, kernel-boundary-aware detector must stay silent."""
+
+    @pytest.mark.parametrize("name", CLEAN_PATTERNS)
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_no_races_reported(self, name, variant):
+        for seed in range(4):
+            result = run_pattern(name, variant, seed=seed)
+            assert result.races == 0, \
+                f"false positive on {name} (seed {seed})"
+            assert result.outcome is PatternOutcome.CORRECT

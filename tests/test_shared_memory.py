@@ -1,0 +1,122 @@
+"""Tests for block-shared memory (``__shared__`` scratchpads)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import apsp, verify
+from repro.errors import KernelError
+from repro.gpu.accesses import AccessKind, DType
+from repro.gpu.interleave import AdversarialScheduler, RandomScheduler
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.racecheck import RaceDetector
+from repro.gpu.simt import SimtExecutor
+from repro.graphs import generators as gen
+
+
+class TestSharedArrays:
+    def test_block_staging_roundtrip(self):
+        mem = GlobalMemory()
+        ex = SimtExecutor(mem)
+        out = mem.alloc("out", 4, DType.I32)
+
+        def kernel(ctx, out):
+            smem = ctx.shared("buf")
+            yield ctx.store(smem, ctx.lane, ctx.tid * 3)
+            yield ctx.barrier()
+            v = yield ctx.load(smem, (ctx.lane + 1) % 4)
+            yield ctx.store(out, ctx.tid, v)
+
+        ex.launch(kernel, 4, out, block_dim=4,
+                  shared={"buf": (4, DType.I32)})
+        assert np.array_equal(mem.download(out), [3, 6, 9, 0])
+
+    def test_blocks_get_separate_instances(self):
+        """Two blocks write 'the same' shared array without conflict."""
+        mem = GlobalMemory()
+        ex = SimtExecutor(mem)
+        out = mem.alloc("out", 4, DType.I32)
+
+        def kernel(ctx, out):
+            smem = ctx.shared("buf")
+            if ctx.lane == 0:
+                yield ctx.store(smem, 0, ctx.block + 10)
+            yield ctx.barrier()
+            v = yield ctx.load(smem, 0)
+            yield ctx.store(out, ctx.tid, v)
+
+        ex.launch(kernel, 4, out, block_dim=2,
+                  shared={"buf": (1, DType.I32)})
+        assert np.array_equal(mem.download(out), [10, 10, 11, 11])
+        # and the same-name writes from different blocks are NOT races
+        assert RaceDetector().check(ex) == []
+
+    def test_undeclared_shared_rejected(self):
+        mem = GlobalMemory()
+        ex = SimtExecutor(mem)
+
+        def kernel(ctx):
+            smem = ctx.shared("nope")
+            yield ctx.load(smem, 0)
+
+        with pytest.raises(KernelError):
+            ex.launch(kernel, 1)
+
+    def test_shared_freed_after_launch(self):
+        from repro.errors import MemoryAccessError
+
+        mem = GlobalMemory()
+        ex = SimtExecutor(mem)
+
+        def kernel(ctx):
+            smem = ctx.shared("buf")
+            yield ctx.store(smem, 0, 1)
+
+        ex.launch(kernel, 1, shared={"buf": (1, DType.I32)})
+        with pytest.raises(MemoryAccessError):
+            mem.handle("__shared__0_0_buf")
+
+    def test_relaunch_reuses_names(self):
+        """Shared instances must not collide across launches."""
+        mem = GlobalMemory()
+        ex = SimtExecutor(mem)
+
+        def kernel(ctx):
+            smem = ctx.shared("buf")
+            yield ctx.store(smem, 0, 1)
+
+        ex.launch(kernel, 1, shared={"buf": (1, DType.I32)})
+        ex.launch(kernel, 1, shared={"buf": (1, DType.I32)})
+
+    def test_unsynchronized_shared_access_is_a_race(self):
+        mem = GlobalMemory()
+        ex = SimtExecutor(mem)
+
+        def kernel(ctx):
+            smem = ctx.shared("buf")
+            yield ctx.store(smem, 0, ctx.tid)  # no barrier: ww race
+
+        ex.launch(kernel, 2, block_dim=2, shared={"buf": (1, DType.I32)})
+        assert RaceDetector().check(ex)
+
+
+class TestSharedMemoryAPSP:
+    def test_matches_reference(self):
+        g = gen.random_uniform(6, 2.0, seed=3).with_random_weights(seed=4)
+        dist, ex = apsp.run_simt_shared(g, scheduler=RandomScheduler(1))
+        verify.check_apsp(g, dist)
+
+    def test_race_free_under_adversarial_schedule(self):
+        g = gen.random_uniform(5, 2.0, seed=5).with_random_weights(seed=6)
+        dist, ex = apsp.run_simt_shared(
+            g, scheduler=AdversarialScheduler(7))
+        verify.check_apsp(g, dist)
+        assert RaceDetector().check(ex) == []
+
+    def test_matches_global_memory_kernel(self):
+        g = gen.random_uniform(6, 2.0, seed=8).with_random_weights(seed=9)
+        shared_dist, _ = apsp.run_simt_shared(g,
+                                              scheduler=RandomScheduler(2))
+        global_dist, _ = apsp.run_simt(g, scheduler=RandomScheduler(2))
+        assert np.array_equal(shared_dist, global_dist)

@@ -1,0 +1,68 @@
+"""Tests for saving/loading study results (the artifact's raw logs)."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+from repro import Study, Variant
+from repro.errors import StudyError
+from repro.graphs import generators as gen
+
+
+@pytest.fixture
+def populated_study():
+    study = Study(reps=2)
+    g = gen.random_uniform(80, 3.0, seed=4, name="persist80")
+    study.run("cc", g, "titanv", Variant.BASELINE)
+    study.run("cc", g, "titanv", Variant.RACE_FREE)
+    return study, g
+
+
+class TestPersistence:
+    def test_roundtrip(self, populated_study, tmp_path):
+        study, g = populated_study
+        path = tmp_path / "results.json"
+        study.save_results(path)
+
+        fresh = Study(reps=2)
+        assert fresh.load_results(path) == 2
+        # the speedup can now be computed without re-simulation
+        cell = fresh.speedup("cc", g, "titanv")
+        reference = study.speedup("cc", g, "titanv")
+        assert cell.speedup == reference.speedup
+
+    def test_loaded_runs_have_no_outputs(self, populated_study, tmp_path):
+        study, g = populated_study
+        path = tmp_path / "results.json"
+        study.save_results(path)
+        fresh = Study(reps=2)
+        fresh.load_results(path)
+        result = fresh.run("cc", g, "titanv", Variant.BASELINE)
+        assert result.last_run is None
+
+    def test_mismatched_protocol_rejected(self, populated_study, tmp_path):
+        study, _ = populated_study
+        path = tmp_path / "results.json"
+        study.save_results(path)
+        with pytest.raises(StudyError):
+            Study(reps=9).load_results(path)
+
+    def test_unloaded_configs_still_run(self, populated_study, tmp_path):
+        study, g = populated_study
+        path = tmp_path / "results.json"
+        study.save_results(path)
+        fresh = Study(reps=2)
+        fresh.load_results(path)
+        # a config not in the log simulates normally
+        result = fresh.run("gc", g, "titanv", Variant.BASELINE)
+        assert result.last_run is not None
+
+
+class TestDoctests:
+    def test_bitops_doctests(self):
+        import repro.utils.bitops as bitops
+
+        failures = doctest.testmod(bitops).failed
+        assert failures == 0

@@ -1,0 +1,118 @@
+"""Tests for the study framework and report generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Study, Variant
+from repro.core.report import (
+    correlation_table,
+    fig6_bars,
+    geomean_summary,
+    speedup_table,
+    to_csv,
+)
+from repro.core.study import SpeedupCell
+from repro.errors import StudyError
+from repro.graphs import generators as gen
+
+
+@pytest.fixture(scope="module")
+def study():
+    return Study(reps=3)
+
+
+class TestStudy:
+    def test_run_produces_median_of_reps(self, study):
+        g = gen.random_uniform(200, 4.0, seed=1, name="t200")
+        result = study.run("cc", g, "titanv", Variant.BASELINE)
+        assert len(result.runtimes_ms) == 3
+        assert result.median_ms > 0
+
+    def test_memoization(self, study):
+        g = gen.random_uniform(200, 4.0, seed=1, name="t200")
+        a = study.run("cc", g, "titanv", Variant.BASELINE)
+        b = study.run("cc", g, "titanv", Variant.BASELINE)
+        assert a is b
+
+    def test_speedup_cell(self, study):
+        g = gen.random_uniform(200, 4.0, seed=1, name="t200")
+        cell = study.speedup("cc", g, "titanv")
+        assert cell.speedup == pytest.approx(
+            cell.baseline_ms / cell.racefree_ms)
+
+    def test_suite_input_by_name(self, study):
+        cell = study.speedup("mis", "internet", "2070super")
+        assert cell.input_name == "internet"
+        assert cell.speedup > 0
+
+    def test_invalid_reps(self):
+        with pytest.raises(StudyError):
+            Study(reps=0)
+
+    def test_unknown_algorithm(self, study):
+        with pytest.raises(StudyError):
+            study.run("pagerank", "internet", "titanv", Variant.BASELINE)
+
+    def test_weights_added_when_needed(self, study):
+        cell = study.speedup("mst", "internet", "titanv")
+        assert cell.racefree_ms > 0
+
+    def test_runs_are_stable(self, study):
+        """Reps vary seeds; the relative deviation should stay small,
+        mirroring the paper's 0.6 % claim."""
+        g = gen.random_uniform(300, 4.0, seed=2, name="t300")
+        result = study.run("gc", g, "titanv", Variant.BASELINE)
+        assert result.relative_deviation < 0.2
+
+
+class TestReports:
+    def _cells(self):
+        return [
+            SpeedupCell("cc", "g1", "titanv", 2.0, 4.0),
+            SpeedupCell("mis", "g1", "titanv", 4.0, 3.0),
+            SpeedupCell("cc", "g2", "titanv", 3.0, 3.0),
+            SpeedupCell("mis", "g2", "titanv", 5.0, 4.0),
+        ]
+
+    def test_speedup_table_layout(self):
+        table = speedup_table(self._cells(), title="Table IV analog")
+        assert "Table IV analog" in table
+        assert "Geomean Speedup" in table
+        assert "Min Speedup" in table and "Max Speedup" in table
+        assert "g1" in table and "g2" in table
+
+    def test_speedup_table_empty_rejected(self):
+        with pytest.raises(StudyError):
+            speedup_table([])
+
+    def test_geomean_summary(self):
+        summary = geomean_summary(self._cells())
+        assert summary["titanv"]["cc"] == pytest.approx((0.5 * 1.0) ** 0.5)
+        assert summary["titanv"]["mis"] == pytest.approx(
+            ((4 / 3) * (5 / 4)) ** 0.5)
+
+    def test_fig6_bars_renders_marker(self):
+        bars = fig6_bars(geomean_summary(self._cells()))
+        assert "CC" in bars and "MIS" in bars
+        assert "|" in bars  # the 1.0 reference mark
+
+    def test_csv_export(self):
+        csv = to_csv(self._cells())
+        lines = csv.splitlines()
+        assert lines[0] == "input,device,cc,mis"
+        assert lines[1].startswith("g1,titanv,0.5000")
+
+    def test_csv_empty_rejected(self):
+        with pytest.raises(StudyError):
+            to_csv([])
+
+    def test_correlation_table_on_suite_inputs(self):
+        study = Study(reps=1)
+        cells = [study.speedup("mis", name, "titanv")
+                 for name in ("internet", "USA-road-d.NY", "rmat16.sym",
+                              "amazon0601")]
+        table = correlation_table(cells)
+        assert "Edge Count" in table
+        assert "Vertex Count" in table
+        assert "Average Degree" in table

@@ -1,0 +1,37 @@
+"""Tests for the markdown table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+def test_basic_layout():
+    out = format_table(["A", "B"], [["x", 1.234], ["long-name", 2.0]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("| A")
+    assert "1.23" in lines[2]
+    assert "long-name" in lines[3]
+
+
+def test_alignment_consistent():
+    out = format_table(["Input", "CC"], [["a", 0.5], ["bb", 1.0]])
+    widths = {len(line) for line in out.splitlines()}
+    assert len(widths) == 1  # every row same rendered width
+
+
+def test_float_format_override():
+    out = format_table(["V"], [[0.123456]], float_format="{:.4f}")
+    assert "0.1235" in out
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(ValueError):
+        format_table(["A", "B"], [["only-one"]])
+
+
+def test_non_float_cells_stringified():
+    out = format_table(["N", "Name"], [[17, "graph"]])
+    assert "17" in out and "graph" in out

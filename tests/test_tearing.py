@@ -1,0 +1,161 @@
+"""Word-tearing scenarios: the paper's Fig. 1, executed for real.
+
+A shared ``long val = -1``; four threads demonstrate the failure modes
+of Section II.A:
+
+* T1 stores 0 with a plain (non-atomic) 64-bit store — two 32-bit
+  pieces other threads can observe half-done.
+* T2 plainly reads ``val`` and can see chimera values.
+* T3 atomically adds 6; interleaving with T1's tearing can produce the
+  paper's 0x0000000100000000.
+* T4 polls ``val`` with plain loads; register caching turns it into an
+  infinite loop (tested in test_simt.py).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.gpu.accesses import AccessKind, DType
+from repro.gpu.atomics import atomic_add, atomic_read, atomic_write
+from repro.gpu.interleave import AdversarialScheduler
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.simt import SimtExecutor
+from repro.utils.bitops import to_signed
+
+
+def run_many(kernel, n_threads, seeds, alloc):
+    """Run a kernel under many adversarial schedules; yield final memory."""
+    for seed in seeds:
+        mem = GlobalMemory()
+        handles = alloc(mem)
+        ex = SimtExecutor(mem, scheduler=AdversarialScheduler(seed),
+                          record_events=False)
+        ex.launch(kernel, n_threads, *handles)
+        yield mem, handles
+
+
+class TestT1T2Chimera:
+    def test_plain_64bit_store_can_tear(self):
+        """T2 may observe a half-written chimera of -1 and 0."""
+        observed = set()
+
+        def kernel(ctx, val):
+            if ctx.tid == 0:
+                yield ctx.store(val, 0, 0, AccessKind.PLAIN)
+            else:
+                v = yield ctx.load(val, 0, AccessKind.PLAIN)
+                observed.add(v)
+
+        for _mem, _h in run_many(kernel, 2, range(300),
+                                 lambda m: (m.alloc("val", 1, DType.I64,
+                                                    fill=-1),)):
+            pass
+        chimera1 = to_signed(0xFFFFFFFF00000000, 64)
+        chimera2 = 0x00000000FFFFFFFF
+        assert observed - {-1, 0}, "tearing never observed in 300 schedules"
+        assert observed <= {-1, 0, chimera1, chimera2}
+
+    def test_paper_exact_chimera_value(self):
+        """Storing the halves high-first yields 0x00000000ffffffff mid-way."""
+        observed = set()
+
+        def kernel(ctx, val):
+            if ctx.tid == 0:
+                # a compiler may emit the two 32-bit stores in either
+                # order; this models high-half-first
+                yield ctx.store_span(val.subspan(0, 4, 4), 0,
+                                     AccessKind.PLAIN)
+                yield ctx.store_span(val.subspan(0, 0, 4), 0,
+                                     AccessKind.PLAIN)
+            else:
+                v = yield ctx.load(val, 0, AccessKind.PLAIN)
+                observed.add(v)
+
+        for _ in run_many(kernel, 2, range(200),
+                          lambda m: (m.alloc("val", 1, DType.I64,
+                                             fill=-1),)):
+            pass
+        assert 0x00000000FFFFFFFF in observed
+
+    def test_atomic_store_never_tears(self):
+        observed = set()
+
+        def kernel(ctx, val):
+            if ctx.tid == 0:
+                yield from atomic_write(ctx, val, 0, 0)
+            else:
+                v = yield from atomic_read(ctx, val, 0)
+                observed.add(v)
+
+        for _ in run_many(kernel, 2, range(300),
+                          lambda m: (m.alloc("val", 1, DType.I64,
+                                             fill=-1),)):
+            pass
+        assert observed <= {-1, 0}
+
+
+class TestT1T3AtomicAdd:
+    def test_final_values_with_tearing(self):
+        """T1 (plain, high-first) vs T3 (atomicAdd 6): the three paper
+        outcomes are 6, 0, and the nonsensical 0x0000000100000000."""
+        finals = set()
+
+        def kernel(ctx, val):
+            if ctx.tid == 0:
+                yield ctx.store_span(val.subspan(0, 4, 4), 0,
+                                     AccessKind.PLAIN)
+                yield ctx.store_span(val.subspan(0, 0, 4), 0,
+                                     AccessKind.PLAIN)
+            else:
+                yield from atomic_add(ctx, val, 0, 6)
+
+        for mem, (val,) in run_many(kernel, 2, range(400),
+                                    lambda m: (m.alloc("val", 1, DType.I64,
+                                                       fill=-1),)):
+            finals.add(mem.element_read(val, 0))
+        assert 6 in finals          # T1 fully before T3
+        assert 0x0000000100000000 in finals  # the paper's chimera
+        assert finals <= {6, 0, 0x0000000100000000, 5}
+
+    def test_atomic_t1_yields_only_clean_outcomes(self):
+        finals = set()
+
+        def kernel(ctx, val):
+            if ctx.tid == 0:
+                yield from atomic_write(ctx, val, 0, 0)
+            else:
+                yield from atomic_add(ctx, val, 0, 6)
+
+        for mem, (val,) in run_many(kernel, 2, range(200),
+                                    lambda m: (m.alloc("val", 1, DType.I64,
+                                                       fill=-1),)):
+            finals.add(mem.element_read(val, 0))
+        assert finals <= {6, 0}
+        assert finals == {6, 0}  # both orders occur across schedules
+
+
+class TestRMWIndivisibility:
+    def test_concurrent_adds_never_lose_updates(self):
+        def kernel(ctx, val):
+            yield from atomic_add(ctx, val, 0, 1)
+
+        for mem, (val,) in run_many(kernel, 16, range(25),
+                                    lambda m: (m.alloc("val", 1, DType.I64,
+                                                       fill=0),)):
+            assert mem.element_read(val, 0) == 16
+
+    def test_plain_increments_do_lose_updates(self):
+        lost = False
+
+        def kernel(ctx, val):
+            v = yield ctx.load(val, 0, AccessKind.VOLATILE)
+            yield ctx.store(val, 0, v + 1, AccessKind.VOLATILE)
+
+        for mem, (val,) in run_many(kernel, 16, range(25),
+                                    lambda m: (m.alloc("val", 1, DType.I64,
+                                                       fill=0),)):
+            if mem.element_read(val, 0) < 16:
+                lost = True
+        assert lost, "racy read-modify-write never lost an update"

@@ -1,0 +1,108 @@
+"""Tests for the race-removal transform (Section IV as code)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transform import (
+    AccessPlan,
+    AccessSite,
+    plan_for,
+    remove_races,
+    site_kind,
+)
+from repro.core.variants import Variant
+from repro.errors import StudyError
+from repro.gpu.accesses import AccessKind
+
+
+def sample_plan() -> AccessPlan:
+    return AccessPlan("demo", (
+        AccessSite("demo.plain", AccessKind.PLAIN),
+        AccessSite("demo.volatile", AccessKind.VOLATILE),
+        AccessSite("demo.atomic", AccessKind.ATOMIC, is_rmw=True),
+        AccessSite("demo.private", AccessKind.PLAIN, shared=False),
+    ))
+
+
+class TestTransform:
+    def test_racy_sites_identified(self):
+        racy = {s.name for s in sample_plan().racy_sites()}
+        assert racy == {"demo.plain", "demo.volatile"}
+
+    def test_has_races(self):
+        assert sample_plan().has_races
+
+    def test_remove_races_converts_shared_nonatomic(self):
+        converted = remove_races(sample_plan())
+        assert converted.site("demo.plain").kind is AccessKind.ATOMIC
+        assert converted.site("demo.volatile").kind is AccessKind.ATOMIC
+
+    def test_remove_races_preserves_private(self):
+        converted = remove_races(sample_plan())
+        assert converted.site("demo.private").kind is AccessKind.PLAIN
+
+    def test_remove_races_idempotent(self):
+        once = remove_races(sample_plan())
+        assert remove_races(once) == once
+
+    def test_result_is_race_free(self):
+        assert not remove_races(sample_plan()).has_races
+
+    def test_plan_for_variants(self):
+        plan = sample_plan()
+        assert plan_for(plan, Variant.BASELINE) == plan
+        assert not plan_for(plan, Variant.RACE_FREE).has_races
+
+    def test_site_kind_lookup(self):
+        plan = sample_plan()
+        assert site_kind(plan, Variant.BASELINE,
+                         "demo.plain") is AccessKind.PLAIN
+        assert site_kind(plan, Variant.RACE_FREE,
+                         "demo.plain") is AccessKind.ATOMIC
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(StudyError):
+            sample_plan().site("demo.missing")
+
+
+class TestAlgorithmPlans:
+    """The five racy codes' plans must match Section IV.A's findings."""
+
+    @pytest.mark.parametrize("module,array_hint", [
+        ("repro.algorithms.cc", "label"),
+        ("repro.algorithms.gc", "color"),
+        ("repro.algorithms.mis", "nstat"),
+        ("repro.algorithms.mst", "parent"),
+        ("repro.algorithms.scc", "pathmax"),
+    ])
+    def test_racy_codes_declare_races(self, module, array_hint):
+        import importlib
+
+        plan = importlib.import_module(module).ACCESS_PLAN
+        assert plan.has_races
+        assert any(array_hint in s.name for s in plan.racy_sites())
+
+    def test_apsp_declares_no_races(self):
+        from repro.algorithms.apsp import ACCESS_PLAN
+
+        assert not ACCESS_PLAN.has_races
+
+    def test_cc_scc_baselines_rely_on_plain(self):
+        """Section VII: CC and SCC 'rely heavily on racy non-volatile
+        accesses' — their dominant sites must be PLAIN."""
+        from repro.algorithms.cc import ACCESS_PLAN as cc_plan
+        from repro.algorithms.scc import ACCESS_PLAN as scc_plan
+
+        assert cc_plan.site("cc.label.jump_read").kind is AccessKind.PLAIN
+        assert scc_plan.site("scc.pathmax.read").kind is AccessKind.PLAIN
+
+    def test_gc_mst_baselines_use_volatile(self):
+        """Section VII: GC and MST 'already use volatile data
+        structures'."""
+        from repro.algorithms.gc import ACCESS_PLAN as gc_plan
+        from repro.algorithms.mst import ACCESS_PLAN as mst_plan
+
+        assert gc_plan.site("gc.color.read").kind is AccessKind.VOLATILE
+        assert (mst_plan.site("mst.parent.jump_read").kind
+                is AccessKind.VOLATILE)

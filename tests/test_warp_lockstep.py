@@ -1,0 +1,109 @@
+"""Tests for the warp-lockstep execution mode (pre-Volta semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import cc, gc, mis, verify
+from repro.core.variants import Variant
+from repro.errors import KernelError
+from repro.gpu.accesses import AccessKind, DType, RMWOp
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.simt import SimtExecutor
+
+
+class TestLockstepBasics:
+    def test_invalid_warp_size(self):
+        with pytest.raises(KernelError):
+            SimtExecutor(GlobalMemory(), warp_lockstep=True, warp_size=0)
+
+    def test_all_work_completes(self):
+        mem = GlobalMemory()
+        ex = SimtExecutor(mem, warp_lockstep=True, warp_size=4)
+        ctr = mem.alloc("c", 1, DType.I32)
+
+        def kernel(ctx, ctr):
+            yield ctx.atomic_rmw(ctr, 0, RMWOp.ADD, 1)
+
+        ex.launch(kernel, 19, ctr)  # a non-multiple of the warp size
+        assert mem.element_read(ctr, 0) == 19
+
+    def test_lanes_advance_in_order(self):
+        """Within a warp, lane 0 executes its k-th op before lane 1."""
+        mem = GlobalMemory()
+        ex = SimtExecutor(mem, warp_lockstep=True, warp_size=8)
+        log = mem.alloc("log", 16, DType.I32)
+        slot = mem.alloc("slot", 1, DType.I32)
+
+        def kernel(ctx, log, slot):
+            pos = yield ctx.atomic_rmw(slot, 0, RMWOp.ADD, 1)
+            yield ctx.store(log, pos, ctx.tid)
+
+        ex.launch(kernel, 8, log, slot)
+        order = mem.download(log)[:8]
+        assert np.array_equal(order, np.arange(8))
+
+    def test_deterministic(self):
+        """Lockstep + round-robin warp choice has no randomness."""
+
+        def run():
+            mem = GlobalMemory()
+            ex = SimtExecutor(mem, warp_lockstep=True, warp_size=4,
+                              record_events=False)
+            arr = mem.alloc("a", 8, DType.I32)
+
+            def kernel(ctx, arr):
+                v = yield ctx.load(arr, (ctx.tid + 1) % 8,
+                                   AccessKind.VOLATILE)
+                yield ctx.store(arr, ctx.tid, v + ctx.tid,
+                                AccessKind.VOLATILE)
+
+            ex.launch(kernel, 8, arr)
+            return mem.download(arr).tolist()
+
+        assert run() == run()
+
+    def test_barriers_work_in_lockstep(self):
+        mem = GlobalMemory()
+        ex = SimtExecutor(mem, warp_lockstep=True, warp_size=4)
+        arr = mem.alloc("a", 4, DType.I32)
+        out = mem.alloc("b", 4, DType.I32)
+
+        def kernel(ctx, arr, out):
+            yield ctx.store(arr, ctx.tid, ctx.tid + 1)
+            yield ctx.barrier()
+            v = yield ctx.load(arr, (ctx.tid + 1) % 4)
+            yield ctx.store(out, ctx.tid, v)
+
+        ex.launch(kernel, 4, arr, out, block_dim=4)
+        assert np.array_equal(mem.download(out), [2, 3, 4, 1])
+
+
+class TestLockstepAlgorithms:
+    """Race-free codes must be schedule-independent — including under
+    warp-lockstep execution."""
+
+    def _executor(self):
+        return SimtExecutor(GlobalMemory(), warp_lockstep=True, warp_size=8)
+
+    def test_cc(self, tiny_graph):
+        labels, _ = cc.run_simt(tiny_graph, Variant.RACE_FREE,
+                                executor=self._executor())
+        verify.check_components(tiny_graph, labels)
+
+    def test_gc(self, tiny_graph):
+        colors, _ = gc.run_simt(tiny_graph, Variant.RACE_FREE,
+                                executor=self._executor())
+        verify.check_coloring(tiny_graph, colors)
+
+    def test_mis(self, tiny_graph):
+        in_set, _ = mis.run_simt(tiny_graph, Variant.RACE_FREE,
+                                 executor=self._executor())
+        verify.check_mis(tiny_graph, in_set)
+
+    def test_baseline_results_still_valid_in_lockstep(self, tiny_graph):
+        """The 'benign' races stay benign under lockstep too."""
+        labels, _ = cc.run_simt(tiny_graph, Variant.BASELINE,
+                                executor=self._executor())
+        verify.check_components(tiny_graph, labels)
