@@ -10,10 +10,17 @@ Environment knobs:
   uses 9 — set ``REPRO_REPS=9`` to match its protocol exactly).
 * ``REPRO_SCALE`` — input scale factor (default 1.0 = the suite's
   standard ~1/256-of-paper sizes).
+* ``REPRO_RETRIES`` — extra attempts per cell after a transient kernel
+  fault (default 1; relevant only when something actually fails).
+* ``REPRO_CHECKPOINT`` — path for an incremental sweep checkpoint; if
+  the file already exists it is loaded first, so an interrupted bench
+  session resumes instead of recomputing (unset = no checkpointing).
 
-Each bench prints the regenerated rows and writes them to
-``benchmarks/output/`` as markdown + CSV, mirroring the artifact's
-``output/`` directory.
+The harness runs on the resilient study (same results, memoized and
+bit-identical when nothing fails), so one bad cell cannot take down a
+whole bench session.  Each bench prints the regenerated rows and writes
+them to ``benchmarks/output/`` as markdown + CSV, mirroring the
+artifact's ``output/`` directory.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ from pathlib import Path
 
 REPS = int(os.environ.get("REPRO_REPS", "3"))
 SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+RETRIES = int(os.environ.get("REPRO_RETRIES", "1"))
+CHECKPOINT = os.environ.get("REPRO_CHECKPOINT") or None
 
 #: the four algorithms of Tables IV-VII, in the paper's column order
 UNDIRECTED_ALGOS = ["cc", "gc", "mis", "mst"]

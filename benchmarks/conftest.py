@@ -2,13 +2,28 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
-from _harness import REPS, SCALE
+from _harness import CHECKPOINT, REPS, RETRIES, SCALE
 
-from repro import Study
+from repro import ResilientStudy
 
 
 @pytest.fixture(scope="session")
-def study() -> Study:
-    return Study(reps=REPS, scale=SCALE)
+def study() -> ResilientStudy:
+    """The shared memoized study, on the resilient execution path.
+
+    With no faults injected this produces bit-identical results to the
+    plain :class:`repro.Study`, but a failing cell surfaces as a
+    :class:`~repro.errors.StudyError` for just that bench instead of
+    aborting the whole session, transient faults are retried, and an
+    optional checkpoint (``REPRO_CHECKPOINT``) lets an interrupted
+    session resume.
+    """
+    s = ResilientStudy(reps=REPS, scale=SCALE, retries=RETRIES,
+                       checkpoint=CHECKPOINT)
+    if CHECKPOINT is not None and Path(CHECKPOINT).exists():
+        s.load_checkpoint()
+    return s

@@ -1,0 +1,103 @@
+"""Section II, weaponized: a fault-injection sweep over racy code.
+
+The paper argues that "benign" data races are a latent reliability
+hazard: torn wide stores plant chimera values, register-cached plain
+loads can poll stale data forever, and none of it is guaranteed to be
+caught.  This demo turns that hazard into a seeded adversary
+(:class:`repro.gpu.FaultPlan`) and runs the paper's Table IV comparison
+through the resilient sweep driver (:class:`repro.ResilientStudy`):
+
+* **Racy baselines** are exposed: torn/dropped non-atomic stores
+  silently corrupt outputs (caught here only because validation is on),
+  and stuck-stale plain reads turn polling loops into livelocks.
+* **Race-free variants** are immune to the data-corrupting faults —
+  every shared access is a single indivisible atomic — so the only
+  thing that can hit them is a *transient* kernel abort, which fails
+  loud and succeeds on retry.
+
+The sweep itself survives all of it: failed cells become structured
+records, the table renders ``FAIL(reason)`` cells with coverage-
+annotated geomeans, and nothing crashes.
+
+Run:  python examples/fault_injection_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.core.report import resilient_speedup_table
+from repro.core.resilience import CellFailure, ResilientStudy
+from repro.core.variants import Variant
+from repro.gpu.faults import FaultPlan
+
+#: the adversary: almost every repetition tears a non-atomic store,
+#: stuck-stale reads are frequent, and one launch in four dies
+#: transiently.  The seed makes the whole demo deterministic.
+PLAN = "tear=0.9,stuck=0.7,abort=0.25"
+SEED = 0
+
+ALGOS = ["cc", "gc", "mis", "mst"]
+INPUT = "internet"
+DEVICE = "titanv"
+REPS = 3
+
+
+def run_sweep(retries: int) -> ResilientStudy:
+    study = ResilientStudy(
+        reps=REPS, validate=True, retries=retries,
+        faults=FaultPlan.parse(PLAN, seed=SEED))
+    for algo in ALGOS:
+        for variant in (Variant.BASELINE, Variant.RACE_FREE):
+            study.run_cell(algo, INPUT, DEVICE, variant)
+    return study
+
+
+def describe(study: ResilientStudy) -> None:
+    for algo in ALGOS:
+        for variant in (Variant.BASELINE, Variant.RACE_FREE):
+            out = study.run_cell(algo, INPUT, DEVICE, variant)
+            label = f"  {algo:4s} {variant.value:9s}"
+            if isinstance(out, CellFailure):
+                print(f"{label} FAIL({out.reason}) after {out.attempts} "
+                      f"attempt(s): {out.message.splitlines()[0][:60]}")
+            else:
+                print(f"{label} ok ({out.median_ms:.4f} ms median)")
+
+
+def main() -> None:
+    print(f"Adversary: {PLAN} (seed {SEED}) on {ALGOS} / {INPUT} "
+          f"/ {DEVICE}, {REPS} reps, validation on\n")
+
+    print("=== pass 1: no retries (a naive sweep) ===")
+    naive = run_sweep(retries=0)
+    describe(naive)
+    rf_faults = [f for f in naive.failures()
+                 if f.variant == "racefree" and f.reason == "fault"]
+    print(f"  -> {len(rf_faults)} race-free cell(s) lost to a transient "
+          "abort that a retry would have absorbed\n")
+
+    print("=== pass 2: retries=3 (the resilient sweep) ===")
+    study = run_sweep(retries=3)
+    describe(study)
+    survivors = sum(
+        1 for algo in ALGOS
+        if not isinstance(
+            study.run_cell(algo, INPUT, DEVICE, Variant.RACE_FREE),
+            CellFailure))
+    print(f"  -> all {survivors}/{len(ALGOS)} race-free variants "
+          "survived the same adversity\n")
+
+    cells = [study.speedup_cell(a, INPUT, DEVICE) for a in ALGOS]
+    print(resilient_speedup_table(
+        cells, title="Table IV analog under injected adversity"))
+
+    reasons = {f.reason for f in study.failures()}
+    print("\nConclusion: the racy baselines fail exactly the ways "
+          f"Section II warns about ({', '.join(sorted(reasons))}), the "
+          "all-atomic variants only ever fail *loud* — and loud "
+          "failures are retryable.  Note the baselines that got lucky "
+          "this time: a benign-looking race is a lottery, not a "
+          "guarantee.")
+
+
+if __name__ == "__main__":
+    main()

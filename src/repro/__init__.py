@@ -23,17 +23,37 @@ The study (Section V methodology)::
     study = Study(reps=9)
     cell = study.speedup("mis", "amazon0601", "titanv")
     print(cell.speedup)   # > 1 means the race-free code is faster
+
+Resilient sweeps (fault injection, isolation, checkpoint/resume)::
+
+    from repro import ResilientStudy
+    from repro.gpu import FaultPlan
+    study = ResilientStudy(reps=9, retries=2, checkpoint="sweep.json",
+                           faults=FaultPlan.parse("tear=0.3,abort=0.1"))
+    result = study.sweep("titanv", ["cc", "mis"], ["internet"])
 """
 
+from repro.core.resilience import (
+    CellBudget,
+    CellFailure,
+    ResilientStudy,
+    SweepResult,
+)
 from repro.core.study import RunResult, SpeedupCell, Study
 from repro.core.transform import AccessPlan, AccessSite, remove_races
 from repro.core.variants import Variant, get_algorithm, list_algorithms
 from repro.errors import ReproError
+from repro.gpu.faults import FaultPlan
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Study",
+    "ResilientStudy",
+    "CellBudget",
+    "CellFailure",
+    "SweepResult",
+    "FaultPlan",
     "RunResult",
     "SpeedupCell",
     "Variant",

@@ -15,6 +15,8 @@ Commands
 * ``races``   — SIMT race detection for one algorithm (Section IV).
 * ``patterns`` — run the Indigo-style microbenchmark corpus: every racy
   idiom, its detected races and failure mode, and its race-free fix.
+* ``sweep``   — the resilient sweep driver: per-cell fault isolation,
+  retries, budgets, fault injection, and checkpoint/resume.
 """
 
 from __future__ import annotations
@@ -23,9 +25,17 @@ import argparse
 import sys
 
 from repro import Study, Variant
-from repro.core.report import fig6_bars, geomean_summary, speedup_table
+from repro.core.report import (
+    fig6_bars,
+    geomean_summary,
+    resilient_speedup_table,
+    speedup_table,
+)
+from repro.core.resilience import CellBudget, ResilientStudy
 from repro.core.variants import get_algorithm, list_algorithms
+from repro.errors import ReproError
 from repro.gpu.device import DEVICE_ORDER, PAPER_GPUS
+from repro.gpu.faults import FaultPlan
 from repro.graphs.suite import load_suite_graph, suite_names
 
 
@@ -163,6 +173,43 @@ def _cmd_inputs(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    """Resilient speedup sweep: Tables IV-VIII under adversity."""
+    faults = (FaultPlan.parse(args.inject, seed=args.fault_seed)
+              if args.inject else None)
+    budget = CellBudget(max_seconds=args.max_seconds,
+                        max_steps=args.max_steps)
+    study = ResilientStudy(
+        reps=args.reps, validate=args.validate, retries=args.retries,
+        backoff_s=args.backoff, budget=budget, faults=faults,
+        checkpoint=args.checkpoint)
+    resumed = (0, 0)
+    if args.resume:
+        if args.checkpoint is None:
+            raise ReproError("--resume requires --checkpoint")
+        from pathlib import Path
+        if Path(args.checkpoint).exists():
+            resumed = study.load_checkpoint()
+
+    if args.algo == "scc":
+        algos = ["scc"]
+        inputs = args.inputs or suite_names(directed=True)
+    else:
+        algos = ["cc", "gc", "mis", "mst"]
+        inputs = args.inputs or suite_names(directed=False)
+    if args.limit:
+        inputs = inputs[:args.limit]
+
+    sweep = study.sweep(args.device, algos, inputs)
+    injected = f", inject: {faults.describe()}" if faults else ""
+    title = (f"Resilient speedups on {args.device} "
+             f"(median of {args.reps}{injected})")
+    print(resilient_speedup_table(sweep.cells, title=title))
+    print(f"cells executed this run: {study.cells_executed} "
+          f"(resumed {resumed[0]} results, {resumed[1]} failures)")
+    return 0
+
+
 def _cmd_patterns(args) -> int:
     from repro.patterns import PATTERNS, run_pattern
     from repro.utils.tables import format_table
@@ -230,6 +277,35 @@ def build_parser() -> argparse.ArgumentParser:
                             help="the input suite (Tables II/III analog)")
     inputs.add_argument("--directed", action="store_true",
                         help="show the directed (SCC) inputs")
+
+    sweep = sub.add_parser(
+        "sweep", help="resilient sweep with isolation/retries/resume")
+    sweep.add_argument("--device", default="titanv")
+    sweep.add_argument("--algo", default="undirected",
+                       help="'scc' for Table VIII, else Tables IV-VII")
+    sweep.add_argument("--inputs", type=lambda s: s.split(","),
+                       default=None,
+                       help="comma-separated input names (default: suite)")
+    sweep.add_argument("--reps", type=int, default=3)
+    sweep.add_argument("--limit", type=int, default=0,
+                       help="use only the first N inputs (0 = all)")
+    sweep.add_argument("--checkpoint", default=None,
+                       help="checkpoint file, atomically updated per cell")
+    sweep.add_argument("--resume", action="store_true",
+                       help="load the checkpoint and run only missing cells")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="extra attempts after a transient kernel fault")
+    sweep.add_argument("--backoff", type=float, default=0.0,
+                       help="base retry backoff in seconds (doubles/attempt)")
+    sweep.add_argument("--max-steps", type=int, default=None,
+                       help="SIMT micro-step budget per kernel launch")
+    sweep.add_argument("--max-seconds", type=float, default=None,
+                       help="wall-clock budget per cell")
+    sweep.add_argument("--inject", default=None, metavar="SPEC",
+                       help="fault plan, e.g. 'tear=0.5,abort=0.2,stall'")
+    sweep.add_argument("--fault-seed", type=int, default=0)
+    sweep.add_argument("--validate", action="store_true",
+                       help="verify outputs (how torn writes are caught)")
     return parser
 
 
@@ -243,8 +319,16 @@ def main(argv: list[str] | None = None) -> int:
         "races": _cmd_races,
         "patterns": _cmd_patterns,
         "inputs": _cmd_inputs,
+        "sweep": _cmd_sweep,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        # one-line diagnostic, not a traceback: a bad input name, a
+        # deadlocked kernel, or a corrupt checkpoint is an operational
+        # failure of the experiment, not a bug in the harness
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

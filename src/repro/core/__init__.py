@@ -11,14 +11,24 @@
   compute speedups.
 * :mod:`repro.core.report` — speedup tables (Tables IV-VIII), geometric
   means (Fig. 6), and property correlations (Table IX).
+* :mod:`repro.core.resilience` — the resilient sweep layer: per-cell
+  fault isolation, budgets, retries, and checkpoint/resume.
 """
 
 from repro.core.variants import Variant, AlgorithmInfo, get_algorithm, list_algorithms
 from repro.core.transform import AccessSite, AccessPlan, remove_races
 from repro.core.study import Study, RunResult, SpeedupCell
+from repro.core.resilience import (
+    CellBudget,
+    CellFailure,
+    ResilientStudy,
+    SweepResult,
+    run_guarded,
+)
 from repro.core.report import (
     correlation_table,
     geomean_summary,
+    resilient_speedup_table,
     speedup_table,
 )
 
@@ -33,7 +43,13 @@ __all__ = [
     "Study",
     "RunResult",
     "SpeedupCell",
+    "ResilientStudy",
+    "CellBudget",
+    "CellFailure",
+    "SweepResult",
+    "run_guarded",
     "speedup_table",
+    "resilient_speedup_table",
     "geomean_summary",
     "correlation_table",
 ]

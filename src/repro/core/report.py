@@ -53,6 +53,72 @@ def speedup_table(cells: list[SpeedupCell], title: str = "") -> str:
     return f"{title}\n{table}" if title else table
 
 
+def resilient_speedup_table(cells: list, title: str = "") -> str:
+    """Degraded-mode rendering of Tables IV-VIII.
+
+    ``cells`` may mix :class:`SpeedupCell` with
+    :class:`~repro.core.resilience.CellFailure`: failed cells render as
+    ``FAIL(reason)``, the Min/Geomean/Max footer covers only the
+    completed cells of each column, and any column with failures gets a
+    ``[k/n]`` coverage annotation on its geomean so a partial sweep
+    cannot masquerade as a complete one.  A failure list follows the
+    table.
+    """
+    if not cells:
+        raise StudyError("no cells to tabulate")
+    inputs: list[str] = []
+    algos: list[str] = []
+    values: dict[tuple[str, str], object] = {}
+    for c in cells:
+        if c.input_name not in inputs:
+            inputs.append(c.input_name)
+        if c.algorithm not in algos:
+            algos.append(c.algorithm)
+        if isinstance(c, SpeedupCell):
+            values[(c.input_name, c.algorithm)] = c.speedup
+        else:
+            values[(c.input_name, c.algorithm)] = f"FAIL({c.reason})"
+
+    headers = ["Input"] + [a.upper() for a in algos]
+    rows: list[list[object]] = []
+    for name in inputs:
+        rows.append([name] + [values.get((name, a), "")
+                              for a in algos])
+
+    def column(a: str) -> tuple[list[float], int]:
+        cells_of_a = [values[(i, a)] for i in inputs if (i, a) in values]
+        ok = [v for v in cells_of_a if isinstance(v, float)]
+        return ok, len(cells_of_a)
+
+    min_row: list[object] = ["Min Speedup"]
+    geo_row: list[object] = ["Geomean Speedup"]
+    max_row: list[object] = ["Max Speedup"]
+    for a in algos:
+        ok, total = column(a)
+        if not ok:
+            min_row.append("n/a")
+            geo_row.append("n/a")
+            max_row.append("n/a")
+            continue
+        min_row.append(min(ok))
+        max_row.append(max(ok))
+        geo = geometric_mean(ok)
+        if len(ok) < total:
+            geo_row.append(f"{geo:.2f} [{len(ok)}/{total}]")
+        else:
+            geo_row.append(geo)
+    rows.extend([min_row, geo_row, max_row])
+
+    table = format_table(headers, rows)
+    failures = [c for c in cells if not isinstance(c, SpeedupCell)]
+    done = len(cells) - len(failures)
+    lines = [table, f"coverage: {done}/{len(cells)} cells completed"]
+    for f in failures:
+        lines.append(f"  {f.describe()}: {f.message}")
+    body = "\n".join(lines)
+    return f"{title}\n{body}" if title else body
+
+
 def geomean_summary(
     cells: list[SpeedupCell],
 ) -> dict[str, dict[str, float]]:

@@ -1,0 +1,428 @@
+"""Resilient sweep execution: per-cell isolation, budgets, retries,
+and checkpoint/resume for the study framework.
+
+The paper's sweeps (Tables IV-IX) run hundreds of (algorithm x input x
+device x variant x repetition) cells, and its own Section II argues that
+racy kernels can livelock, tear words, and corrupt results.  A plain
+:class:`~repro.core.study.Study` lets the first such failure abort the
+whole sweep and discard every completed cell.  This module makes the
+sweep layer survive, record, and report those failures instead:
+
+* a failing cell becomes a structured :class:`CellFailure` record and
+  the sweep continues (per-cell isolation);
+* :class:`DeadlockError` livelocks become recorded failures, bounded by
+  the :class:`CellBudget` step/wall-clock limits, not crashes;
+* transient faults (:class:`~repro.errors.TransientKernelFault`) are
+  retried with fresh schedule seeds and exponential backoff;
+* after every cell the study checkpoints atomically (temp file +
+  rename), and a later run can ``--resume`` to execute only the
+  missing cells;
+* partial results still render: see
+  :func:`repro.core.report.resilient_speedup_table`, which prints
+  ``FAIL(reason)`` cells and coverage-annotated geomeans.
+
+With no fault plan and default budgets, :class:`ResilientStudy`
+reproduces plain :class:`Study` results bit-identically — the guard
+rails cost nothing until something goes wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.core.study import RunResult, SpeedupCell, Study
+from repro.core.variants import Variant, get_algorithm
+from repro.errors import (
+    CellTimeoutError,
+    DeadlockError,
+    ReproError,
+    StudyError,
+    TransientKernelFault,
+    ValidationError,
+)
+from repro.gpu.device import get_device
+from repro.gpu.faults import FaultPlan
+from repro.perf.engine import PerfRun, run_algorithm
+from repro.utils.atomicio import atomic_write_text
+
+CHECKPOINT_FORMAT = 2
+"""On-disk checkpoint format version (results + failures)."""
+
+
+@dataclass(frozen=True)
+class CellBudget:
+    """Per-cell execution limits.
+
+    ``max_seconds`` is a wall-clock budget checked between repetitions
+    and attempts; exceeding it records a ``timeout`` failure.
+    ``max_steps`` is the SIMT micro-step budget for kernel-level
+    execution (forwarded to :class:`~repro.gpu.simt.SimtExecutor`),
+    which converts infinite polling loops into
+    :class:`~repro.errors.DeadlockError` — recorded here as
+    ``livelock``.  Performance-level runs always terminate, so for them
+    only the wall-clock limit and injected livelocks apply.
+    """
+
+    max_seconds: float | None = None
+    max_steps: int | None = None
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One failed sweep cell, preserved instead of crashing the sweep.
+
+    Field names mirror :class:`~repro.core.study.SpeedupCell` so report
+    code can lay failures out in the same grid.
+    """
+
+    algorithm: str
+    input_name: str
+    device_key: str
+    variant: str
+    reason: str           # livelock | timeout | validation | fault | error
+    message: str
+    attempts: int
+    elapsed_s: float
+
+    def describe(self) -> str:
+        return (f"FAIL({self.reason}) {self.algorithm}/{self.input_name}/"
+                f"{self.device_key}/{self.variant}")
+
+
+@dataclass(frozen=True)
+class GuardedFailure:
+    """Outcome classification produced by :func:`run_guarded`."""
+
+    reason: str
+    message: str
+    attempts: int
+    elapsed_s: float
+
+
+def run_guarded(
+    fn: Callable[[int], object],
+    retries: int = 0,
+    backoff_s: float = 0.0,
+    budget: CellBudget | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Run ``fn(attempt)`` under the resilience policy.
+
+    Returns ``(value, None)`` on success or ``(None, GuardedFailure)``
+    on failure.  The policy:
+
+    * :class:`TransientKernelFault` — retry up to ``retries`` times
+      with exponential backoff (``backoff_s * 2**attempt``); ``fn``
+      receives the attempt index so it can derive fresh schedule seeds.
+    * :class:`DeadlockError` — recorded as ``livelock`` (the step
+      budget turned an infinite polling loop into this error); no
+      retry, livelocks are schedule-lottery losses the caller should
+      see.
+    * :class:`CellTimeoutError` — recorded as ``timeout``.
+    * :class:`ValidationError` — recorded as ``validation`` (silent
+      corruption caught by the reference checkers).
+    * any other :class:`ReproError` — recorded as ``error``.
+
+    Non-:class:`ReproError` exceptions propagate: they indicate bugs in
+    the harness, not failures of the simulated hardware.
+    """
+    start = time.monotonic()
+    attempts = 0
+    last_message = ""
+    for attempt in range(max(0, retries) + 1):
+        if (budget is not None and budget.max_seconds is not None
+                and time.monotonic() - start > budget.max_seconds):
+            return None, GuardedFailure(
+                "timeout",
+                f"cell exceeded {budget.max_seconds:g}s wall-clock budget "
+                f"before attempt {attempt}",
+                attempts, time.monotonic() - start)
+        attempts += 1
+        try:
+            return fn(attempt), None
+        except TransientKernelFault as exc:
+            last_message = str(exc)
+            if attempt < retries and backoff_s > 0.0:
+                sleep(backoff_s * (2 ** attempt))
+        except CellTimeoutError as exc:
+            return None, GuardedFailure(
+                "timeout", str(exc), attempts, time.monotonic() - start)
+        except DeadlockError as exc:
+            return None, GuardedFailure(
+                "livelock", str(exc), attempts, time.monotonic() - start)
+        except ValidationError as exc:
+            return None, GuardedFailure(
+                "validation", str(exc), attempts, time.monotonic() - start)
+        except ReproError as exc:
+            return None, GuardedFailure(
+                "error", str(exc), attempts, time.monotonic() - start)
+    return None, GuardedFailure(
+        "fault",
+        f"transient fault persisted through {attempts} attempt(s): "
+        f"{last_message}",
+        attempts, time.monotonic() - start)
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :meth:`ResilientStudy.sweep` (one device table)."""
+
+    device_key: str
+    cells: list  # SpeedupCell | CellFailure, in sweep order
+
+    @property
+    def completed(self) -> list[SpeedupCell]:
+        return [c for c in self.cells if isinstance(c, SpeedupCell)]
+
+    @property
+    def failures(self) -> list[CellFailure]:
+        return [c for c in self.cells if isinstance(c, CellFailure)]
+
+    @property
+    def coverage(self) -> tuple[int, int]:
+        """(completed cells, total cells)."""
+        return len(self.completed), len(self.cells)
+
+
+class ResilientStudy(Study):
+    """A :class:`Study` that survives the failures it measures.
+
+    Parameters beyond :class:`Study`'s:
+
+    retries:
+        Extra attempts per cell after a transient kernel fault, each
+        with a fresh schedule-seed family.
+    backoff_s:
+        Base of the exponential retry backoff (0 disables sleeping).
+    budget:
+        Per-cell :class:`CellBudget` (wall-clock and SIMT step limits).
+    faults:
+        Optional :class:`~repro.gpu.faults.FaultPlan`; every repetition
+        of every cell gets its own deterministic injector derived from
+        (cell key, repetition, attempt).
+    checkpoint:
+        Path for incremental checkpoints: after every cell the full
+        result + failure state is re-written atomically.  Use
+        :meth:`load_checkpoint` (or the CLI's ``--resume``) to continue
+        an interrupted sweep, executing only the missing cells.
+    """
+
+    def __init__(self, reps: int = 9, scale: float = 1.0,
+                 validate: bool = False, retries: int = 0,
+                 backoff_s: float = 0.0,
+                 budget: CellBudget | None = None,
+                 faults: FaultPlan | None = None,
+                 checkpoint: str | Path | None = None) -> None:
+        super().__init__(reps=reps, scale=scale, validate=validate)
+        if retries < 0:
+            raise StudyError(f"retries must be >= 0, got {retries}")
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.budget = budget or CellBudget()
+        self.faults = faults
+        self.checkpoint = None if checkpoint is None else Path(checkpoint)
+        self._failures: dict[tuple, CellFailure] = {}
+        #: cells actually simulated in this process (memoized or
+        #: checkpoint-loaded cells do not count) — the observable that
+        #: resume tests assert on
+        self.cells_executed = 0
+
+    # ------------------------------------------------------------------
+    # Cell execution
+    # ------------------------------------------------------------------
+    def _injector(self, key: tuple, rep: int, attempt: int):
+        if self.faults is None:
+            return None
+        algorithm, name, device, variant = key
+        return self.faults.injector(
+            algorithm, name, device, variant.value, rep, attempt)
+
+    def run_cell(self, algorithm: str, graph_or_name, device: str,
+                 variant: Variant) -> RunResult | CellFailure:
+        """Run one configuration with fault isolation.
+
+        Returns the memoized :class:`RunResult` on success, or a
+        :class:`CellFailure` record — never raises for failures of the
+        simulated execution itself.
+        """
+        key, name = self._memo_key(algorithm, graph_or_name, device, variant)
+        if key in self._results:
+            return self._results[key]
+        if key in self._failures:
+            return self._failures[key]
+
+        algo = get_algorithm(algorithm)
+        spec = get_device(device)
+        graph = self._prepare_graph(algo, graph_or_name)
+        deadline = (None if self.budget.max_seconds is None
+                    else time.monotonic() + self.budget.max_seconds)
+
+        def attempt_cell(attempt: int) -> RunResult:
+            runtimes: list[float] = []
+            last: PerfRun | None = None
+            for rep in range(self.reps):
+                if deadline is not None and time.monotonic() > deadline:
+                    raise CellTimeoutError(
+                        f"cell exceeded {self.budget.max_seconds:g}s "
+                        f"wall-clock budget after {rep} of {self.reps} "
+                        "repetitions"
+                    )
+                run = run_algorithm(
+                    algo, graph, spec, variant,
+                    seed=self._rep_seed(rep, attempt),
+                    faults=self._injector(key, rep, attempt))
+                if self.validate:
+                    self._validate(algo, graph, run)
+                runtimes.append(run.runtime_ms)
+                last = run
+            return RunResult(algorithm, name, device, variant,
+                             runtimes, last)
+
+        value, failure = run_guarded(
+            attempt_cell, retries=self.retries, backoff_s=self.backoff_s,
+            budget=self.budget)
+        self.cells_executed += 1
+        if failure is not None:
+            record = CellFailure(
+                algorithm=algorithm, input_name=name, device_key=device,
+                variant=variant.value, reason=failure.reason,
+                message=failure.message, attempts=failure.attempts,
+                elapsed_s=failure.elapsed_s)
+            self._failures[key] = record
+            self._autosave()
+            return record
+        self._results[key] = value
+        self._autosave()
+        return value
+
+    def run(self, algorithm: str, graph_or_name, device: str,
+            variant: Variant) -> RunResult:
+        """Strict view of :meth:`run_cell`: raises on a failed cell.
+
+        Keeps the plain :class:`Study` API working on the resilient
+        path (budgets, retries, fault plans, per-cell checkpoints)
+        while preserving exact results when nothing goes wrong.
+        """
+        out = self.run_cell(algorithm, graph_or_name, device, variant)
+        if isinstance(out, CellFailure):
+            raise StudyError(f"{out.describe()}: {out.message}")
+        return out
+
+    def speedup_cell(self, algorithm: str, graph_or_name,
+                     device: str) -> SpeedupCell | CellFailure:
+        """Baseline-vs-race-free speedup with fault isolation.
+
+        Both variants always run (so a checkpoint records the surviving
+        variant even when the other fails); a failure of either variant
+        makes the cell a :class:`CellFailure`, baseline first.
+        """
+        algo = get_algorithm(algorithm)
+        if not algo.has_races:
+            raise StudyError(
+                f"{algorithm} has no data races (Section IV.A); the paper "
+                "does not measure its race-free speedup"
+            )
+        base = self.run_cell(algorithm, graph_or_name, device,
+                             Variant.BASELINE)
+        free = self.run_cell(algorithm, graph_or_name, device,
+                             Variant.RACE_FREE)
+        if isinstance(base, CellFailure):
+            return base
+        if isinstance(free, CellFailure):
+            return free
+        return SpeedupCell(
+            algorithm=algorithm,
+            input_name=base.input_name,
+            device_key=device,
+            baseline_ms=base.median_ms,
+            racefree_ms=free.median_ms,
+        )
+
+    def sweep(self, device: str, algorithms: list[str],
+              inputs: list[str]) -> SweepResult:
+        """All cells of one device table, surviving per-cell failures."""
+        cells = [
+            self.speedup_cell(a, name, device)
+            for name in inputs
+            for a in algorithms
+        ]
+        return SweepResult(device_key=device, cells=cells)
+
+    def failures(self) -> list[CellFailure]:
+        """Every failure recorded (or checkpoint-loaded) so far."""
+        return list(self._failures.values())
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _autosave(self) -> None:
+        if self.checkpoint is not None:
+            self.save_checkpoint(self.checkpoint)
+
+    def save_checkpoint(self, path: str | Path | None = None) -> None:
+        """Atomically persist all results *and* failures.
+
+        Called after every cell when a checkpoint path is configured;
+        a crash between cells loses at most the in-flight cell.
+        """
+        path = Path(path) if path is not None else self.checkpoint
+        if path is None:
+            raise StudyError("no checkpoint path configured")
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "reps": self.reps,
+            "scale": self.scale,
+            "results": self._result_records(),
+            "failures": [
+                {
+                    "algorithm": f.algorithm,
+                    "input": f.input_name,
+                    "device": f.device_key,
+                    "variant": f.variant,
+                    "reason": f.reason,
+                    "message": f.message,
+                    "attempts": f.attempts,
+                    "elapsed_s": f.elapsed_s,
+                }
+                for f in self._failures.values()
+            ],
+        }
+        atomic_write_text(path, json.dumps(payload, indent=1))
+
+    def load_checkpoint(self, path: str | Path | None = None
+                        ) -> tuple[int, int]:
+        """Resume from a checkpoint; returns (results, failures) loaded.
+
+        Loaded cells are memoized, so a subsequent :meth:`sweep`
+        executes only the missing ones (``cells_executed`` counts just
+        those).  Previously failed cells stay failed — delete their
+        records from the file to re-attempt them.  Corrupt or
+        protocol-mismatched files raise
+        :class:`~repro.errors.StudyError`.
+        """
+        path = Path(path) if path is not None else self.checkpoint
+        if path is None:
+            raise StudyError("no checkpoint path configured")
+        n_results = self.load_results(path)
+        payload = self._load_payload(path)
+        n_failures = 0
+        try:
+            for rec in payload.get("failures", []):
+                variant = Variant(rec["variant"])
+                key = (rec["algorithm"], rec["input"], rec["device"], variant)
+                self._failures[key] = CellFailure(
+                    algorithm=rec["algorithm"], input_name=rec["input"],
+                    device_key=rec["device"], variant=rec["variant"],
+                    reason=rec["reason"], message=rec.get("message", ""),
+                    attempts=int(rec.get("attempts", 1)),
+                    elapsed_s=float(rec.get("elapsed_s", 0.0)))
+                n_failures += 1
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StudyError(
+                f"malformed failure record in checkpoint {path}: {exc!r}"
+            ) from exc
+        return n_results, n_failures

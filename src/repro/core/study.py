@@ -22,6 +22,7 @@ from repro.gpu.device import DeviceSpec, get_device
 from repro.graphs.csr import CSRGraph
 from repro.graphs.suite import load_suite_graph, suite_entry
 from repro.perf.engine import PerfRun, run_algorithm
+from repro.utils.atomicio import atomic_write_text
 from repro.utils.stats import median, relative_deviation
 
 
@@ -87,14 +88,55 @@ class Study:
         self.scale = scale
         self.validate = validate
         self._results: dict[tuple, RunResult] = {}
+        #: content fingerprints of graphs seen per input name, so two
+        #: different graphs cannot silently share one memo entry
+        self._graph_fps: dict[str, str] = {}
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _rep_seed(rep: int, attempt: int = 0) -> int:
+        """Per-repetition randomization seed (the simulator's analog of
+        run-to-run variance).  ``attempt > 0`` — used by the resilient
+        retry path — shifts to a fresh schedule-seed family; attempt 0
+        reproduces the historical seeds exactly."""
+        return 1000 * rep + 7 + 7919 * attempt
+
+    def _note_fingerprint(self, name: str, graph: CSRGraph) -> None:
+        """Record ``graph``'s content for ``name``; reject a clash.
+
+        A :class:`CSRGraph` passed directly whose ``.name`` collides
+        with a different graph (a suite input, or an earlier passed
+        graph) would otherwise silently reuse or overwrite the other's
+        cached result.
+        """
+        fp = graph.fingerprint()
+        prev = self._graph_fps.get(name)
+        if prev is not None and prev != fp:
+            raise StudyError(
+                f"graph name {name!r} already used in this study for "
+                "different content; rename the graph (results are "
+                "memoized per input name)"
+            )
+        self._graph_fps[name] = fp
+
+    def _memo_key(self, algorithm: str, graph_or_name, device: str,
+                  variant: Variant) -> tuple[tuple, str]:
+        """(memo key, input name) — with the name-clash check applied
+        for directly-passed graphs *before* any memo lookup."""
+        if isinstance(graph_or_name, CSRGraph):
+            name = graph_or_name.name
+            self._note_fingerprint(name, graph_or_name)
+        else:
+            name = graph_or_name
+        return (algorithm, name, device, variant), name
+
     def _prepare_graph(self, algo: AlgorithmInfo,
                        graph_or_name) -> CSRGraph:
         if isinstance(graph_or_name, CSRGraph):
             graph = graph_or_name
         else:
             graph = load_suite_graph(graph_or_name, scale=self.scale)
+            self._note_fingerprint(graph_or_name, graph)
         if algo.needs_weights and not graph.has_weights:
             graph = graph.with_random_weights(seed=12345)
         return graph
@@ -102,9 +144,7 @@ class Study:
     def run(self, algorithm: str, graph_or_name, device: str,
             variant: Variant) -> RunResult:
         """Run one configuration (memoized within the study)."""
-        name = (graph_or_name.name if isinstance(graph_or_name, CSRGraph)
-                else graph_or_name)
-        key = (algorithm, name, device, variant)
+        key, name = self._memo_key(algorithm, graph_or_name, device, variant)
         if key in self._results:
             return self._results[key]
 
@@ -116,11 +156,14 @@ class Study:
         last: PerfRun | None = None
         for rep in range(self.reps):
             run = run_algorithm(algo, graph, spec, variant,
-                                seed=1000 * rep + 7)
+                                seed=self._rep_seed(rep))
+            # every repetition is validated: reps differ in their
+            # randomization seed, so a corrupt rep 3 would be invisible
+            # if only the final repetition were checked
+            if self.validate:
+                self._validate(algo, graph, run)
             runtimes.append(run.runtime_ms)
             last = run
-        if self.validate and last is not None:
-            self._validate(algo, graph, last)
         result = RunResult(algorithm, name, device, variant, runtimes, last)
         self._results[key] = result
         return result
@@ -156,14 +199,8 @@ class Study:
     # ------------------------------------------------------------------
     # Result persistence (the artifact's ./results/ raw-runtime logs)
     # ------------------------------------------------------------------
-    def save_results(self, path: str | Path) -> None:
-        """Write every memoized runtime to a JSON log.
-
-        The analog of the paper artifact's ``./results/`` directory:
-        raw runtimes per (algorithm, input, device, variant), so table
-        generation can be re-done without re-running the simulations.
-        """
-        records = [
+    def _result_records(self) -> list[dict]:
+        return [
             {
                 "algorithm": r.algorithm,
                 "input": r.input_name,
@@ -173,29 +210,58 @@ class Study:
             }
             for r in self._results.values()
         ]
-        payload = {"reps": self.reps, "scale": self.scale,
-                   "results": records}
-        Path(path).write_text(json.dumps(payload, indent=1))
 
-    def load_results(self, path: str | Path) -> int:
-        """Pre-populate the memo from a saved log; returns the number of
-        configurations loaded.  Loaded entries carry no ``last_run``
-        (outputs are not persisted), so ``validate`` does not apply."""
-        payload = json.loads(Path(path).read_text())
+    def save_results(self, path: str | Path) -> None:
+        """Write every memoized runtime to a JSON log.
+
+        The analog of the paper artifact's ``./results/`` directory:
+        raw runtimes per (algorithm, input, device, variant), so table
+        generation can be re-done without re-running the simulations.
+        The write is crash-safe (temp file + atomic rename): a crash
+        mid-save cannot leave a truncated log behind.
+        """
+        payload = {"reps": self.reps, "scale": self.scale,
+                   "results": self._result_records()}
+        atomic_write_text(path, json.dumps(payload, indent=1))
+
+    def _load_payload(self, path: str | Path) -> dict:
+        """Parse and protocol-check a saved log; StudyError on damage."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise StudyError(
+                f"corrupt or partial results file {path}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "results" not in payload:
+            raise StudyError(f"{path} is not a study results file")
         if payload.get("reps") != self.reps or payload.get("scale") != self.scale:
             raise StudyError(
                 "saved results were produced with a different reps/scale "
                 f"({payload.get('reps')}/{payload.get('scale')} vs "
                 f"{self.reps}/{self.scale})"
             )
+        return payload
+
+    def load_results(self, path: str | Path) -> int:
+        """Pre-populate the memo from a saved log; returns the number of
+        configurations loaded.  Loaded entries carry no ``last_run``
+        (outputs are not persisted), so ``validate`` does not apply.
+        Raises :class:`~repro.errors.StudyError` (not a bare JSON error)
+        on corrupt or truncated files."""
+        payload = self._load_payload(path)
         count = 0
-        for rec in payload["results"]:
-            variant = Variant(rec["variant"])
-            key = (rec["algorithm"], rec["input"], rec["device"], variant)
-            self._results[key] = RunResult(
-                rec["algorithm"], rec["input"], rec["device"], variant,
-                [float(x) for x in rec["runtimes_ms"]], last_run=None)
-            count += 1
+        try:
+            for rec in payload["results"]:
+                variant = Variant(rec["variant"])
+                key = (rec["algorithm"], rec["input"], rec["device"], variant)
+                self._results[key] = RunResult(
+                    rec["algorithm"], rec["input"], rec["device"], variant,
+                    [float(x) for x in rec["runtimes_ms"]], last_run=None)
+                count += 1
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StudyError(
+                f"malformed record in results file {path}: {exc!r}"
+            ) from exc
         return count
 
     # ------------------------------------------------------------------

@@ -40,6 +40,20 @@ class DeadlockError(KernelError):
     progress (e.g. a spin loop reading a register-cached stale value)."""
 
 
+class TransientKernelFault(KernelError):
+    """Raised when an injected *transient* fault aborts a kernel launch
+    (spurious launch failure, ECC retirement, driver hiccup).  Unlike a
+    livelock, a retry with a fresh schedule seed may succeed."""
+
+
+class CellTimeoutError(ReproError):
+    """Raised when one sweep cell exceeds its wall-clock budget."""
+
+
+class FaultConfigError(ReproError):
+    """Raised for malformed fault-injection specifications."""
+
+
 class ValidationError(ReproError):
     """Raised when an algorithm result fails verification."""
 

@@ -20,10 +20,14 @@ measures on:
   analytic cache model used by the performance level.
 * :mod:`repro.gpu.timing` — converts access statistics into simulated
   runtime for a given device.
+* :mod:`repro.gpu.faults` — seeded fault injection (dropped/torn writes,
+  stuck-stale reads, scheduler stalls, transient aborts) exercising the
+  failure modes the paper argues racy code risks.
 """
 
 from repro.gpu.accesses import AccessKind, DType, MemoryOrder, Scope
 from repro.gpu.device import PAPER_GPUS, DeviceSpec, get_device
+from repro.gpu.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from repro.gpu.memory import GlobalMemory
 from repro.gpu.simt import KernelLaunch, SimtExecutor, ThreadCtx
 from repro.gpu.racecheck import RaceDetector, RaceReport
@@ -37,6 +41,10 @@ __all__ = [
     "DeviceSpec",
     "PAPER_GPUS",
     "get_device",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "GlobalMemory",
     "SimtExecutor",
     "KernelLaunch",

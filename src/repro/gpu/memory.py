@@ -21,7 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import MemoryAccessError
-from repro.gpu.accesses import DType, MemSpan
+from repro.gpu.accesses import AccessKind, DType, MemSpan
+from repro.gpu.faults import FaultInjector, FaultKind
 from repro.utils.bitops import join_u64, split_u64, to_signed, to_unsigned
 
 NATIVE_WORD_BYTES = 4
@@ -100,10 +101,19 @@ def unpack_int2(value: int) -> tuple[int, int]:
 
 
 class GlobalMemory:
-    """The simulated GPU's global memory: named, typed byte buffers."""
+    """The simulated GPU's global memory: named, typed byte buffers.
 
-    def __init__(self) -> None:
+    An optional :class:`~repro.gpu.faults.FaultInjector` makes the
+    memory system adversarial: span operations that declare their
+    :class:`~repro.gpu.accesses.AccessKind` (the SIMT executor does)
+    can suffer dropped or torn non-atomic stores and stuck-stale plain
+    loads.  With ``faults=None`` (the default) and for kind-less host
+    operations, behavior is bit-identical to the unfaulted memory.
+    """
+
+    def __init__(self, faults: FaultInjector | None = None) -> None:
         self._arrays: dict[str, tuple[ArrayHandle, np.ndarray]] = {}
+        self.faults = faults
 
     # ------------------------------------------------------------------
     # Allocation and bulk transfer (host-side, not simulated accesses)
@@ -181,13 +191,37 @@ class GlobalMemory:
     # ------------------------------------------------------------------
     # Span-level operations (what the SIMT executor drives)
     # ------------------------------------------------------------------
-    def span_read(self, span: MemSpan) -> int:
-        """Read ``span`` as an unsigned little-endian integer."""
-        store = self._check(span)
-        return int.from_bytes(store[span.start:span.end].tobytes(), "little")
+    def span_read(self, span: MemSpan,
+                  kind: AccessKind | None = None) -> int:
+        """Read ``span`` as an unsigned little-endian integer.
 
-    def span_write(self, span: MemSpan, value: int) -> None:
-        """Write ``span`` from an unsigned little-endian integer."""
+        ``kind`` identifies the simulated access class for fault
+        injection; ``None`` marks a host-side operation, which is never
+        faulted.
+        """
+        store = self._check(span)
+        value = int.from_bytes(store[span.start:span.end].tobytes(), "little")
+        if self.faults is not None and kind is not None:
+            value = self.faults.load_fault(span, value, kind)
+        return value
+
+    def span_write(self, span: MemSpan, value: int,
+                   kind: AccessKind | None = None) -> None:
+        """Write ``span`` from an unsigned little-endian integer.
+
+        ``kind`` identifies the simulated access class for fault
+        injection (``None`` = host operation, never faulted): a
+        non-atomic store may be dropped entirely, or torn so that only
+        its lowest native-word piece reaches memory.
+        """
+        if self.faults is not None and kind is not None:
+            fault = self.faults.store_fault(span, kind)
+            if fault is FaultKind.DROPPED_WRITE:
+                return
+            if (fault is FaultKind.TORN_WRITE
+                    and span.nbytes > NATIVE_WORD_BYTES):
+                span = split_native_words(span)[0]
+                value = value & ((1 << (span.nbytes * 8)) - 1)
         store = self._check(span)
         raw = to_unsigned(value, span.nbytes * 8)
         store[span.start:span.end] = np.frombuffer(

@@ -285,6 +285,7 @@ class SimtExecutor:
         warp_size: int = 32,
         weak_memory: bool = False,
         store_buffer_capacity: int = 8,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.memory = memory
         self.scheduler = scheduler or RoundRobinScheduler()
@@ -307,6 +308,10 @@ class SimtExecutor:
         #: Atomics, fences, barriers, and thread exit drain the buffer.
         self.weak_memory = weak_memory
         self.store_buffer_capacity = store_buffer_capacity
+        #: optional fault injector (scheduler stalls, transient aborts);
+        #: memory-level faults ride on the injector installed in
+        #: ``memory`` — pass the same injector to both for a full plan
+        self.faults = faults
         self.events: list[AccessEvent] = []
         self.launch_count = 0
 
@@ -334,6 +339,8 @@ class SimtExecutor:
         launch_id = self.launch_count
         self.launch_count += 1
         self.scheduler.reset()
+        if self.faults is not None:
+            self.faults.begin_launch()
 
         n_blocks = (num_threads + block_dim - 1) // block_dim
         shared_handles: dict[int, dict[str, ArrayHandle]] = {}
@@ -381,6 +388,9 @@ class SimtExecutor:
                     "likely an infinite polling loop on a stale "
                     "register-cached value"
                 )
+            if self.faults is not None:
+                self.faults.check_abort(stats.steps)
+                runnable = self.faults.filter_runnable(runnable, stats.steps)
             if self.warp_lockstep:
                 # pre-Volta semantics: the scheduler picks a warp and
                 # every runnable lane advances one micro-op in lane order
@@ -438,14 +448,14 @@ class SimtExecutor:
                 if len(thread.store_buffer) > self.store_buffer_capacity:
                     self._drain_one(thread)
             else:
-                self.memory.span_write(span, micro.value)
+                self.memory.span_write(span, micro.value, kind=micro.access)
             self._invalidate_overlapping(thread, span)
             which = stats.stores
             which[micro.access] = which[micro.access] + 1
             self._record(stats, launch_id, thread, epochs, span,
                          False, True, micro.access, micro.value)
         else:
-            value = self.memory.span_read(span)
+            value = self.memory.span_read(span, kind=micro.access)
             thread.pieces.append(value)
             which = stats.loads
             which[micro.access] = which[micro.access] + 1
@@ -623,7 +633,9 @@ class SimtExecutor:
                   key=lambda i: (thread.store_buffer[i][0].array,
                                  thread.store_buffer[i][0].start))
         span, value = thread.store_buffer.pop(idx)
-        self.memory.span_write(span, value)
+        # buffered stores are non-atomic by construction (atomics drain
+        # the buffer instead of entering it); fault them as plain
+        self.memory.span_write(span, value, kind=AccessKind.PLAIN)
 
     def _invalidate_overlapping(self, thread: _Thread, span: MemSpan) -> None:
         stale = [s for s in thread.reg_cache if s.overlaps(span)]

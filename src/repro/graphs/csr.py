@@ -161,6 +161,28 @@ class CSRGraph:
     def has_weights(self) -> bool:
         return self.weights is not None
 
+    def fingerprint(self) -> str:
+        """Stable content digest of the graph (structure + weights).
+
+        Two graphs share a fingerprint iff they have identical CSR
+        arrays, weights, and direction — names are *not* included, so
+        the study framework can detect two different graphs trying to
+        reuse one name.  Cached: the graph is immutable by contract.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(b"directed" if self.directed else b"undirected")
+            h.update(self.row_offsets.tobytes())
+            h.update(self.col_indices.tobytes())
+            if self.weights is not None:
+                h.update(self.weights.tobytes())
+            cached = h.hexdigest()
+            self._fingerprint = cached
+        return cached
+
     def degree(self, v: int) -> int:
         """Out-degree of ``v``."""
         self._check_vertex(v)

@@ -173,7 +173,7 @@ RUNTIME_NOISE_SIGMA = 0.004
 
 
 def run_algorithm(algorithm, graph, device: DeviceSpec, variant: Variant,
-                  seed: int = 0) -> PerfRun:
+                  seed: int = 0, faults=None) -> PerfRun:
     """Run one (algorithm, input, device, variant) configuration.
 
     ``algorithm`` is an :class:`~repro.core.variants.AlgorithmInfo`;
@@ -183,8 +183,21 @@ def run_algorithm(algorithm, graph, device: DeviceSpec, variant: Variant,
     variance (clock jitter, scheduling), so the paper's median-of-nine
     protocol remains meaningful on configurations whose computation is
     otherwise seed-invariant.
+
+    ``faults`` is an optional
+    :class:`~repro.gpu.faults.FaultInjector`: it may abort the run with
+    a :class:`~repro.errors.TransientKernelFault` before any work, and
+    afterwards may stretch the runtime (scheduler stall), raise
+    :class:`~repro.errors.DeadlockError` (stuck-stale polling loop), or
+    silently corrupt the output arrays (torn/dropped non-atomic
+    stores) — each gated on the *variant's* exposure, so race-free
+    plans are immune to the data-corrupting kinds.  ``faults=None``
+    leaves the run bit-identical to the unfaulted engine.
     """
-    recorder = Recorder(algorithm_plan(algorithm), variant, device)
+    plan = algorithm_plan(algorithm)
+    recorder = Recorder(plan, variant, device)
+    if faults is not None:
+        faults.begin_perf_run(algorithm.key, variant, plan)
     output = algorithm.perf_runner(graph, recorder, seed)
     noise_rng = np.random.default_rng(
         (seed * 2654435761 + hash((algorithm.key, variant.value))) & 0xFFFFFFFF
@@ -192,6 +205,8 @@ def run_algorithm(algorithm, graph, device: DeviceSpec, variant: Variant,
     noise = 1.0 + float(np.clip(noise_rng.normal(0.0, RUNTIME_NOISE_SIGMA),
                                 -0.015, 0.015))
     runtime = TimingModel(device).estimate_ms(recorder.stats) * noise
+    if faults is not None:
+        runtime = faults.perf_finish(output, runtime)
     return PerfRun(
         algorithm=algorithm.key,
         variant=variant,

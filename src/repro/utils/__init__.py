@@ -11,11 +11,13 @@ from repro.utils.bitops import (
     to_signed,
     to_unsigned,
 )
+from repro.utils.atomicio import atomic_write_text
 from repro.utils.stats import geometric_mean, median, relative_deviation
 from repro.utils.correlation import pearson
 from repro.utils.tables import format_table
 
 __all__ = [
+    "atomic_write_text",
     "WORD_BITS",
     "byte_in_word",
     "clear_byte",

@@ -1,0 +1,34 @@
+"""Crash-safe file writes for checkpoints and result logs.
+
+A sweep checkpoint is only useful if a crash *while writing it* cannot
+destroy the work it records.  :func:`atomic_write_text` writes to a
+temporary file in the destination directory, fsyncs, and renames into
+place — on POSIX the rename is atomic, so readers observe either the
+old complete file or the new complete file, never a torn one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise

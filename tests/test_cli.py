@@ -70,3 +70,67 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table VIII" in out
         assert "Geomean Speedup" in out
+
+
+class TestErrorHandling:
+    def test_repro_error_exits_2_with_one_line(self, capsys):
+        rc = main(["run", "--algo", "nosuch", "--input", "internet",
+                   "--reps", "1"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_bad_input_name_exits_2(self, capsys):
+        rc = main(["run", "--algo", "cc", "--input", "nosuchgraph",
+                   "--reps", "1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        rc = main(["sweep", "--inputs", "internet", "--reps", "1",
+                   "--inject", "teleport=1"])
+        assert rc == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_exits_2(self, capsys):
+        rc = main(["sweep", "--inputs", "internet", "--reps", "1",
+                   "--resume"])
+        assert rc == 2
+        assert "requires --checkpoint" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_clean_sweep_full_coverage(self, capsys):
+        rc = main(["sweep", "--inputs", "internet", "--reps", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "coverage: 4/4 cells completed" in out
+        assert "Geomean Speedup" in out
+        assert "cells executed this run: 8" in out
+
+    def test_injected_sweep_records_failures(self, capsys):
+        rc = main(["sweep", "--inputs", "internet", "--reps", "1",
+                   "--inject", "stuck=1.0", "--fault-seed", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # cc's plain polling loop livelocks; the sweep still finishes
+        assert "FAIL(livelock)" in out
+        assert "coverage: 3/4 cells completed" in out
+        assert "inject: stuck=1" in out
+
+    def test_checkpoint_then_resume_executes_nothing(self, tmp_path,
+                                                     capsys):
+        ck = str(tmp_path / "sweep.json")
+        rc = main(["sweep", "--inputs", "internet", "--reps", "1",
+                   "--checkpoint", ck])
+        assert rc == 0
+        assert "cells executed this run: 8" in capsys.readouterr().out
+
+        rc = main(["sweep", "--inputs", "internet", "--reps", "1",
+                   "--checkpoint", ck, "--resume"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cells executed this run: 0" in out
+        assert "resumed 8 results" in out
+        assert "coverage: 4/4 cells completed" in out

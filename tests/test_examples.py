@@ -73,6 +73,18 @@ class TestExamples:
         assert "TORN/STALE" in out
         assert out.count("all runs correct") >= 3
 
+    def test_fault_injection_demo(self, capsys):
+        load_example("fault_injection_demo").main()
+        out = capsys.readouterr().out
+        # the racy baselines fail the Section II ways...
+        assert "FAIL(livelock)" in out
+        assert "FAIL(validation)" in out
+        # ...a naive sweep loses a race-free cell to a transient abort...
+        assert "1 race-free cell(s) lost to a transient abort" in out
+        # ...and with retries every race-free variant completes
+        assert "all 4/4 race-free variants survived" in out
+        assert "coverage: 2/4 cells completed" in out
+
     @pytest.mark.slow
     def test_speedup_study(self, capsys, monkeypatch):
         module = load_example("speedup_study")

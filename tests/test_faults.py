@@ -1,0 +1,241 @@
+"""Tests for the fault-injection subsystem (repro.gpu.faults).
+
+Covers the spec parser, injector determinism, the memory-level store
+and load faults (including exact torn-write chimeras), SIMT-level
+aborts and stalls, the no-op guarantee of ``faults=None``, and the
+exposure asymmetry at the performance level: injected data corruption
+hits only the racy baselines, never the all-atomic race-free variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import verify
+from repro.core.transform import plan_for
+from repro.core.variants import Variant, get_algorithm
+from repro.errors import (
+    DeadlockError,
+    FaultConfigError,
+    TransientKernelFault,
+    ValidationError,
+)
+from repro.gpu.accesses import AccessKind, DType
+from repro.gpu.device import get_device
+from repro.gpu.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.simt import SimtExecutor
+from repro.perf.engine import algorithm_plan, run_algorithm
+
+
+class TestFaultPlanParsing:
+    def test_parse_rates_and_bare_kinds(self):
+        plan = FaultPlan.parse("tear=0.3, stuck=0.1,abort", seed=9)
+        assert plan.rate(FaultKind.TORN_WRITE) == 0.3
+        assert plan.rate(FaultKind.STUCK_READ) == 0.1
+        assert plan.rate(FaultKind.KERNEL_ABORT) == 1.0
+        assert plan.rate(FaultKind.DROPPED_WRITE) == 0.0
+        assert plan.seed == 9
+
+    def test_parse_rejects_unknown_kind(self):
+        with pytest.raises(FaultConfigError, match="unknown fault kind"):
+            FaultPlan.parse("teleport=0.5")
+
+    def test_parse_rejects_bad_rate(self):
+        with pytest.raises(FaultConfigError, match="bad rate"):
+            FaultPlan.parse("tear=lots")
+
+    def test_parse_rejects_out_of_range_rate(self):
+        with pytest.raises(FaultConfigError, match="must be in"):
+            FaultPlan.parse("tear=1.5")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(FaultConfigError, match="empty fault spec"):
+            FaultPlan.parse("  ,  ")
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(FaultConfigError, match="duplicate"):
+            FaultPlan([FaultSpec(FaultKind.TORN_WRITE, 0.1),
+                       FaultSpec(FaultKind.TORN_WRITE, 0.2)])
+
+    def test_describe_mentions_seed(self):
+        assert "seed 4" in FaultPlan.parse("drop=0.5", seed=4).describe()
+
+
+class TestInjectorDeterminism:
+    def test_same_key_same_stream(self):
+        plan = FaultPlan.parse("tear=0.5,abort=0.5", seed=1)
+        a = plan.injector("cc", "internet", 0)
+        b = plan.injector("cc", "internet", 0)
+        assert a.seed == b.seed
+        assert [a._rng.random() for _ in range(8)] == \
+            [b._rng.random() for _ in range(8)]
+
+    def test_different_keys_differ(self):
+        plan = FaultPlan.parse("tear=0.5", seed=1)
+        assert plan.injector("cc", 0).seed != plan.injector("cc", 1).seed
+
+    def test_different_plan_seeds_differ(self):
+        a = FaultPlan.parse("tear=0.5", seed=1).injector("k")
+        b = FaultPlan.parse("tear=0.5", seed=2).injector("k")
+        assert a.seed != b.seed
+
+
+class TestMemoryFaults:
+    def test_torn_wide_store_keeps_low_word_only(self):
+        # Fig. 1: a torn 64-bit store of 0 over -1 leaves 0xffffffff in
+        # the high half — the chimera 0xffffffff00000000
+        plan = FaultPlan.parse("tear=1.0", seed=0)
+        mem = GlobalMemory(faults=plan.injector("t"))
+        val = mem.alloc("val", 1, DType.I64, fill=-1)
+        mem.span_write(val.span(0), 0, kind=AccessKind.PLAIN)
+        assert mem.span_read(val.span(0)) == 0xFFFFFFFF_00000000
+
+    def test_dropped_store_is_lost(self):
+        plan = FaultPlan.parse("drop=1.0", seed=0)
+        mem = GlobalMemory(faults=plan.injector("t"))
+        val = mem.alloc("val", 1, DType.I32, fill=7)
+        mem.span_write(val.span(0), 42, kind=AccessKind.PLAIN)
+        assert mem.element_read(val, 0) == 7
+
+    def test_atomic_stores_are_immune(self):
+        plan = FaultPlan.parse("drop=1.0,tear=1.0", seed=0)
+        mem = GlobalMemory(faults=plan.injector("t"))
+        val = mem.alloc("val", 1, DType.I64, fill=-1)
+        mem.span_write(val.span(0), 0, kind=AccessKind.ATOMIC)
+        assert mem.element_read(val, 0) == 0
+
+    def test_host_operations_never_faulted(self):
+        plan = FaultPlan.parse("drop=1.0,tear=1.0,stuck=1.0", seed=0)
+        mem = GlobalMemory(faults=plan.injector("t"))
+        val = mem.alloc("val", 4, DType.I64, fill=-1)
+        mem.element_write(val, 2, 99)  # kind=None: host side
+        assert mem.element_read(val, 2) == 99
+
+    def test_stuck_plain_load_returns_stale_value(self):
+        plan = FaultPlan.parse("stuck=1.0", seed=0)
+        mem = GlobalMemory(faults=plan.injector("t"))
+        val = mem.alloc("val", 1, DType.I32, fill=-1)
+        # first plain read records -1 as the register-cached value
+        assert mem.span_read(val.span(0), kind=AccessKind.PLAIN) \
+            == 0xFFFFFFFF
+        mem.span_write(val.span(0), 5)  # host update
+        # the plain reader is stuck on the stale value forever
+        assert mem.span_read(val.span(0), kind=AccessKind.PLAIN) \
+            == 0xFFFFFFFF
+        # a volatile read observes the truth
+        assert mem.span_read(val.span(0), kind=AccessKind.VOLATILE) == 5
+
+    def test_no_injector_is_untouched(self):
+        mem = GlobalMemory()
+        val = mem.alloc("val", 1, DType.I64, fill=-1)
+        mem.span_write(val.span(0), 0, kind=AccessKind.PLAIN)
+        assert mem.element_read(val, 0) == 0
+
+
+class TestSimtFaults:
+    @staticmethod
+    def _count_kernel(ctx, arr, rounds):
+        for _ in range(rounds):
+            v = yield ctx.load(arr, ctx.tid, AccessKind.VOLATILE)
+            yield ctx.store(arr, ctx.tid, v + 1, AccessKind.VOLATILE)
+
+    def test_abort_raises_transient_fault(self):
+        plan = FaultPlan.parse("abort=1.0", seed=0)
+        mem = GlobalMemory()
+        arr = mem.alloc("arr", 4, DType.I32)
+        ex = SimtExecutor(mem, record_events=False,
+                          faults=plan.injector("k"))
+        with pytest.raises(TransientKernelFault, match="micro-step"):
+            ex.launch(self._count_kernel, 4, arr, 200)
+
+    def test_stall_delays_but_completes_correctly(self):
+        plan = FaultPlan.parse("stall=0.2", seed=3)
+        mem = GlobalMemory()
+        arr = mem.alloc("arr", 4, DType.I32)
+        ex = SimtExecutor(mem, record_events=False,
+                          faults=plan.injector("k"))
+        ex.launch(self._count_kernel, 4, arr, 20)
+        assert mem.download(arr).tolist() == [20, 20, 20, 20]
+
+    def test_unfaulted_executor_matches_faultless_run(self):
+        def run(faults):
+            mem = GlobalMemory(faults=faults)
+            arr = mem.alloc("arr", 4, DType.I32)
+            SimtExecutor(mem, record_events=False,
+                         faults=faults).launch(
+                self._count_kernel, 4, arr, 10)
+            return mem.download(arr).tolist()
+
+        # a zero-rate plan must behave exactly like no plan at all
+        zero = FaultPlan.parse("tear=0.0", seed=0).injector("k")
+        assert run(None) == run(zero) == [10, 10, 10, 10]
+
+
+class TestPerfLevelExposure:
+    """The paper's asymmetry: corruption needs a racy access to land on."""
+
+    def _run(self, algo_key, graph_name, variant, spec, seed=0):
+        from repro.graphs.suite import load_suite_graph
+
+        algo = get_algorithm(algo_key)
+        graph = load_suite_graph(graph_name)
+        plan = FaultPlan.parse(spec, seed=seed)
+        injector = plan.injector(algo_key, variant.value)
+        return run_algorithm(algo, graph, get_device("titanv"), variant,
+                             seed=7, faults=injector), graph
+
+    def test_torn_write_corrupts_baseline_output(self):
+        run, graph = self._run("cc", "internet", Variant.BASELINE,
+                               "tear=1.0")
+        with pytest.raises(ValidationError):
+            verify.check_components(graph, run.output["labels"])
+
+    def test_race_free_variant_immune_to_tearing(self):
+        run, graph = self._run("cc", "internet", Variant.RACE_FREE,
+                               "tear=1.0")
+        verify.check_components(graph, run.output["labels"])
+
+    def test_stuck_read_livelocks_baseline_only(self):
+        with pytest.raises(DeadlockError, match="stuck-stale"):
+            self._run("cc", "internet", Variant.BASELINE, "stuck=1.0")
+        run, graph = self._run("cc", "internet", Variant.RACE_FREE,
+                               "stuck=1.0")
+        verify.check_components(graph, run.output["labels"])
+
+    def test_abort_hits_both_variants(self):
+        for variant in (Variant.BASELINE, Variant.RACE_FREE):
+            with pytest.raises(TransientKernelFault):
+                self._run("cc", "internet", variant, "abort=1.0")
+
+    def test_stall_only_stretches_runtime(self):
+        clean, _ = self._run("cc", "internet", Variant.BASELINE,
+                             "tear=0.0")
+        stalled, graph = self._run("cc", "internet", Variant.BASELINE,
+                                   "stall=1.0")
+        assert stalled.runtime_ms > clean.runtime_ms
+        verify.check_components(graph, stalled.output["labels"])
+
+    def test_exposure_follows_the_access_plan(self):
+        # independent of any run: the race-free effective plan has no
+        # shared non-atomic stores and no shared plain loads left
+        plan = algorithm_plan(get_algorithm("cc"))
+        effective = plan_for(plan, Variant.RACE_FREE)
+        shared = [s for s in effective.sites if s.shared]
+        assert all(s.kind is AccessKind.ATOMIC
+                   for s in shared if s.is_store)
+        assert all(s.kind is not AccessKind.PLAIN
+                   for s in shared if not s.is_store and not s.is_rmw)
+
+    def test_faults_none_is_bit_identical(self):
+        from repro.graphs.suite import load_suite_graph
+
+        algo = get_algorithm("cc")
+        graph = load_suite_graph("internet")
+        dev = get_device("titanv")
+        a = run_algorithm(algo, graph, dev, Variant.BASELINE, seed=7)
+        b = run_algorithm(algo, graph, dev, Variant.BASELINE, seed=7,
+                          faults=None)
+        assert a.runtime_ms == b.runtime_ms
+        assert np.array_equal(a.output["labels"], b.output["labels"])

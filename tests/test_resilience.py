@@ -1,0 +1,322 @@
+"""Tests for the resilient sweep layer (repro.core.resilience).
+
+Covers the run_guarded failure taxonomy, retry-with-fresh-seed
+behavior, livelock-to-record conversion, per-cell isolation inside a
+sweep, checkpoint/resume (including the only-missing-cells guarantee
+and corrupt checkpoints), degraded report rendering, and the
+bit-identical no-fault regression against the plain Study.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import resilient_speedup_table
+from repro.core.resilience import (
+    CellBudget,
+    CellFailure,
+    ResilientStudy,
+    run_guarded,
+)
+from repro.core.study import SpeedupCell, Study
+from repro.core.variants import Variant
+from repro.errors import (
+    CellTimeoutError,
+    DeadlockError,
+    StudyError,
+    TransientKernelFault,
+    ValidationError,
+)
+from repro.gpu.faults import FaultPlan
+
+DEVICE = "titanv"
+INPUT = "internet"
+
+
+class TestRunGuarded:
+    def test_success_passes_value_through(self):
+        value, failure = run_guarded(lambda attempt: 42)
+        assert value == 42 and failure is None
+
+    def test_transient_fault_retried_with_attempt_index(self):
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 2:
+                raise TransientKernelFault("boom")
+            return "ok"
+
+        value, failure = run_guarded(flaky, retries=3)
+        assert value == "ok" and failure is None
+        assert calls == [0, 1, 2]
+
+    def test_retries_exhausted_reports_fault(self):
+        def always(attempt):
+            raise TransientKernelFault("still dead")
+
+        value, failure = run_guarded(always, retries=2)
+        assert value is None
+        assert failure.reason == "fault"
+        assert failure.attempts == 3
+        assert "still dead" in failure.message
+
+    def test_backoff_doubles_per_attempt(self):
+        sleeps = []
+
+        def always(attempt):
+            raise TransientKernelFault("x")
+
+        run_guarded(always, retries=2, backoff_s=0.5,
+                    sleep=sleeps.append)
+        assert sleeps == [0.5, 1.0]  # no sleep after the final attempt
+
+    def test_livelock_recorded_not_raised(self):
+        def spin(attempt):
+            raise DeadlockError("polling forever")
+
+        value, failure = run_guarded(spin, retries=5)
+        assert value is None
+        assert failure.reason == "livelock"
+        assert failure.attempts == 1  # livelocks are not retried
+
+    def test_validation_and_timeout_reasons(self):
+        _, f = run_guarded(lambda a: (_ for _ in ()).throw(
+            ValidationError("bad")))
+        assert f.reason == "validation"
+        _, f = run_guarded(lambda a: (_ for _ in ()).throw(
+            CellTimeoutError("slow")))
+        assert f.reason == "timeout"
+
+    def test_non_repro_errors_propagate(self):
+        with pytest.raises(ZeroDivisionError):
+            run_guarded(lambda a: 1 / 0)
+
+    def test_wall_clock_budget_stops_retry_loop(self):
+        def always(attempt):
+            raise TransientKernelFault("x")
+
+        _, failure = run_guarded(
+            always, retries=50,
+            budget=CellBudget(max_seconds=0.0))
+        assert failure.reason in ("timeout", "fault")
+        assert failure.attempts <= 2
+
+    def test_simt_livelock_becomes_record(self, tiny_graph):
+        # a real kernel-level execution under a tiny micro-step budget:
+        # the executor's watchdog fires DeadlockError, which the guard
+        # turns into a recorded livelock instead of a crash
+        from repro.algorithms import cc
+        from repro.gpu.memory import GlobalMemory
+        from repro.gpu.simt import SimtExecutor
+
+        def attempt(attempt_idx):
+            ex = SimtExecutor(GlobalMemory(), record_events=False,
+                              max_steps=50)
+            return cc.run_simt(tiny_graph, Variant.BASELINE,
+                               executor=ex)
+
+        value, failure = run_guarded(attempt)
+        assert value is None
+        assert failure.reason == "livelock"
+        assert "micro-steps" in failure.message
+
+
+class TestCellIsolation:
+    def test_failing_cell_does_not_stop_sweep(self):
+        faults = FaultPlan.parse("stuck=1.0", seed=0)
+        study = ResilientStudy(reps=2, faults=faults)
+        sweep = study.sweep(DEVICE, ["cc", "gc"], [INPUT])
+        # cc baseline livelocks (plain polling loop); gc has no plain
+        # shared loads, so its cells complete
+        assert len(sweep.cells) == 2
+        cc_cell, gc_cell = sweep.cells
+        assert isinstance(cc_cell, CellFailure)
+        assert cc_cell.reason == "livelock"
+        assert isinstance(gc_cell, SpeedupCell)
+        assert sweep.coverage == (1, 2)
+
+    def test_surviving_variant_still_recorded(self):
+        faults = FaultPlan.parse("stuck=1.0", seed=0)
+        study = ResilientStudy(reps=2, faults=faults)
+        out = study.speedup_cell("cc", INPUT, DEVICE)
+        assert isinstance(out, CellFailure)
+        assert out.variant == "baseline"
+        # the race-free half of the cell completed and is memoized
+        free = study.run_cell("cc", INPUT, DEVICE, Variant.RACE_FREE)
+        assert not isinstance(free, CellFailure)
+
+    def test_failure_memoized_like_results(self):
+        faults = FaultPlan.parse("stuck=1.0", seed=0)
+        study = ResilientStudy(reps=2, faults=faults)
+        first = study.run_cell("cc", INPUT, DEVICE, Variant.BASELINE)
+        executed = study.cells_executed
+        again = study.run_cell("cc", INPUT, DEVICE, Variant.BASELINE)
+        assert again is first
+        assert study.cells_executed == executed
+
+    def test_strict_run_raises_on_failure(self):
+        faults = FaultPlan.parse("stuck=1.0", seed=0)
+        study = ResilientStudy(reps=2, faults=faults)
+        with pytest.raises(StudyError, match=r"FAIL\(livelock\)"):
+            study.run("cc", INPUT, DEVICE, Variant.BASELINE)
+
+    def test_retry_absorbs_transient_abort(self):
+        # abort=0.5: some attempt fails, a later one succeeds; with
+        # enough retries the cell must complete
+        faults = FaultPlan.parse("abort=0.5", seed=1)
+        study = ResilientStudy(reps=3, retries=8, faults=faults)
+        out = study.run_cell("cc", INPUT, DEVICE, Variant.RACE_FREE)
+        assert not isinstance(out, CellFailure)
+
+    def test_retries_exhausted_is_fault(self):
+        faults = FaultPlan.parse("abort=1.0", seed=0)
+        study = ResilientStudy(reps=1, retries=2, faults=faults)
+        out = study.run_cell("cc", INPUT, DEVICE, Variant.BASELINE)
+        assert isinstance(out, CellFailure)
+        assert out.reason == "fault"
+        assert out.attempts == 3
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(StudyError, match="retries"):
+            ResilientStudy(retries=-1)
+
+
+class TestBitIdentity:
+    def test_unfaulted_resilient_study_matches_plain_study(self):
+        plain = Study(reps=3)
+        resilient = ResilientStudy(reps=3, retries=2,
+                                   budget=CellBudget(max_seconds=60))
+        for variant in (Variant.BASELINE, Variant.RACE_FREE):
+            a = plain.run("cc", INPUT, DEVICE, variant)
+            b = resilient.run("cc", INPUT, DEVICE, variant)
+            assert a.runtimes_ms == b.runtimes_ms  # exact, not approx
+
+    def test_table_iv_cells_identical(self):
+        plain = Study(reps=2)
+        resilient = ResilientStudy(reps=2)
+        algos = ["cc", "gc", "mis", "mst"]
+        expected = plain.speedup_table(DEVICE, algos, [INPUT])
+        got = resilient.sweep(DEVICE, algos, [INPUT])
+        assert got.failures == []
+        for e, g in zip(expected, got.completed):
+            assert (e.algorithm, e.input_name) == (g.algorithm,
+                                                   g.input_name)
+            assert e.baseline_ms == g.baseline_ms
+            assert e.racefree_ms == g.racefree_ms
+
+
+class TestCheckpointResume:
+    def test_resume_runs_only_missing_cells(self, tmp_path):
+        ck = tmp_path / "sweep.json"
+        first = ResilientStudy(reps=2, checkpoint=ck)
+        first.sweep(DEVICE, ["cc", "gc"], [INPUT])
+        assert first.cells_executed == 4  # 2 algos x 2 variants
+
+        # "crash" and resume: a fresh study loads the checkpoint and a
+        # wider sweep executes only the genuinely new cells
+        second = ResilientStudy(reps=2, checkpoint=ck)
+        n_results, n_failures = second.load_checkpoint()
+        assert (n_results, n_failures) == (4, 0)
+        second.sweep(DEVICE, ["cc", "gc"], [INPUT])
+        assert second.cells_executed == 0
+        second.sweep(DEVICE, ["cc", "gc", "mis"], [INPUT])
+        assert second.cells_executed == 2  # just mis x 2 variants
+
+    def test_resumed_results_match_fresh_run(self, tmp_path):
+        ck = tmp_path / "sweep.json"
+        first = ResilientStudy(reps=2, checkpoint=ck)
+        fresh = first.sweep(DEVICE, ["cc"], [INPUT])
+
+        second = ResilientStudy(reps=2, checkpoint=ck)
+        second.load_checkpoint()
+        resumed = second.sweep(DEVICE, ["cc"], [INPUT])
+        assert resumed.completed[0].baseline_ms == \
+            fresh.completed[0].baseline_ms
+        assert resumed.completed[0].racefree_ms == \
+            fresh.completed[0].racefree_ms
+
+    def test_failures_checkpointed_and_reloaded(self, tmp_path):
+        ck = tmp_path / "sweep.json"
+        faults = FaultPlan.parse("stuck=1.0", seed=0)
+        first = ResilientStudy(reps=2, faults=faults, checkpoint=ck)
+        first.sweep(DEVICE, ["cc"], [INPUT])
+        assert len(first.failures()) == 1
+
+        second = ResilientStudy(reps=2, faults=faults, checkpoint=ck)
+        n_results, n_failures = second.load_checkpoint()
+        assert n_failures == 1
+        out = second.run_cell("cc", INPUT, DEVICE, Variant.BASELINE)
+        assert isinstance(out, CellFailure)
+        assert out.reason == "livelock"
+        assert second.cells_executed == 0  # failures resume too
+
+    def test_checkpoint_written_after_every_cell(self, tmp_path):
+        import json
+
+        ck = tmp_path / "sweep.json"
+        study = ResilientStudy(reps=1, checkpoint=ck)
+        study.run_cell("cc", INPUT, DEVICE, Variant.BASELINE)
+        assert len(json.loads(ck.read_text())["results"]) == 1
+        study.run_cell("cc", INPUT, DEVICE, Variant.RACE_FREE)
+        assert len(json.loads(ck.read_text())["results"]) == 2
+
+    def test_corrupt_checkpoint_raises_study_error(self, tmp_path):
+        ck = tmp_path / "sweep.json"
+        ck.write_text('{"format": 2, "reps": 2, ')  # torn write
+        study = ResilientStudy(reps=2, checkpoint=ck)
+        with pytest.raises(StudyError, match="corrupt or partial"):
+            study.load_checkpoint()
+
+    def test_reps_mismatch_rejected(self, tmp_path):
+        ck = tmp_path / "sweep.json"
+        ResilientStudy(reps=2, checkpoint=ck).run_cell(
+            "cc", INPUT, DEVICE, Variant.BASELINE)
+        with pytest.raises(StudyError, match="different reps/scale"):
+            ResilientStudy(reps=5, checkpoint=ck).load_checkpoint()
+
+    def test_no_checkpoint_path_is_an_error(self):
+        study = ResilientStudy(reps=1)
+        with pytest.raises(StudyError, match="no checkpoint path"):
+            study.load_checkpoint()
+        with pytest.raises(StudyError, match="no checkpoint path"):
+            study.save_checkpoint()
+
+
+class TestDegradedReport:
+    def _mixed_cells(self):
+        faults = FaultPlan.parse("stuck=1.0", seed=0)
+        study = ResilientStudy(reps=2, faults=faults)
+        return study.sweep(DEVICE, ["cc", "gc"], [INPUT]).cells
+
+    def test_failures_render_with_reason(self):
+        text = resilient_speedup_table(self._mixed_cells())
+        assert "FAIL(livelock)" in text
+        assert "Geomean Speedup" in text
+
+    def test_coverage_annotation(self):
+        text = resilient_speedup_table(self._mixed_cells())
+        assert "coverage: 1/2 cells completed" in text
+        # the failed CC column footer cannot pretend to be a number
+        assert "n/a" in text
+
+    def test_partial_column_geomean_annotated(self):
+        cells = [
+            SpeedupCell("cc", "a", DEVICE, 2.0, 1.0),
+            CellFailure("cc", "b", DEVICE, "baseline", "livelock",
+                        "spin", 1, 0.1),
+        ]
+        text = resilient_speedup_table(cells)
+        assert "[1/2]" in text
+
+    def test_all_complete_has_full_coverage(self):
+        study = ResilientStudy(reps=1)
+        cells = study.sweep(DEVICE, ["cc"], [INPUT]).cells
+        text = resilient_speedup_table(cells, title="T")
+        assert text.startswith("T\n")
+        assert "coverage: 1/1 cells completed" in text
+        assert "FAIL" not in text
+
+    def test_empty_cells_rejected(self):
+        with pytest.raises(StudyError):
+            resilient_speedup_table([])
