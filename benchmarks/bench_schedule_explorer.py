@@ -1,0 +1,70 @@
+"""Schedule-exploration throughput and DPOR reduction factors.
+
+Runs the ``repro.check`` explorer over the pattern corpus in both naive
+DFS and sleep-set DPOR modes and reports, per pattern: schedules needed
+for a complete (or budget-capped) search, the naive/DPOR reduction
+factor, and raw exploration throughput in schedules per second.
+
+This is the evaluation companion of ``docs/checking.md``: the partial
+order reduction is what makes exhaustive checking of the paper's racy
+idioms affordable at all, so the reduction factor is tracked like any
+other performance number.
+"""
+
+from __future__ import annotations
+
+from _harness import emit
+
+from repro.check import BUDGETS, ExploreBudget, check
+from repro.core.variants import Variant
+from repro.patterns import PATTERNS
+from repro.utils.tables import format_table
+
+#: generous enough that every pattern's smoke-sized space is covered,
+#: tight enough that the spin-loop patterns stay bounded
+BUDGET = ExploreBudget(max_schedules=BUDGETS["smoke"].max_schedules,
+                       max_steps_per_run=4_000,
+                       max_seconds=20.0,
+                       preemption_bound=2)
+
+
+def _sweep():
+    rows = []
+    for name in sorted(PATTERNS):
+        pattern = PATTERNS[name]
+        variant = (Variant.RACE_FREE if pattern.expected_racy
+                   else Variant.BASELINE)
+        report = check(name, variant=variant, budget=BUDGET,
+                       mode="dpor", compare_naive=True, minimize=False)
+        rows.append((name, variant, report))
+    return rows
+
+
+def test_dpor_reduction(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = []
+    for name, variant, report in results:
+        dpor = report.explore
+        naive = report.naive
+        table.append([
+            name,
+            variant.value,
+            naive.schedules,
+            dpor.schedules,
+            f"{report.dpor_reduction:.2f}x" if report.dpor_reduction else "-",
+            "yes" if dpor.complete else "capped",
+            f"{dpor.schedules_per_second:.0f}",
+        ])
+    emit("Schedule exploration (repro.check)",
+         format_table(["Pattern", "Variant", "Naive", "DPOR",
+                       "Reduction", "Complete", "Sched/s"], table))
+
+    for name, _variant, report in results:
+        assert report.ok, f"{name}: exploration of the fixed variant failed"
+        dpor = report.explore
+        naive = report.naive
+        # DPOR must never need MORE schedules than naive DFS
+        assert dpor.schedules <= naive.schedules, name
+    # and it must genuinely reduce somewhere in the corpus
+    assert any(r.explore.schedules < r.naive.schedules
+               for _, _, r in results)

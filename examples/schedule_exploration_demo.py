@@ -1,0 +1,106 @@
+"""Exhaustive schedule checking with a replayable counterexample.
+
+Random schedules *sample* the interleaving space; this demo uses
+``repro.check`` to *search* it:
+
+1. the classic unprotected counter — DPOR enumerates the full bounded
+   schedule space (4 representative schedules vs. 6 for naive DFS),
+   finds the lost update, and minimizes the failing schedule to a
+   single forced preemption that replays bit-identically;
+2. the relaxed-atomic fix — the *complete* bounded search passes with
+   zero actual or predicted races: a guarantee no amount of random
+   sampling can give;
+3. a label-propagation kernel checked against the suite's own
+   ``check_components`` verifier on *every* explored schedule — the
+   algorithm-level invariant holds even though the kernel is racy by
+   the access-kind rules.
+
+Run:  python examples/schedule_exploration_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.verify import check_components
+from repro.check import check
+from repro.errors import ValidationError
+from repro.graphs.csr import CSRGraph
+from repro.gpu.accesses import AccessKind, DType, RMWOp
+from repro.gpu.atomics import atomic_add
+
+
+def racy_counter(ctx, ctr):
+    v = yield ctx.load(ctr, 0, AccessKind.VOLATILE)
+    yield ctx.store(ctr, 0, v + 1, AccessKind.VOLATILE)
+
+
+def atomic_counter(ctx, ctr):
+    yield from atomic_add(ctx, ctr, 0, 1)
+
+
+def counter_setup(mem):
+    return (mem.alloc("ctr", 1, DType.I32),)
+
+
+def counter_ok(mem, handles):
+    return mem.element_read(handles[0], 0) == 2
+
+
+def main() -> None:
+    print("=== 1. the unprotected counter, searched exhaustively ===")
+    report = check(racy_counter, 2, setup=counter_setup,
+                   invariant=counter_ok, compare_naive=True)
+    print(report.summary())
+    failure = next(f for f in report.failures if f.kind == "invariant")
+    print(f"\nminimized repro schedule: {failure.repro_log.compact()}")
+    print(f"forced preemptions after ddmin: "
+          f"{len(failure.minimized.deviations)} "
+          f"(from {failure.minimized.initial_deviations})")
+    print(f"replay certified bit-identical: {failure.replay_verified}")
+
+    print("\n=== 2. the relaxed-atomic fix, proven over the same space ===")
+    fixed = check(atomic_counter, 2, setup=counter_setup,
+                  invariant=counter_ok)
+    print(fixed.summary())
+    assert fixed.ok and fixed.explore.complete
+
+    print("\n=== 3. an algorithm invariant on every schedule ===")
+    # path graph 0-1-2: all three vertices must converge to one label
+    graph = CSRGraph.from_edges(3, [(0, 1), (1, 2)], directed=False,
+                                symmetrize=True)
+
+    def propagate(ctx, label):
+        for neighbor in graph.neighbors(ctx.tid):
+            v = yield ctx.load(label, int(neighbor), AccessKind.VOLATILE)
+            yield ctx.atomic_rmw(label, ctx.tid, RMWOp.MIN, v)
+
+    def setup(mem):
+        label = mem.alloc("label", 3, DType.I32)
+        mem.upload(label, np.arange(3))
+        return (label,)
+
+    def execute(ex, handles):
+        # two rounds make the min label reach both path endpoints on
+        # every schedule
+        for _ in range(2):
+            ex.launch(propagate, 3, *handles, block_dim=3)
+
+    def components_hold(mem, handles):
+        try:
+            check_components(graph, mem.download(handles[0]))
+        except ValidationError:
+            return False
+        return True
+
+    from repro.check import Program
+    result = check(Program("label-prop", setup, execute, components_hold),
+                   budget="smoke")
+    print(result.summary())
+    print(f"\ninvariant held on all {result.explore.schedules} "
+          f"explored schedules: "
+          f"{not any(f.kind == 'invariant' for f in result.failures)}")
+
+
+if __name__ == "__main__":
+    main()

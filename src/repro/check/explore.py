@@ -1,0 +1,523 @@
+"""Systematic schedule exploration with dynamic partial-order reduction.
+
+Stress testing runs a kernel under 50 random seeds and hopes one of
+them hits the bad interleaving; this module instead *enumerates* the
+schedule space.  A :class:`ScheduleExplorer` drives a fresh execution
+of the program per schedule through a controlled scheduler, doing
+depth-first search over scheduling decisions with:
+
+* **dynamic partial-order reduction** (Flanagan & Godefroid): after each
+  execution, conflicting access pairs that are not ordered by
+  synchronization contribute *backtrack points* — alternative threads
+  worth running at earlier decisions — so only one representative per
+  Mazurkiewicz trace (commutation class) is explored;
+* **sleep sets** (Godefroid): a thread whose exploration from a state is
+  complete sleeps until some dependent operation executes, pruning the
+  redundant interleavings persistent sets alone would revisit;
+* **preemption bounding** (CHESS-style): schedules with more than
+  ``preemption_bound`` forced context switches are skipped — most
+  concurrency bugs need very few preemptions, and the bound makes the
+  search space finite for spinning kernels;
+* **state-fingerprint deduplication** (optional): a branch whose
+  (executor state, choice) pair was already expanded is skipped.  The
+  fingerprint covers global memory plus each thread's generator frame,
+  so it is precise for the kernels in this repository; it trades a
+  little completeness of backtrack propagation for a lot of pruning
+  and is therefore off in ``exhaustive`` mode;
+* **budgets**: schedule count, per-run micro-steps, and wall-clock.
+
+The explorer is program-agnostic: it re-executes via a caller-supplied
+``runner(scheduler, step_probe) -> RunOutcome`` (the property-check
+harness in :mod:`repro.check.harness` builds one from a kernel or a
+pattern).  ``mode="naive"`` disables all reduction — same DFS, full
+branching — which is what the DPOR reduction factor is measured
+against.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ExplorationError
+from repro.gpu.interleave import PendingOp, Scheduler
+from repro.gpu.simt import AccessEvent
+from repro.check.replay import DecisionLog, stay_policy
+
+__all__ = ["ExploreBudget", "BUDGETS", "RunOutcome", "ExploreResult",
+           "ScheduleExplorer", "state_fingerprint"]
+
+
+@dataclass(frozen=True)
+class ExploreBudget:
+    """Bounds on one exploration."""
+
+    max_schedules: int = 400
+    max_steps_per_run: int = 20_000
+    max_seconds: float = 30.0
+    preemption_bound: int | None = 3
+
+    def describe(self) -> str:
+        bound = ("unbounded" if self.preemption_bound is None
+                 else str(self.preemption_bound))
+        return (f"≤{self.max_schedules} schedules, "
+                f"≤{self.max_steps_per_run} steps/run, "
+                f"≤{self.max_seconds:g}s, preemption bound {bound}")
+
+
+#: named budgets for the CLI / CI tiers
+BUDGETS: dict[str, ExploreBudget] = {
+    "smoke": ExploreBudget(max_schedules=60, max_steps_per_run=4_000,
+                           max_seconds=10.0, preemption_bound=2),
+    "default": ExploreBudget(),
+    "deep": ExploreBudget(max_schedules=5_000, max_steps_per_run=100_000,
+                          max_seconds=300.0, preemption_bound=5),
+}
+
+
+class _RedundantScheduleAbort(BaseException):
+    """Control flow: every runnable thread is asleep, so this schedule
+    can only reproduce an already-explored trace.  Derives from
+    BaseException so program-level ``except Exception`` cannot swallow
+    it on the way out of the executor."""
+
+
+@dataclass
+class RunOutcome:
+    """What one complete (or aborted) execution produced."""
+
+    events: list[AccessEvent]
+    fingerprint: bytes | None = None     #: final memory digest
+    error: Exception | None = None       #: DeadlockError etc., if raised
+    check_ok: bool | None = None         #: invariant verdict, if checked
+    payload: object = None               #: harness-private extras
+
+
+#: runner contract: execute the program once from scratch under the
+#: given scheduler; ``step_probe`` (when not None) must be installed as
+#: ``executor.step_probe``.
+Runner = Callable[[Scheduler, Callable | None], RunOutcome]
+
+
+def _stable_encode(value: object) -> str:
+    """Deterministic encoding of a generator-frame local across runs
+    (default reprs embed object addresses, which change per run)."""
+    if value is None or isinstance(value, (bool, str)):
+        return repr(value)
+    if isinstance(value, int):
+        return str(int(value))
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (tuple, list)):
+        return "[" + ",".join(_stable_encode(v) for v in value) + "]"
+    if isinstance(value, dict):
+        return "{" + ",".join(
+            f"{_stable_encode(k)}:{_stable_encode(v)}"
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        ) + "}"
+    try:
+        return f"<{type(value).__name__}:{int(value)}>"  # numpy scalars
+    except (TypeError, ValueError):
+        return f"<{type(value).__name__}>"
+
+
+def state_fingerprint(memory, threads, epochs) -> int:
+    """Hash of the executor's full logical state at a decision point:
+    the memory image plus, per thread, the generator's instruction
+    pointer and locals, queued micro-ops, register cache, and control
+    bits.  Two runs at equal fingerprints behave identically from here
+    on under the same decisions."""
+    parts: list[str] = [memory.fingerprint().hex(), repr(sorted(epochs.items()))]
+    for t in threads:
+        frame = getattr(t.gen, "gi_frame", None)
+        if frame is not None:
+            frame_sig = (f"@{frame.f_lasti}:"
+                         + _stable_encode(frame.f_locals))
+        else:
+            frame_sig = "@done"
+        micro_sig = ";".join(
+            f"{m.span}:{int(m.is_read)}{int(m.is_write)}:{m.value}:{m.operand}"
+            for m in t.micro)
+        pieces_sig = ",".join(str(p) for p in t.pieces)
+        reg_sig = ",".join(f"{s}={v}" for s, v in
+                           sorted(t.reg_cache.items(),
+                                  key=lambda kv: (kv[0].array, kv[0].start)))
+        buf_sig = ",".join(f"{s}={v}" for s, v in t.store_buffer)
+        parts.append(f"t{t.tid}:{int(t.done)}{int(t.at_barrier)}"
+                     f"{int(t.started)}:{_stable_encode(t.send_value)}:"
+                     f"{frame_sig}|{micro_sig}|{pieces_sig}|{reg_sig}|{buf_sig}")
+    return hash("\n".join(parts))
+
+
+# ----------------------------------------------------------------------
+# The directed scheduler: forced prefix, then deterministic free phase
+# ----------------------------------------------------------------------
+
+class _DirectedScheduler(Scheduler):
+    """Replays a forced decision prefix, then continues with the
+    preemption-free stay policy, avoiding sleeping threads; records
+    everything the exploration needs (runnable sets, pending ops,
+    per-decision sleep snapshots, launch boundaries)."""
+
+    needs_pending = True
+
+    def __init__(self, forced: Sequence[int], sleep_depth: int,
+                 sleep: Mapping[int, PendingOp]) -> None:
+        self.forced = list(forced)
+        self.sleep_depth = sleep_depth
+        self._sleep = dict(sleep)
+        self.picks: list[int] = []
+        self.runnables: list[tuple[int, ...]] = []
+        self.pendings: list[dict[int, PendingOp]] = []
+        self.sleep_snapshots: dict[int, dict[int, PendingOp]] = {}
+        self.launch_starts: list[int] = []
+        self.redundant = False
+        self._pending: Mapping[int, PendingOp] = {}
+        self._last: int | None = None
+
+    def reset(self) -> None:
+        self.launch_starts.append(len(self.picks))
+        self._last = None
+
+    def observe(self, runnable: Sequence[int],
+                pending: Mapping[int, PendingOp] | None) -> None:
+        self._pending = pending or {}
+
+    def choose(self, runnable: Sequence[int]) -> int:
+        index = len(self.picks)
+        if index >= self.sleep_depth:
+            self.sleep_snapshots[index] = dict(self._sleep)
+        if index < len(self.forced):
+            pick = self.forced[index]
+            if pick not in runnable:
+                raise ExplorationError(
+                    f"non-deterministic program: forced thread {pick} "
+                    f"not runnable at decision {index} "
+                    f"(runnable: {list(runnable)})")
+        else:
+            awake = [t for t in runnable if t not in self._sleep]
+            if not awake:
+                self.redundant = True
+                raise _RedundantScheduleAbort
+            pick = stay_policy(awake, self._last if self._last in awake
+                               else None)
+        self.picks.append(pick)
+        self.runnables.append(tuple(runnable))
+        self.pendings.append({t: self._pending.get(t) for t in runnable})
+        if index >= self.sleep_depth and self._sleep:
+            op = self._pending.get(pick)
+            for q in list(self._sleep):
+                if q == pick or _dependent(op, self._sleep[q]):
+                    del self._sleep[q]
+        self._last = pick
+        return pick
+
+    def state(self) -> tuple:
+        return ("directed", len(self.picks))
+
+    def log(self) -> DecisionLog:
+        return DecisionLog.from_decisions(self.picks, self.launch_starts)
+
+
+def _dependent(a: PendingOp, b: PendingOp) -> bool:
+    """Two pending operations do not commute: same array, overlapping
+    bytes, at least one write.  Unknown ops (None — thread between
+    operations) are conservatively treated as dependent, never putting
+    such a thread to sleep incorrectly."""
+    if a is None or b is None:
+        return True
+    if a[0] != b[0]:
+        return False
+    if not (a[4] or b[4]):  # neither writes
+        return False
+    return a[1] < b[1] + b[2] and b[1] < a[1] + a[2]
+
+
+# ----------------------------------------------------------------------
+# Exploration
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Node:
+    """One decision point on the current DFS stack."""
+
+    runnable: tuple[int, ...]
+    pending: dict[int, PendingOp]
+    pick: int
+    last_before: int | None            #: thread that ran the previous step
+    preempt_prefix: int                #: preemptions strictly before here
+    done: set[int] = field(default_factory=set)
+    #: choices actually executed from here (pruned ones enter ``done``
+    #: but not this set; only explored subtrees may put siblings to
+    #: sleep, or sleep sets would prune schedules nobody visited)
+    explored: set[int] = field(default_factory=set)
+    backtrack: set[int] = field(default_factory=set)
+    sleep: dict[int, PendingOp] = field(default_factory=dict)
+    fp: int | None = None
+
+    def is_preemption(self, choice: int) -> bool:
+        return (self.last_before is not None
+                and self.last_before in self.runnable
+                and choice != self.last_before)
+
+
+@dataclass
+class ExploreResult:
+    """Statistics and verdict of one exploration."""
+
+    mode: str
+    schedules: int = 0                 #: complete executions performed
+    complete: bool = False             #: schedule space exhausted
+    truncated_runs: int = 0            #: runs that hit the step budget
+    redundant_pruned: int = 0          #: runs aborted by sleep sets
+    preemption_pruned: int = 0         #: branches beyond the bound
+    dedupe_pruned: int = 0             #: branches into seen states
+    max_depth: int = 0
+    total_steps: int = 0
+    distinct_final_states: int = 0
+    wall_seconds: float = 0.0
+    budget: ExploreBudget = field(default_factory=ExploreBudget)
+    stopped_early: bool = False        #: on_run asked to stop
+
+    @property
+    def schedules_per_second(self) -> float:
+        return self.schedules / self.wall_seconds if self.wall_seconds else 0.0
+
+
+class ScheduleExplorer:
+    """DFS over scheduling decisions with DPOR, sleep sets, preemption
+    bounding, and budgets.
+
+    Parameters
+    ----------
+    runner:
+        Executes the program once under a given scheduler (fresh memory
+        every call) and returns a :class:`RunOutcome`.
+    mode:
+        ``"dpor"`` (reduced) or ``"naive"`` (full branching; the
+        reduction-factor baseline).
+    budget:
+        An :class:`ExploreBudget` or a name from :data:`BUDGETS`.
+    on_run:
+        Optional callback ``(outcome, log) -> bool`` invoked per
+        completed schedule; returning True stops the exploration (used
+        by the harness for stop-on-first-failure).
+    state_dedupe:
+        Enable state-fingerprint branch pruning.
+    """
+
+    def __init__(self, runner: Runner, mode: str = "dpor",
+                 budget: ExploreBudget | str = "default",
+                 on_run: Callable[[RunOutcome, DecisionLog], bool] | None = None,
+                 state_dedupe: bool = False) -> None:
+        if mode not in ("dpor", "naive"):
+            raise ExplorationError(f"unknown exploration mode {mode!r}")
+        if isinstance(budget, str):
+            try:
+                budget = BUDGETS[budget]
+            except KeyError:
+                raise ExplorationError(
+                    f"unknown budget {budget!r}; known: "
+                    f"{sorted(BUDGETS)}") from None
+        self.runner = runner
+        self.mode = mode
+        self.budget = budget
+        self.on_run = on_run
+        self.state_dedupe = state_dedupe
+        self._expanded: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    def explore(self) -> ExploreResult:
+        result = ExploreResult(mode=self.mode, budget=self.budget)
+        started = time.monotonic()
+        stack: list[_Node] = []
+        finals: set[bytes | None] = set()
+        forced: list[int] = []
+        branch_depth = 0
+        branch_sleep: dict[int, PendingOp] = {}
+
+        while True:
+            if result.schedules >= self.budget.max_schedules:
+                break
+            if time.monotonic() - started > self.budget.max_seconds:
+                break
+
+            sched = _DirectedScheduler(forced, branch_depth, branch_sleep)
+            fingerprints: list[int] = []
+            probe = (self._make_probe(fingerprints)
+                     if self.state_dedupe else None)
+            try:
+                outcome = self.runner(sched, probe)
+            except _RedundantScheduleAbort:
+                outcome = None
+                result.redundant_pruned += 1
+
+            if outcome is not None:
+                result.schedules += 1
+                result.total_steps += len(sched.picks)
+                result.max_depth = max(result.max_depth, len(sched.picks))
+                if outcome.error is not None:
+                    result.truncated_runs += 1
+                finals.add(outcome.fingerprint)
+                if self.on_run is not None:
+                    if self.on_run(outcome, sched.log()):
+                        result.stopped_early = True
+                        break
+
+            self._integrate(stack, sched, branch_depth, fingerprints)
+            if self.mode == "dpor" and outcome is not None:
+                self._add_backtrack_points(
+                    stack, sched, outcome.events)
+
+            branch = self._select_branch(stack, result)
+            if branch is None:
+                result.complete = (
+                    result.schedules < self.budget.max_schedules
+                    and not result.stopped_early)
+                break
+            branch_depth, choice, branch_sleep = branch
+            del stack[branch_depth + 1:]
+            forced = [stack[i].pick for i in range(branch_depth)] + [choice]
+
+        result.distinct_final_states = len(finals - {None})
+        result.wall_seconds = time.monotonic() - started
+        return result
+
+    # ------------------------------------------------------------------
+    def _make_probe(self, sink: list[int]):
+        def probe(threads, epochs, stats):
+            # the runner hands us memory via closure-free route: the
+            # first thread's reg_cache spans name arrays, but we need
+            # the memory object itself — runners install this probe on
+            # the executor, whose memory we reach through the closure
+            # set below by the runner (see harness._make_runner).
+            sink.append(state_fingerprint(probe.memory, threads, epochs))
+        probe.memory = None  # assigned by the runner before launching
+        return probe
+
+    def _integrate(self, stack: list[_Node], sched: _DirectedScheduler,
+                   branch_depth: int, fingerprints: list[int]) -> None:
+        preempt = stack[branch_depth].preempt_prefix if branch_depth < len(stack) else 0
+        last: int | None = (stack[branch_depth - 1].pick
+                            if branch_depth > 0 else None)
+        launch_starts = set(sched.launch_starts)
+        for d, pick in enumerate(sched.picks):
+            if d in launch_starts:
+                last = None
+            if d < len(stack):
+                node = stack[d]
+                if node.runnable != sched.runnables[d]:
+                    raise ExplorationError(
+                        f"non-deterministic program: decision {d} saw "
+                        f"runnable {sched.runnables[d]} but the stack "
+                        f"recorded {node.runnable}")
+                node.pick = pick
+                node.done.add(pick)
+                node.explored.add(pick)
+                if d >= branch_depth and node.is_preemption(pick):
+                    preempt += 1
+            else:
+                node = _Node(
+                    runnable=sched.runnables[d],
+                    pending=sched.pendings[d],
+                    pick=pick,
+                    last_before=last,
+                    preempt_prefix=preempt,
+                    done={pick},
+                    explored={pick},
+                    backtrack=(set(sched.runnables[d])
+                               if self.mode == "naive" else {pick}),
+                    sleep=sched.sleep_snapshots.get(d, {}),
+                    fp=fingerprints[d] if d < len(fingerprints) else None,
+                )
+                if node.is_preemption(pick):
+                    preempt += 1
+                stack.append(node)
+            last = pick
+        if self.state_dedupe:
+            for d in range(min(len(fingerprints), len(stack))):
+                if stack[d].fp is None:
+                    stack[d].fp = fingerprints[d]
+                if stack[d].fp is not None:
+                    self._expanded.add((stack[d].fp, sched.picks[d]))
+
+    def _add_backtrack_points(self, stack: list[_Node],
+                              sched: _DirectedScheduler,
+                              events: list[AccessEvent]) -> None:
+        """Flanagan-Godefroid backtrack computation from the conflict
+        relation of the just-executed trace."""
+        steps = _trace_steps(sched, events)
+        # per-thread history of decision indices that performed an op
+        by_thread: dict[int, list[int]] = {}
+        for d, info in enumerate(steps):
+            if info is None:
+                continue
+            tid, op, launch, block, epoch = info
+            for q, history in by_thread.items():
+                if q == tid:
+                    continue
+                for j in reversed(history):
+                    jtid, jop, jlaunch, jblock, jepoch = steps[j]
+                    if jlaunch != launch:
+                        break  # launch barrier orders everything older
+                    if jblock == block and jepoch != epoch:
+                        break  # __syncthreads() between them
+                    if _dependent(op, jop):
+                        node = stack[j]
+                        if tid in node.runnable:
+                            node.backtrack.add(tid)
+                        else:
+                            node.backtrack.update(node.runnable)
+                        break
+            by_thread.setdefault(tid, []).append(d)
+
+    def _select_branch(self, stack: list[_Node], result: ExploreResult):
+        """Deepest node with an unexplored, unpruned choice."""
+        bound = self.budget.preemption_bound
+        for depth in range(len(stack) - 1, -1, -1):
+            node = stack[depth]
+            candidates = sorted(
+                node.backtrack - node.done - set(node.sleep))
+            for choice in candidates:
+                if (bound is not None and node.is_preemption(choice)
+                        and node.preempt_prefix + 1 > bound):
+                    result.preemption_pruned += 1
+                    node.done.add(choice)
+                    continue
+                if (self.state_dedupe and node.fp is not None
+                        and (node.fp, choice) in self._expanded):
+                    result.dedupe_pruned += 1
+                    node.done.add(choice)
+                    continue
+                sleep: dict[int, PendingOp] = {}
+                if self.mode == "dpor":
+                    sleep = dict(node.sleep)
+                    for prev in node.explored:
+                        if prev != choice and prev in node.runnable:
+                            op = node.pending.get(prev)
+                            if op is not None:
+                                sleep[prev] = op
+                node.done.add(choice)
+                return depth, choice, sleep
+        return None
+
+
+def _trace_steps(sched: _DirectedScheduler, events: list[AccessEvent]):
+    """Per-decision (tid, op, launch, block, epoch) for decisions that
+    performed a memory micro-op, else None.  Events are matched to
+    decisions via the per-launch step counter."""
+    steps: list[tuple | None] = [None] * len(sched.picks)
+    starts = sched.launch_starts
+    for ev in events:
+        ordinal = ev.launch - (events[0].launch if events else 0)
+        if ordinal >= len(starts):
+            continue
+        d = starts[ordinal] + ev.step - 1
+        if 0 <= d < len(steps):
+            span = ev.span
+            op = (span.array, span.start, span.nbytes,
+                  ev.is_read, ev.is_write, ev.access.name == "ATOMIC")
+            steps[d] = (ev.tid, op, ev.launch, ev.block, ev.epoch)
+    return steps

@@ -1,0 +1,251 @@
+"""Vector-clock happens-before engine with predictive race reports.
+
+This replaces the race detector's shadow-pair scan with FastTrack-style
+epoch reasoning (Flanagan & Freund): every access event carries an
+*epoch* ``tid@clock``; per-byte shadow state keeps the last-write epoch
+and the readers since that write, and an access races with a prior
+access iff the prior epoch is not contained in the current thread's
+vector clock.  The clock joins model exactly the simulator's
+synchronization vocabulary:
+
+* the implicit barrier between kernel launches joins every thread's
+  clock (the ordering iGuard reportedly misses, causing its false
+  positives);
+* ``__syncthreads()`` joins the clocks of all threads in the block
+  (per-block barrier clock, one join per epoch transition);
+* atomics are ``memory_order_relaxed`` — they never create
+  happens-before edges, matching both libcu++ and the paper's codes.
+
+**Predictive reports.**  A per-schedule shadow detector forgets a write
+as soon as the next write to the same byte lands, so it only flags the
+racy pair this execution happened to place adjacently.  Following the
+predictive-race line of work ("Predictive Data Race Detection for
+GPUs", PAPERS.md), the engine additionally keeps a bounded *history* of
+displaced writes and readers per byte: a conflicting access that is
+unordered with a displaced entry is a race in some feasible reordering
+of the observed trace even if this trace separated the pair — those
+reports carry ``predicted=True``.  On race-free programs every
+conflicting pair is ordered, so prediction can never introduce a false
+positive there.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.gpu.accesses import AccessKind
+from repro.gpu.simt import AccessEvent
+
+
+class VectorClock:
+    """A sparse thread→clock map with join / contains operations."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, init: dict[int, int] | None = None) -> None:
+        self._c: dict[int, int] = dict(init) if init else {}
+
+    def get(self, tid: int) -> int:
+        return self._c.get(tid, 0)
+
+    def advance(self, tid: int) -> int:
+        """Increment ``tid``'s own component; returns the new clock."""
+        value = self._c.get(tid, 0) + 1
+        self._c[tid] = value
+        return value
+
+    def join(self, other: "VectorClock") -> None:
+        for tid, clock in other._c.items():
+            if clock > self._c.get(tid, 0):
+                self._c[tid] = clock
+
+    def contains(self, tid: int, clock: int) -> bool:
+        """True iff the epoch ``tid@clock`` happens-before this clock."""
+        return clock <= self._c.get(tid, 0)
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"t{t}@{c}" for t, c in sorted(self._c.items()))
+        return f"<VC {body}>"
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One access stamped with its thread clock (FastTrack's ``c@t``)."""
+
+    tid: int
+    clock: int
+    event: AccessEvent
+
+
+@dataclass
+class _ByteShadow:
+    """Shadow state for one byte of one array."""
+
+    last_write: Epoch | None = None
+    #: readers since the last write, newest epoch per thread
+    readers: dict[int, Epoch] = field(default_factory=dict)
+    #: displaced writes/readers — the predictive window
+    write_history: deque = field(default_factory=lambda: deque(maxlen=4))
+    read_history: deque = field(default_factory=lambda: deque(maxlen=8))
+
+
+def conflicts(a: AccessEvent, b: AccessEvent) -> bool:
+    """Race-relevant conflict: different threads, at least one write,
+    not both atomic (byte overlap is implied by shared shadow state)."""
+    if a.tid == b.tid:
+        return False
+    if not (a.is_write or b.is_write):
+        return False
+    if a.access is AccessKind.ATOMIC and b.access is AccessKind.ATOMIC:
+        return False
+    return True
+
+
+class VectorClockEngine:
+    """Streams :class:`AccessEvent` records through epoch shadow state.
+
+    ``on_report(first, second, byte, predicted) -> bool`` is invoked for
+    every racy pair found; returning False stops the analysis (the
+    caller implements deduplication and report caps).
+
+    Parameters
+    ----------
+    history:
+        Displaced-access window per byte for predictive detection
+        (0 disables prediction entirely).
+    """
+
+    def __init__(self,
+                 on_report: Callable[[AccessEvent, AccessEvent, int, bool],
+                                     bool],
+                 history: int = 4) -> None:
+        self._on_report = on_report
+        self._history = history
+        self._clocks: dict[int, VectorClock] = {}
+        self._launch_clock = VectorClock()
+        self._thread_launch: dict[int, int] = {}
+        self._current_launch: int | None = None
+        # per-block barrier bookkeeping, reset at each launch boundary
+        self._block_epoch: dict[int, int] = {}
+        self._barrier_clock: dict[int, VectorClock] = {}
+        self._pending_barrier: dict[int, VectorClock] = {}
+        self._thread_epoch: dict[int, int] = {}
+        self._shadow: dict[tuple[str, int], _ByteShadow] = {}
+
+    # ------------------------------------------------------------------
+    def _thread_clock(self, tid: int) -> VectorClock:
+        vc = self._clocks.get(tid)
+        if vc is None:
+            vc = self._clocks[tid] = VectorClock()
+        return vc
+
+    def _enter_launch(self, launch: int) -> None:
+        """All threads of the previous launch synchronize: fold every
+        clock into the launch clock and reset the barrier state."""
+        if self._current_launch is not None:
+            for vc in self._clocks.values():
+                self._launch_clock.join(vc)
+        self._current_launch = launch
+        self._block_epoch.clear()
+        self._barrier_clock.clear()
+        self._pending_barrier.clear()
+        self._thread_epoch.clear()
+
+    def _sync_thread(self, ev: AccessEvent, vc: VectorClock) -> None:
+        """Apply launch-boundary and barrier joins owed to this thread."""
+        if self._thread_launch.get(ev.tid) != ev.launch:
+            vc.join(self._launch_clock)
+            self._thread_launch[ev.tid] = ev.launch
+        block = ev.block
+        if ev.epoch > self._block_epoch.get(block, 0):
+            # one or more barriers completed since the last event of
+            # this block: fold the participants' clocks into the
+            # barrier clock exactly once per transition
+            bc = self._barrier_clock.setdefault(block, VectorClock())
+            pend = self._pending_barrier.pop(block, None)
+            if pend is not None:
+                bc.join(pend)
+            self._block_epoch[block] = ev.epoch
+        if ev.epoch > self._thread_epoch.get(ev.tid, 0):
+            bc = self._barrier_clock.get(block)
+            if bc is not None:
+                vc.join(bc)
+            self._thread_epoch[ev.tid] = ev.epoch
+
+    # ------------------------------------------------------------------
+    def feed(self, ev: AccessEvent) -> bool:
+        """Process one event; returns False when the caller asked to
+        stop via ``on_report``."""
+        if ev.launch != self._current_launch:
+            self._enter_launch(ev.launch)
+        vc = self._thread_clock(ev.tid)
+        self._sync_thread(ev, vc)
+        clock = vc.advance(ev.tid)
+        epoch = Epoch(ev.tid, clock, ev)
+
+        for byte in range(ev.span.start, ev.span.end):
+            shadow = self._shadow.get((ev.span.array, byte))
+            if shadow is None:
+                shadow = _ByteShadow(
+                    write_history=deque(maxlen=self._history),
+                    read_history=deque(maxlen=2 * self._history))
+                self._shadow[(ev.span.array, byte)] = shadow
+            if not self._check_byte(shadow, ev, vc, byte):
+                return False
+            self._update_byte(shadow, ev, epoch)
+
+        # accumulate this thread's clock toward the next barrier
+        pend = self._pending_barrier.setdefault(ev.block, VectorClock())
+        pend.join(vc)
+        return True
+
+    def analyze(self, events: Iterable[AccessEvent]) -> None:
+        for ev in events:
+            if not self.feed(ev):
+                return
+
+    # ------------------------------------------------------------------
+    def _check_byte(self, shadow: _ByteShadow, ev: AccessEvent,
+                    vc: VectorClock, byte: int) -> bool:
+        def unordered(e: Epoch) -> bool:
+            return (conflicts(e.event, ev)
+                    and not vc.contains(e.tid, e.clock))
+
+        lw = shadow.last_write
+        if lw is not None and unordered(lw):
+            if not self._on_report(lw.event, ev, byte, False):
+                return False
+        if ev.is_write:
+            for reader in shadow.readers.values():
+                if unordered(reader):
+                    if not self._on_report(reader.event, ev, byte, False):
+                        return False
+        if self._history:
+            for past in shadow.write_history:
+                if unordered(past):
+                    if not self._on_report(past.event, ev, byte, True):
+                        return False
+            if ev.is_write:
+                for past in shadow.read_history:
+                    if unordered(past):
+                        if not self._on_report(past.event, ev, byte, True):
+                            return False
+        return True
+
+    @staticmethod
+    def _update_byte(shadow: _ByteShadow, ev: AccessEvent,
+                     epoch: Epoch) -> None:
+        if ev.is_write:
+            if shadow.last_write is not None:
+                shadow.write_history.append(shadow.last_write)
+            for reader in shadow.readers.values():
+                shadow.read_history.append(reader)
+            shadow.readers.clear()
+            shadow.last_write = epoch
+        if ev.is_read:
+            shadow.readers[ev.tid] = epoch

@@ -17,6 +17,8 @@ Commands
   idiom, its detected races and failure mode, and its race-free fix.
 * ``sweep``   — the resilient sweep driver: per-cell fault isolation,
   retries, budgets, fault injection, and checkpoint/resume.
+* ``check``   — systematic schedule exploration (DPOR) of one pattern:
+  enumerate interleavings, race-check each, minimize failing schedules.
 """
 
 from __future__ import annotations
@@ -234,6 +236,46 @@ def _cmd_patterns(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.check import BUDGETS, ExploreBudget, check
+    from repro.gpu.faults import FaultPlan as _FaultPlan
+    from repro.patterns import PATTERNS
+
+    budget = BUDGETS[args.budget]
+    if args.max_schedules or args.preemption_bound is not None:
+        budget = ExploreBudget(
+            max_schedules=args.max_schedules or budget.max_schedules,
+            max_steps_per_run=budget.max_steps_per_run,
+            max_seconds=budget.max_seconds,
+            preemption_bound=(args.preemption_bound
+                              if args.preemption_bound is not None
+                              else budget.preemption_bound))
+    faults = (_FaultPlan.parse(args.inject, seed=args.fault_seed)
+              if args.inject else None)
+    names = ([args.pattern] if args.pattern != "all"
+             else sorted(PATTERNS))
+    variants = ([Variant(args.variant)] if args.variant != "both"
+                else list(Variant))
+
+    failed = False
+    for name in names:
+        for variant in variants:
+            report = check(name, variant=variant, budget=budget,
+                           mode=args.mode, faults=faults,
+                           compare_naive=args.compare_naive,
+                           minimize=not args.no_minimize,
+                           state_dedupe=args.state_dedupe)
+            print(report.summary())
+            print()
+            expected_racy = (PATTERNS[name].expected_racy
+                             and variant is Variant.BASELINE)
+            if report.ok == expected_racy:
+                failed = True
+                verdict = "MISSED RACE" if expected_racy else "FALSE ALARM"
+                print(f"  *** {verdict}: {name}/{variant.value} ***\n")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -306,6 +348,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--fault-seed", type=int, default=0)
     sweep.add_argument("--validate", action="store_true",
                        help="verify outputs (how torn writes are caught)")
+
+    chk = sub.add_parser(
+        "check", help="systematic schedule exploration of a pattern")
+    chk.add_argument("pattern", nargs="?", default="all",
+                     help="pattern name from the corpus, or 'all'")
+    chk.add_argument("--variant", default="both",
+                     choices=["baseline", "racefree", "both"])
+    chk.add_argument("--budget", default="default",
+                     choices=["smoke", "default", "deep"],
+                     help="exploration budget tier")
+    chk.add_argument("--mode", default="dpor", choices=["dpor", "naive"])
+    chk.add_argument("--max-schedules", type=int, default=0,
+                     help="override the budget's schedule cap (0 = keep)")
+    chk.add_argument("--preemption-bound", type=int, default=None,
+                     help="override the budget's preemption bound")
+    chk.add_argument("--compare-naive", action="store_true",
+                     help="also run naive DFS to report the DPOR "
+                          "reduction factor")
+    chk.add_argument("--no-minimize", action="store_true",
+                     help="skip delta-debugging failing schedules")
+    chk.add_argument("--state-dedupe", action="store_true",
+                     help="prune branches into already-seen states")
+    chk.add_argument("--inject", default=None, metavar="SPEC",
+                     help="explore under a fault plan, e.g. 'tear=0.5'")
+    chk.add_argument("--fault-seed", type=int, default=0)
     return parser
 
 
@@ -320,6 +387,7 @@ def main(argv: list[str] | None = None) -> int:
         "patterns": _cmd_patterns,
         "inputs": _cmd_inputs,
         "sweep": _cmd_sweep,
+        "check": _cmd_check,
     }
     try:
         return handlers[args.command](args)

@@ -58,5 +58,17 @@ class ValidationError(ReproError):
     """Raised when an algorithm result fails verification."""
 
 
+class ScheduleReplayError(ReproError):
+    """Raised when a recorded schedule cannot be replayed: the program
+    diverged from the decision log (different runnable set, exhausted
+    log), which means program or inputs changed since recording."""
+
+
+class ExplorationError(ReproError):
+    """Raised when systematic schedule exploration loses determinism:
+    re-executing a decision prefix reached a different state than the
+    run that recorded it."""
+
+
 class StudyError(ReproError):
     """Raised for inconsistent experiment configurations."""

@@ -5,23 +5,59 @@ control which one a simulated kernel launch experiences.  Tests run the
 racy baselines under many random and adversarial schedules to expose
 tearing and staleness, and run the race-free versions under the same
 schedules to show their results never change.
+
+All schedulers have deterministic per-launch semantics: ``reset()``
+(called by the executor at the start of every launch) restores the
+scheduler to a state derived only from its constructor arguments, and
+``state()`` returns a hashable snapshot of that state.  Together they
+make any launch replayable from its seed — the contract the
+:mod:`repro.check.replay` machinery depends on.
+
+Controlled schedulers (the systematic explorer's
+``repro.check.explore`` and the replayer's
+``repro.check.replay.ReplayScheduler``) additionally receive an
+``observe()`` callback before every ``choose()`` with each runnable
+thread's *pending* memory operation, which is what lets them compute
+dependence relations between candidate steps.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
+
+#: what a controlled scheduler can see about a runnable thread's next
+#: micro-operation: (array, start, nbytes, is_read, is_write, is_atomic),
+#: or None when the thread is between operations (e.g. just released
+#: from a barrier).
+PendingOp = tuple[str, int, int, bool, bool, bool] | None
 
 
 class Scheduler:
     """Chooses which runnable thread executes the next micro-step."""
 
+    #: set by subclasses that want ``observe()`` to receive the pending
+    #: per-thread operation map (costs a little per step to build)
+    needs_pending = False
+
     def choose(self, runnable: Sequence[int]) -> int:
         raise NotImplementedError
 
     def reset(self) -> None:
-        """Called at each kernel launch."""
+        """Called at each kernel launch.  Must restore a state that is a
+        pure function of the constructor arguments, so that every launch
+        under this scheduler is individually replayable."""
+
+    def state(self) -> tuple:
+        """Hashable snapshot of the scheduler's decision state."""
+        return ()
+
+    def observe(self, runnable: Sequence[int],
+                pending: Mapping[int, PendingOp] | None) -> None:
+        """Hook called before :meth:`choose` with the runnable set and —
+        when :attr:`needs_pending` is set — each runnable thread's next
+        memory operation.  The default implementation ignores it."""
 
 
 class RoundRobinScheduler(Scheduler):
@@ -39,9 +75,17 @@ class RoundRobinScheduler(Scheduler):
     def reset(self) -> None:
         self._next = 0
 
+    def state(self) -> tuple:
+        return ("rr", self._next)
+
 
 class RandomScheduler(Scheduler):
-    """Uniform random choice — the workhorse for stress tests."""
+    """Uniform random choice — the workhorse for stress tests.
+
+    ``reset()`` reseeds the generator, so every launch consumes the same
+    decision stream: one seed identifies one schedule per launch shape,
+    which is what makes a failing launch replayable.
+    """
 
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
@@ -49,6 +93,12 @@ class RandomScheduler(Scheduler):
 
     def choose(self, runnable: Sequence[int]) -> int:
         return runnable[int(self._rng.integers(0, len(runnable)))]
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+    def state(self) -> tuple:
+        return ("random", self._seed)
 
 
 class AdversarialScheduler(Scheduler):
@@ -63,6 +113,7 @@ class AdversarialScheduler(Scheduler):
     def __init__(self, seed: int = 0, stickiness: float = 0.05) -> None:
         if not 0.0 <= stickiness <= 1.0:
             raise ValueError(f"stickiness must be in [0, 1], got {stickiness}")
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._stickiness = stickiness
         self._last: int | None = None
@@ -78,4 +129,8 @@ class AdversarialScheduler(Scheduler):
         return pick
 
     def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
         self._last = None
+
+    def state(self) -> tuple:
+        return ("adversarial", self._seed, self._stickiness, self._last)

@@ -156,6 +156,23 @@ class GlobalMemory:
     def arrays(self) -> list[ArrayHandle]:
         return [h for h, _ in self._arrays.values()]
 
+    def fingerprint(self) -> bytes:
+        """Digest of the full memory image (names, shapes, and bytes).
+
+        Two memories with equal fingerprints are observationally
+        identical; the schedule explorer uses this to deduplicate
+        states and the replayer to certify bit-identical re-execution.
+        """
+        import hashlib
+
+        h = hashlib.blake2b(digest_size=16)
+        for name in sorted(self._arrays):
+            handle, store = self._arrays[name]
+            h.update(name.encode())
+            h.update(f"{handle.dtype.label}:{handle.length};".encode())
+            h.update(store.tobytes())
+        return h.digest()
+
     def upload(self, handle: ArrayHandle, values: np.ndarray | list) -> None:
         """Host-to-device bulk copy (cudaMemcpy analog)."""
         values = np.asarray(values, dtype=np.int64)

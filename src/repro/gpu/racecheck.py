@@ -13,8 +13,8 @@ Two accesses *conflict* when they:
 * are not both atomic.
 
 Two conflicting accesses *race* unless they are ordered by
-synchronization.  The happens-before relation modelled here matches the
-simulator's synchronization vocabulary:
+synchronization.  The happens-before relation matches the simulator's
+synchronization vocabulary:
 
 * different kernel launches are ordered (the implicit barrier between
   launches that iGuard reportedly ignores, causing its false positives);
@@ -22,11 +22,15 @@ simulator's synchronization vocabulary:
   ``__syncthreads()`` barrier (different epochs) are ordered;
 * everything else within a launch is concurrent.
 
-The detector is exhaustive per schedule: it flags every racy pair that
-*this execution* exhibited.  Like any dynamic tool it cannot prove the
-absence of races in unexecuted interleavings, which is why the paper —
-and our test-suite — also re-runs under many random and adversarial
-schedules.
+Since the ``repro.check`` subsystem landed, the default analysis is the
+FastTrack-style vector-clock engine of :mod:`repro.check.vclock`, which
+additionally emits *predictive* reports (``predicted=True``): races that
+did not manifest adjacently in this trace but are feasible in a
+reordering of it.  The original pairwise shadow scan is kept as
+``engine="pairwise"`` for cross-checking; it sees only the races this
+execution exhibited, which is why the paper — and our test-suite — also
+re-runs under many schedules, and why :mod:`repro.check.explore`
+enumerates the reduced schedule space outright.
 """
 
 from __future__ import annotations
@@ -35,19 +39,25 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.errors import DataRaceError
+from repro.errors import DataRaceError, ReproError
 from repro.gpu.accesses import AccessKind
 from repro.gpu.simt import AccessEvent, SimtExecutor
 
 
 @dataclass(frozen=True)
 class RaceReport:
-    """One detected data race: a pair of unordered conflicting accesses."""
+    """One detected data race: a pair of unordered conflicting accesses.
+
+    ``predicted`` marks races inferred from a feasible reordering of the
+    observed trace (vector-clock engine only) rather than from accesses
+    the trace placed adjacently.
+    """
 
     array: str
     byte: int
     first: AccessEvent
     second: AccessEvent
+    predicted: bool = False
 
     @property
     def kind(self) -> str:
@@ -56,9 +66,22 @@ class RaceReport:
             return "write-write"
         return "read-write"
 
+    @property
+    def site_key(self) -> tuple:
+        """The program-site pair this race occurred between: the two
+        access spans plus their access classes and directions.  Distinct
+        racy sites on one array produce distinct keys (the granularity
+        the paper's Section IV.A per-code counts imply)."""
+        return (self.array,
+                self.first.span.start, self.first.span.nbytes,
+                self.second.span.start, self.second.span.nbytes,
+                self.first.is_write, self.second.is_write,
+                self.first.access, self.second.access)
+
     def describe(self) -> str:
+        flavor = "predicted " if self.predicted else ""
         return (
-            f"{self.kind} race on {self.array} byte {self.byte}: "
+            f"{flavor}{self.kind} race on {self.array} byte {self.byte}: "
             f"thread {self.first.tid} ({self.first.access.value} "
             f"{'write' if self.first.is_write else 'read'}) vs "
             f"thread {self.second.tid} ({self.second.access.value} "
@@ -96,31 +119,68 @@ class RaceDetector:
         produce millions of racy pairs; a handful per location suffices
         to localize the bug, which is how the real tools behave too).
     dedupe_by_location:
-        Report at most one race per (array, site-pair kind), mirroring
-        how Compute Sanitizer groups its output.
+        Report at most one race per program-site pair (the two access
+        spans plus kinds), mirroring how Compute Sanitizer groups its
+        output.
+    engine:
+        ``"vclock"`` (default) — the FastTrack-style vector-clock engine
+        with predictive reports; ``"pairwise"`` — the original shadow
+        scan, kept for cross-checking.
+    predictive:
+        Include ``predicted=True`` reports (vclock engine only).
     """
 
     def __init__(self, max_reports: int = 1000,
-                 dedupe_by_location: bool = True) -> None:
+                 dedupe_by_location: bool = True,
+                 engine: str = "vclock",
+                 predictive: bool = True) -> None:
+        if engine not in ("vclock", "pairwise"):
+            raise ReproError(
+                f"unknown race engine {engine!r}; use 'vclock' or "
+                "'pairwise'")
         self.max_reports = max_reports
         self.dedupe_by_location = dedupe_by_location
+        self.engine = engine
+        self.predictive = predictive
 
     def analyze(self, events: Iterable[AccessEvent]) -> list[RaceReport]:
-        """Replay ``events`` through shadow memory and collect races."""
+        """Replay ``events`` through shadow state and collect races."""
         reports: list[RaceReport] = []
         seen_keys: set[tuple] = set()
-        # shadow state per byte: last write event, reads since last write
+
+        def emit(a: AccessEvent, b: AccessEvent, byte: int,
+                 predicted: bool = False) -> bool:
+            report = RaceReport(a.span.array, byte, a, b,
+                                predicted=predicted)
+            if self.dedupe_by_location:
+                key = report.site_key
+                if key in seen_keys:
+                    return len(reports) < self.max_reports
+                seen_keys.add(key)
+            reports.append(report)
+            return len(reports) < self.max_reports
+
+        if self.engine == "vclock":
+            from repro.check.vclock import VectorClockEngine
+
+            def on_report(first: AccessEvent, second: AccessEvent,
+                          byte: int, predicted: bool) -> bool:
+                if predicted and not self.predictive:
+                    return True
+                return emit(first, second, byte, predicted)
+
+            VectorClockEngine(on_report).analyze(events)
+        else:
+            self._analyze_pairwise(events, emit)
+        return reports
+
+    @staticmethod
+    def _analyze_pairwise(events: Iterable[AccessEvent], emit) -> None:
+        """The original per-schedule shadow scan: last write + readers
+        since, per byte.  Forgets displaced accesses, so it reports only
+        the races this trace placed adjacently."""
         last_write: dict[tuple[str, int], AccessEvent] = {}
         readers: dict[tuple[str, int], list[AccessEvent]] = defaultdict(list)
-
-        def emit(a: AccessEvent, b: AccessEvent, byte: int) -> bool:
-            key = (a.span.array, a.is_write, b.is_write,
-                   a.access, b.access)
-            if self.dedupe_by_location and key in seen_keys:
-                return len(reports) < self.max_reports
-            seen_keys.add(key)
-            reports.append(RaceReport(a.span.array, byte, a, b))
-            return len(reports) < self.max_reports
 
         for ev in events:
             for byte in range(ev.span.start, ev.span.end):
@@ -128,19 +188,18 @@ class RaceDetector:
                 lw = last_write.get(loc)
                 if lw is not None and _conflict(lw, ev) and not _ordered(lw, ev):
                     if not emit(lw, ev, byte):
-                        return reports
+                        return
                 if ev.is_write:
                     for rd in readers[loc]:
                         if _conflict(rd, ev) and not _ordered(rd, ev):
                             if not emit(rd, ev, byte):
-                                return reports
+                                return
                     readers[loc].clear()
                     last_write[loc] = ev
                 if ev.is_read:
                     bucket = readers[loc]
                     if len(bucket) < 64:  # bound shadow growth
                         bucket.append(ev)
-        return reports
 
     def check(self, executor: SimtExecutor,
               fail_on_race: bool = False) -> list[RaceReport]:

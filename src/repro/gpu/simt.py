@@ -314,6 +314,10 @@ class SimtExecutor:
         self.faults = faults
         self.events: list[AccessEvent] = []
         self.launch_count = 0
+        #: optional callback ``(threads, epochs, stats)`` invoked before
+        #: every scheduling decision — the systematic explorer's window
+        #: into executor state (fingerprinting, pending-op inspection)
+        self.step_probe: Callable | None = None
 
     # ------------------------------------------------------------------
     def launch(self, kernel: Callable, num_threads: int, *args,
@@ -391,6 +395,12 @@ class SimtExecutor:
             if self.faults is not None:
                 self.faults.check_abort(stats.steps)
                 runnable = self.faults.filter_runnable(runnable, stats.steps)
+            if self.step_probe is not None:
+                self.step_probe(threads, epochs, stats)
+            self.scheduler.observe(
+                runnable,
+                self._pending_map(threads, runnable)
+                if self.scheduler.needs_pending else None)
             if self.warp_lockstep:
                 # pre-Volta semantics: the scheduler picks a warp and
                 # every runnable lane advances one micro-op in lane order
@@ -412,6 +422,24 @@ class SimtExecutor:
             for handle in block_map.values():
                 self.memory.free(handle.name)
         return stats
+
+    @staticmethod
+    def _pending_map(threads: list[_Thread],
+                     runnable: list[int]) -> dict[int, tuple | None]:
+        """Each runnable thread's next queued micro-op, summarized for a
+        controlled scheduler's dependence analysis (None when the thread
+        is between operations and its next access is not yet known)."""
+        pending: dict[int, tuple | None] = {}
+        for tid in runnable:
+            micro = threads[tid].micro
+            if micro:
+                m = micro[0]
+                pending[tid] = (m.span.array, m.span.start, m.span.nbytes,
+                                m.is_read, m.is_write or m.rmw is not None,
+                                m.access is AccessKind.ATOMIC)
+            else:
+                pending[tid] = None
+        return pending
 
     # ------------------------------------------------------------------
     def _step(self, thread: _Thread, threads: list[_Thread],

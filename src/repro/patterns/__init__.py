@@ -14,9 +14,10 @@ from repro.patterns.library import (
     PATTERNS,
     Pattern,
     PatternOutcome,
+    execute_pattern,
     get_pattern,
     run_pattern,
 )
 
-__all__ = ["PATTERNS", "Pattern", "PatternOutcome", "get_pattern",
-           "run_pattern"]
+__all__ = ["PATTERNS", "Pattern", "PatternOutcome", "execute_pattern",
+           "get_pattern", "run_pattern"]

@@ -290,6 +290,24 @@ def get_pattern(name: str) -> Pattern:
         ) from None
 
 
+def execute_pattern(name: str, kernel: Callable, n_threads: int,
+                    executor: SimtExecutor, handles: tuple) -> None:
+    """Run one pattern's launch sequence on ``executor``, including any
+    host-side actions between launches.  Shared by :func:`run_pattern`
+    and the :mod:`repro.check` harness so multi-launch patterns (the
+    ``kernel_boundary`` false-positive probe) behave identically under
+    stress seeds and under systematic exploration."""
+    block_dim = max(1, n_threads)
+    if name == "kernel_boundary":
+        # two launches with a host-side phase flip in between
+        executor.memory.element_write(handles[0], 1, 0)
+        executor.launch(kernel, n_threads, *handles, block_dim=block_dim)
+        executor.memory.element_write(handles[0], 1, 1)
+        executor.launch(kernel, n_threads, *handles, block_dim=block_dim)
+    else:
+        executor.launch(kernel, n_threads, *handles, block_dim=block_dim)
+
+
 def run_pattern(name: str, variant: Variant, seed: int = 0,
                 max_steps: int = 300_000) -> PatternRun:
     """Execute one pattern variant under an adversarial schedule and
@@ -301,17 +319,7 @@ def run_pattern(name: str, variant: Variant, seed: int = 0,
     ex = SimtExecutor(mem, scheduler=AdversarialScheduler(seed),
                       max_steps=max_steps)
     try:
-        if name == "kernel_boundary":
-            # two launches with a host-side phase flip in between
-            mem.element_write(handles[0], 1, 0)
-            ex.launch(kernel, n_threads, *handles,
-                      block_dim=max(1, n_threads))
-            mem.element_write(handles[0], 1, 1)
-            ex.launch(kernel, n_threads, *handles,
-                      block_dim=max(1, n_threads))
-        else:
-            ex.launch(kernel, n_threads, *handles,
-                      block_dim=max(1, n_threads))
+        execute_pattern(name, kernel, n_threads, ex, handles)
     except DeadlockError:
         return PatternRun(name, variant, PatternOutcome.LIVELOCK,
                           len(RaceDetector().check(ex)))

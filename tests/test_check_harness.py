@@ -1,0 +1,161 @@
+"""The property-check harness over the whole pattern corpus, plus the
+``repro check`` CLI surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import check, program_from_pattern
+from repro.cli import main
+from repro.core.variants import Variant
+from repro.errors import ReproError
+from repro.gpu.accesses import AccessKind, DType
+from repro.patterns import PATTERNS
+
+RACY = sorted(p.name for p in PATTERNS.values() if p.expected_racy)
+CLEAN = sorted(p.name for p in PATTERNS.values() if not p.expected_racy)
+
+
+class TestPatternCorpusCoverage:
+    @pytest.mark.parametrize("name", RACY)
+    def test_every_racy_idiom_is_detected_within_smoke_budget(self, name):
+        report = check(name, variant=Variant.BASELINE, budget="smoke")
+        assert not report.ok
+        assert report.races, f"{name}: no race found"
+
+    @pytest.mark.parametrize("name", RACY)
+    def test_every_fix_passes_bounded_exploration(self, name):
+        report = check(name, variant=Variant.RACE_FREE, budget="smoke")
+        assert report.ok, report.summary()
+        assert not report.races
+
+    @pytest.mark.parametrize("name", CLEAN)
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_false_positive_probes_stay_clean(self, name, variant):
+        report = check(name, variant=variant, budget="smoke")
+        assert report.ok, report.summary()
+        assert report.explore.complete
+
+    def test_racy_failures_come_with_verified_repros(self):
+        report = check("torn_wide_write", variant=Variant.BASELINE,
+                       budget="smoke")
+        assert report.failures
+        race = next(f for f in report.failures if f.kind == "race")
+        assert race.replay_verified
+        assert race.minimized is not None
+        assert race.repro_log.total_decisions > 0
+
+
+class TestHarnessAPI:
+    def test_program_from_pattern_names_the_variant(self):
+        program = program_from_pattern("lost_update", Variant.RACE_FREE)
+        assert program.name == "lost_update/racefree"
+
+    def test_bare_kernel_requires_setup(self):
+        def kernel(ctx, arr):
+            yield ctx.store(arr, 0, 1)
+
+        with pytest.raises(ReproError, match="num_threads"):
+            check(kernel)
+
+    def test_bad_target_type_rejected(self):
+        with pytest.raises(ReproError, match="target"):
+            check(42)
+
+    def test_unknown_budget_rejected(self):
+        with pytest.raises(ReproError, match="budget"):
+            check("lost_update", budget="enormous")
+
+    def test_faults_compose_with_exploration(self):
+        """Exploring under a fault plan: the schedule space of the
+        *faulted* program is searched, deterministically."""
+        r1 = check("lost_update", variant=Variant.BASELINE,
+                   budget="smoke", faults="stall=0.2")
+        r2 = check("lost_update", variant=Variant.BASELINE,
+                   budget="smoke", faults="stall=0.2")
+        assert not r1.ok  # the race is still found under faults
+        assert r1.explore.schedules == r2.explore.schedules
+        assert len(r1.races) == len(r2.races)
+
+    def test_summary_is_human_readable(self):
+        report = check("publish_payload", variant=Variant.BASELINE,
+                       budget="smoke", compare_naive=True)
+        text = report.summary()
+        assert "schedules explored" in text
+        assert "naive baseline" in text
+        assert "FAIL" in text
+
+    def test_invariant_wired_to_algorithms_verify(self):
+        """check() composing with the repro.algorithms.verify checkers:
+        a two-thread label-propagation toy validated by
+        check_components on every explored schedule."""
+        import numpy as np
+
+        from repro.algorithms.verify import check_components
+        from repro.errors import ValidationError
+        from repro.graphs.csr import CSRGraph
+
+        # path graph 0-1: both endpoints must agree on one label
+        graph = CSRGraph.from_edges(2, [(0, 1)], directed=False,
+                                    symmetrize=True)
+
+        def kernel(ctx, label):
+            # each vertex adopts min(own, neighbor) — atomic MIN
+            from repro.gpu.accesses import RMWOp
+            other = 1 - ctx.tid
+            v = yield ctx.load(label, other, AccessKind.VOLATILE)
+            yield ctx.atomic_rmw(label, ctx.tid, RMWOp.MIN, v)
+
+        def setup(mem):
+            label = mem.alloc("label", 2, DType.I32)
+            mem.upload(label, np.arange(2))
+            return (label,)
+
+        def invariant(mem, handles):
+            labels = mem.download(handles[0])
+            try:
+                check_components(graph, labels)
+            except ValidationError:
+                return False
+            return True
+
+        report = check(kernel, 2, setup=setup, invariant=invariant,
+                       budget="smoke")
+        assert report.explore.schedules > 1
+        assert not any(f.kind == "invariant" for f in report.failures)
+
+
+class TestCheckCli:
+    def test_check_single_pattern(self, capsys):
+        rc = main(["check", "lost_update", "--budget", "smoke",
+                   "--variant", "baseline"])
+        out = capsys.readouterr().out
+        assert rc == 0  # racy baseline failing is the expected outcome
+        assert "verdict:            FAIL" in out
+        assert "race:" in out
+
+    def test_check_reports_reduction_factor(self, capsys):
+        rc = main(["check", "torn_wide_write", "--budget", "smoke",
+                   "--compare-naive"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DPOR reduction" in out
+
+    def test_check_clean_probe_passes(self, capsys):
+        rc = main(["check", "kernel_boundary", "--budget", "smoke"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict:            PASS" in out
+        assert "MISSED RACE" not in out and "FALSE ALARM" not in out
+
+    def test_check_unknown_pattern_fails_cleanly(self, capsys):
+        rc = main(["check", "not_a_pattern", "--budget", "smoke"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_check_naive_mode_and_overrides(self, capsys):
+        rc = main(["check", "flag_spin", "--budget", "smoke",
+                   "--mode", "naive", "--max-schedules", "10",
+                   "--preemption-bound", "1", "--no-minimize"])
+        assert rc == 0
+        assert "schedules explored" in capsys.readouterr().out

@@ -180,3 +180,54 @@ class TestReporting:
         reports = RaceDetector().check(run(kernel, 2, (1, DType.I32)))
         text = reports[0].describe()
         assert "thread" in text and "write-write" in text
+
+
+class TestSiteKeyDedupe:
+    """Regression tests for the dedupe key: distinct racy program sites
+    on ONE array must yield distinct reports (the old key collapsed a
+    whole array's races into one line per kind pair)."""
+
+    def test_distinct_elements_get_distinct_reports(self):
+        def kernel(ctx, arr):
+            # threads {0,1} race on arr[0]; threads {2,3} race on arr[1]
+            yield ctx.store(arr, ctx.tid // 2, ctx.tid)
+
+        reports = RaceDetector(dedupe_by_location=True).check(
+            run(kernel, 4, (2, DType.I32)))
+        sites = {r.site_key for r in reports}
+        starts = {r.first.span.start for r in reports}
+        assert len(reports) == len(sites) == 2
+        assert starts == {0, 4}  # both i32 elements reported
+
+    def test_one_span_pair_still_collapses_to_one_report(self):
+        def kernel(ctx, arr):
+            yield ctx.store(arr, 0, ctx.tid)
+
+        reports = RaceDetector(dedupe_by_location=True).check(
+            run(kernel, 2, (1, DType.I32)))
+        # all 4 bytes of the i32 span pair dedupe to a single report
+        assert len(reports) == 1
+
+    def test_site_key_distinguishes_direction_and_kind(self):
+        def kernel(ctx, arr):
+            if ctx.tid == 0:
+                yield ctx.store(arr, 0, 1)
+            else:
+                yield ctx.load(arr, 0)
+                yield ctx.store(arr, 0, 2)
+
+        reports = RaceDetector(dedupe_by_location=True).check(
+            run(kernel, 2, (1, DType.I32)))
+        kinds = {(r.kind, r.first.is_write, r.second.is_write)
+                 for r in reports}
+        assert len(kinds) == len(reports)  # no two reports share a key
+        assert {k[0] for k in kinds} >= {"write-write"}
+
+    def test_pairwise_engine_uses_the_same_key(self):
+        def kernel(ctx, arr):
+            yield ctx.store(arr, ctx.tid // 2, ctx.tid)
+
+        reports = RaceDetector(engine="pairwise",
+                               dedupe_by_location=True).check(
+            run(kernel, 4, (2, DType.I32)))
+        assert len(reports) == 2

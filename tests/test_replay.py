@@ -1,0 +1,196 @@
+"""Decision-log recording, deterministic replay, and ddmin shrinking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.replay import (
+    DecisionLog,
+    DeviationScheduler,
+    RecordingScheduler,
+    ReplayScheduler,
+    deviations_of,
+    minimize_deviations,
+    stay_policy,
+)
+from repro.errors import ScheduleReplayError
+from repro.gpu.accesses import AccessKind, DType
+from repro.gpu.interleave import AdversarialScheduler, RandomScheduler
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.simt import SimtExecutor
+
+
+def racy_kernel(ctx, arr):
+    v = yield ctx.load(arr, 0, AccessKind.VOLATILE)
+    yield ctx.store(arr, 0, v + 1, AccessKind.VOLATILE)
+
+
+def run_counter(scheduler, n_threads=4, launches=2):
+    mem = GlobalMemory()
+    arr = mem.alloc("arr", 1, DType.I32)
+    ex = SimtExecutor(mem, scheduler=scheduler)
+    for _ in range(launches):
+        ex.launch(racy_kernel, n_threads, arr, block_dim=n_threads)
+    return mem.fingerprint(), [(e.tid, e.launch, e.step, e.value)
+                               for e in ex.events]
+
+
+class TestDecisionLog:
+    LOG = DecisionLog(((0, 0, 1, 1), (1, 0)))
+
+    def test_counts_and_flat(self):
+        assert self.LOG.total_decisions == 6
+        assert self.LOG.flat() == [0, 0, 1, 1, 1, 0]
+
+    def test_compact_roundtrip(self):
+        text = self.LOG.compact()
+        assert text == "0,0,1,1/1,0"
+        assert DecisionLog.from_compact(text) == self.LOG
+
+    def test_json_roundtrip(self):
+        assert DecisionLog.from_json(self.LOG.to_json()) == self.LOG
+
+    @pytest.mark.parametrize("bad", ["a,b/c", "0,1,x"])
+    def test_malformed_compact_rejected(self, bad):
+        with pytest.raises(ScheduleReplayError):
+            DecisionLog.from_compact(bad)
+
+    @pytest.mark.parametrize("bad", ["{}", "not json", '{"launches": 3}'])
+    def test_malformed_json_rejected(self, bad):
+        with pytest.raises(ScheduleReplayError):
+            DecisionLog.from_json(bad)
+
+
+class TestRecordAndReplay:
+    @pytest.mark.parametrize("make_base", [
+        lambda: RandomScheduler(seed=11),
+        lambda: AdversarialScheduler(seed=11),
+    ])
+    def test_bit_deterministic_replay(self, make_base):
+        recorder = RecordingScheduler(make_base())
+        fp, trace = run_counter(recorder)
+        log = recorder.log()
+        assert len(log.launches) == 2
+
+        fp2, trace2 = run_counter(ReplayScheduler(log))
+        assert fp2 == fp
+        assert trace2 == trace
+
+    def test_replay_rejects_extra_launches(self):
+        recorder = RecordingScheduler(RandomScheduler(seed=1))
+        run_counter(recorder, launches=1)
+        replayer = ReplayScheduler(recorder.log())
+        with pytest.raises(ScheduleReplayError, match="launch"):
+            run_counter(replayer, launches=2)
+
+    def test_replay_rejects_exhausted_log(self):
+        recorder = RecordingScheduler(RandomScheduler(seed=1))
+        run_counter(recorder, n_threads=2)
+        with pytest.raises(ScheduleReplayError, match="exhausted"):
+            run_counter(ReplayScheduler(recorder.log()), n_threads=4)
+
+    def test_replay_rejects_non_runnable_pick(self):
+        log = DecisionLog(((7, 7, 7, 7),))
+        with pytest.raises(ScheduleReplayError, match="diverged"):
+            run_counter(ReplayScheduler(log), n_threads=2, launches=1)
+
+    def test_replay_records_runnable_sets(self):
+        recorder = RecordingScheduler(RandomScheduler(seed=2))
+        run_counter(recorder, launches=1)
+        replayer = ReplayScheduler(recorder.log())
+        run_counter(ReplayScheduler(recorder.log()), launches=1)
+        run_counter(replayer, launches=1)
+        assert len(replayer.runnable_sets) == recorder.log().total_decisions
+
+
+class TestStayPolicyAndDeviations:
+    def test_stay_policy_prefers_last(self):
+        assert stay_policy([0, 1, 2], 1) == 1
+        assert stay_policy([0, 2], 1) == 0
+        assert stay_policy([3, 4], None) == 3
+
+    def test_deviations_of_canonical_schedule_is_empty(self):
+        picks = [0, 0, 1, 1]
+        runnables = [(0, 1), (0, 1), (1,), (1,)]
+        assert deviations_of(picks, runnables, [0]) == {}
+
+    def test_deviations_roundtrip_through_scheduler(self):
+        recorder = RecordingScheduler(AdversarialScheduler(seed=9))
+        fp, trace = run_counter(recorder)
+        log = recorder.log()
+
+        replayer = ReplayScheduler(log)
+        run_counter(replayer)
+        starts = []
+        total = 0
+        for launch in log.launches:
+            starts.append(total)
+            total += len(launch)
+        deviations = deviations_of(log.flat(), replayer.runnable_sets,
+                                   starts)
+
+        dev_sched = DeviationScheduler(deviations)
+        fp2, trace2 = run_counter(dev_sched)
+        assert dev_sched.log() == log
+        assert (fp2, trace2) == (fp, trace)
+
+    def test_deviation_scheduler_skips_non_runnable(self):
+        sched = DeviationScheduler({0: 99})
+        fp, _ = run_counter(sched, n_threads=2, launches=1)
+        assert 0 not in sched.applied
+        assert sched.picks[0] == 0  # fell back to the stay policy
+
+
+class TestMinimization:
+    @staticmethod
+    def _drive(sched: DeviationScheduler, decisions: int = 20) -> None:
+        """Simulate a 3-thread program shape without an executor."""
+        sched.reset()
+        for _ in range(decisions):
+            sched.choose([0, 1, 2])
+
+    def test_ddmin_shrinks_to_the_one_relevant_deviation(self):
+        deviations = {2: 1, 5: 2, 9: 1, 13: 2, 17: 1}
+        runs = []
+
+        def still_fails(sched: DeviationScheduler) -> bool:
+            self._drive(sched)
+            runs.append(set(sched.applied))
+            return 9 in sched.applied  # only deviation 9 matters
+
+        result = minimize_deviations(deviations, still_fails)
+        assert result.deviations == {9: 1}
+        assert result.initial_deviations == 5
+        assert result.runs_used == len(runs)
+        assert result.log.flat()[9] == 1
+
+    def test_ddmin_keeps_interacting_pairs(self):
+        deviations = {2: 1, 5: 2, 9: 1}
+
+        def still_fails(sched: DeviationScheduler) -> bool:
+            self._drive(sched)
+            return {2, 9} <= sched.applied  # both needed
+
+        result = minimize_deviations(deviations, still_fails)
+        assert set(result.deviations) == {2, 9}
+
+    def test_ddmin_rejects_unreproducible_failures(self):
+        """The schedule 'failed' during exploration but replaying its
+        deviations never fails: minimization must refuse to hand back a
+        repro that does not reproduce."""
+        deviations = {2: 1, 5: 2}
+
+        def still_fails(sched: DeviationScheduler) -> bool:
+            self._drive(sched)
+            return False
+
+        with pytest.raises(ScheduleReplayError):
+            minimize_deviations(deviations, still_fails)
+
+    def test_empty_deviation_set_is_already_minimal(self):
+        def still_fails(sched: DeviationScheduler) -> bool:
+            self._drive(sched)
+            return True
+
+        result = minimize_deviations({}, still_fails)
+        assert result.deviations == {}

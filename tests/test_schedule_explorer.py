@@ -1,0 +1,243 @@
+"""Acceptance tests for systematic schedule exploration (repro.check).
+
+The central scenario is the one from the paper's Fig. 1 discussion: a
+two-thread unprotected counter increment.  The explorer must enumerate
+the full bounded schedule space, beat naive DFS via DPOR, find the
+race, and produce a minimized decision log that replays to the
+identical failing state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import (
+    BUDGETS,
+    ExploreBudget,
+    ReplayScheduler,
+    ScheduleExplorer,
+    check,
+    replay_failure,
+)
+from repro.check.harness import Program
+from repro.errors import ExplorationError
+from repro.gpu.accesses import AccessKind, DType
+from repro.gpu.atomics import atomic_add
+
+
+def racy_counter_kernel(ctx, ctr):
+    v = yield ctx.load(ctr, 0, AccessKind.VOLATILE)
+    yield ctx.store(ctr, 0, v + 1, AccessKind.VOLATILE)
+
+
+def atomic_counter_kernel(ctx, ctr):
+    yield from atomic_add(ctx, ctr, 0, 1)
+
+
+def counter_setup(mem):
+    return (mem.alloc("ctr", 1, DType.I32),)
+
+
+def counter_invariant(mem, handles):
+    return mem.element_read(handles[0], 0) == 2
+
+
+WIDE_BUDGET = ExploreBudget(max_schedules=500, max_steps_per_run=1_000,
+                            max_seconds=30.0, preemption_bound=4)
+
+
+def run_check(kernel, **kw):
+    kw.setdefault("budget", WIDE_BUDGET)
+    return check(kernel, 2, setup=counter_setup,
+                 invariant=counter_invariant, **kw)
+
+
+class TestAcceptanceScenario:
+    """The ISSUE's acceptance criterion, end to end."""
+
+    def test_racy_counter_full_story(self):
+        report = run_check(racy_counter_kernel, compare_naive=True)
+
+        # full bounded schedule space enumerated
+        assert report.explore.complete
+        assert report.naive.complete
+        # two threads, two decisions each: C(4,2) = 6 naive schedules;
+        # sleep-set DPOR needs only 4 representatives
+        assert report.naive.schedules == 6
+        assert report.explore.schedules == 4
+        assert report.dpor_reduction == pytest.approx(1.5)
+
+        # the race is found
+        assert not report.ok
+        kinds = {r.kind for r in report.races}
+        assert "write-write" in kinds and "read-write" in kinds
+
+        # a minimized decision log replays to the identical bad state
+        inv = next(f for f in report.failures if f.kind == "invariant")
+        assert inv.replay_verified
+        assert inv.minimized is not None
+        assert len(inv.minimized.deviations) == 1  # one forced preemption
+        program = Program("counter", counter_setup,
+                          lambda ex, h: ex.launch(
+                              racy_counter_kernel, 2, *h, block_dim=2),
+                          counter_invariant)
+        first = replay_failure(program, inv.repro_log, budget=WIDE_BUDGET)
+        second = replay_failure(program, inv.repro_log, budget=WIDE_BUDGET)
+        assert first.fingerprint == second.fingerprint == inv.fingerprint
+        assert first.check_ok is False
+
+    def test_race_free_counter_passes_exhaustively(self):
+        report = run_check(atomic_counter_kernel)
+        assert report.explore.complete
+        assert report.ok
+        assert not report.races  # neither actual nor predicted
+        assert report.explore.distinct_final_states == 1
+        # two atomic RMWs commute-check as dependent, so both orders run
+        assert report.explore.schedules == 2
+
+
+class TestExplorationControls:
+    def test_schedule_budget_truncates(self):
+        tight = ExploreBudget(max_schedules=2, max_steps_per_run=1_000,
+                              max_seconds=30.0, preemption_bound=4)
+        report = run_check(racy_counter_kernel, budget=tight)
+        assert report.explore.schedules == 2
+        assert not report.explore.complete
+
+    def test_preemption_bound_zero_keeps_run_to_completion_orders(self):
+        bound0 = ExploreBudget(max_schedules=100, max_steps_per_run=1_000,
+                               max_seconds=30.0, preemption_bound=0)
+        # naive DFS under bound 0: exactly the two serial orders
+        report = run_check(racy_counter_kernel, budget=bound0,
+                           mode="naive")
+        assert report.explore.complete
+        assert report.explore.schedules == 2
+        assert report.explore.preemption_pruned > 0
+        # serial orders of the counter are correct — but the race is
+        # still flagged because the accesses are unsynchronized
+        assert report.races
+        # DPOR under bound 0 prunes the conflict-seeded branch too (the
+        # backtrack point IS a preemption) but keeps the race verdict
+        dpor = run_check(racy_counter_kernel, budget=bound0)
+        assert dpor.explore.preemption_pruned > 0
+        assert dpor.races
+
+    def test_state_dedupe_preserves_the_verdict(self):
+        plain = run_check(racy_counter_kernel)
+        deduped = run_check(racy_counter_kernel, state_dedupe=True)
+        assert deduped.races and not deduped.ok
+        assert deduped.explore.schedules <= plain.explore.schedules
+
+    def test_naive_mode_explores_everything(self):
+        report = run_check(racy_counter_kernel, mode="naive")
+        assert report.explore.complete
+        assert report.explore.schedules == 6
+
+    def test_stop_on_failure_short_circuits(self):
+        report = run_check(racy_counter_kernel, stop_on_failure=True)
+        assert report.failures
+        assert report.explore.stopped_early
+        assert report.explore.schedules < 4
+
+    def test_unknown_mode_and_budget_rejected(self):
+        with pytest.raises(ExplorationError):
+            ScheduleExplorer(lambda s, p=None: None, mode="bogus")
+        with pytest.raises(ExplorationError):
+            ScheduleExplorer(lambda s, p=None: None, budget="huge")
+
+    def test_named_budgets_are_ordered(self):
+        assert (BUDGETS["smoke"].max_schedules
+                < BUDGETS["default"].max_schedules
+                < BUDGETS["deep"].max_schedules)
+        assert "schedules" in BUDGETS["smoke"].describe()
+
+
+class TestBarrierAndMultiLaunch:
+    def test_barrier_limits_the_schedule_space(self):
+        """With a barrier between write and read phases, DPOR sees no
+        conflicting concurrent pair and needs exactly one schedule."""
+
+        def kernel(ctx, arr, out):
+            yield ctx.store(arr, ctx.tid, ctx.tid + 1, AccessKind.PLAIN)
+            yield ctx.barrier()
+            v = yield ctx.load(arr, 1 - ctx.tid, AccessKind.PLAIN)
+            yield ctx.store(out, ctx.tid, v, AccessKind.PLAIN)
+
+        def setup(mem):
+            return (mem.alloc("arr", 2, DType.I32),
+                    mem.alloc("out", 2, DType.I32))
+
+        def invariant(mem, handles):
+            return (mem.element_read(handles[1], 0) == 2
+                    and mem.element_read(handles[1], 1) == 1)
+
+        report = check(kernel, 2, setup=setup, invariant=invariant,
+                       budget=WIDE_BUDGET)
+        assert report.ok
+        assert report.explore.complete
+        assert report.explore.schedules == 1
+
+    def test_two_launch_program_explores_and_passes(self):
+        def kernel(ctx, arr):
+            v = yield ctx.load(arr, ctx.tid, AccessKind.PLAIN)
+            yield ctx.store(arr, ctx.tid, v + 1, AccessKind.PLAIN)
+
+        def setup(mem):
+            return (mem.alloc("arr", 2, DType.I32),)
+
+        def execute(ex, handles):
+            ex.launch(kernel, 2, *handles, block_dim=2)
+            ex.launch(kernel, 2, *handles, block_dim=2)
+
+        def invariant(mem, handles):
+            return (mem.element_read(handles[0], 0) == 2
+                    and mem.element_read(handles[0], 1) == 2)
+
+        program = Program("two-launch", setup, execute, invariant)
+        report = check(program, budget=WIDE_BUDGET)
+        assert report.ok
+        assert report.explore.complete
+        # threads touch disjoint elements: one schedule per launch
+        assert report.explore.schedules == 1
+
+    def test_replay_covers_multiple_launches(self):
+        def kernel(ctx, arr):
+            v = yield ctx.load(arr, 0, AccessKind.VOLATILE)
+            yield ctx.store(arr, 0, v + 1, AccessKind.VOLATILE)
+
+        def setup(mem):
+            return (mem.alloc("arr", 1, DType.I32),)
+
+        def execute(ex, handles):
+            ex.launch(kernel, 2, *handles, block_dim=2)
+            ex.launch(kernel, 2, *handles, block_dim=2)
+
+        program = Program("racy-two-launch", setup, execute,
+                          lambda mem, h: mem.element_read(h[0], 0) == 4)
+        report = check(program, budget=WIDE_BUDGET)
+        assert not report.ok
+        inv = next((f for f in report.failures if f.kind == "invariant"),
+                   None)
+        assert inv is not None and inv.replay_verified
+        assert len(inv.repro_log.launches) == 2
+
+
+class TestRunnerContract:
+    def test_nondeterministic_runner_is_diagnosed(self):
+        """A runner whose runnable sets drift between executions must
+        raise ExplorationError, not silently explore garbage."""
+        calls = {"n": 0}
+
+        def flaky_runner(scheduler, probe=None):
+            from repro.check import RunOutcome
+            calls["n"] += 1
+            scheduler.reset()
+            threads = [0, 1] if calls["n"] % 2 else [0, 1, 2]
+            for _ in range(2):
+                scheduler.choose(threads)
+            return RunOutcome(events=[], fingerprint=None)
+
+        explorer = ScheduleExplorer(flaky_runner, mode="naive",
+                                    budget=WIDE_BUDGET)
+        with pytest.raises(ExplorationError):
+            explorer.explore()

@@ -1,0 +1,216 @@
+"""Vector-clock happens-before engine: unit tests and cross-checks
+against the original pairwise shadow scan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.vclock import VectorClock, VectorClockEngine, conflicts
+from repro.core.variants import Variant
+from repro.gpu.accesses import AccessKind, DType, MemSpan
+from repro.gpu.interleave import AdversarialScheduler
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.racecheck import RaceDetector
+from repro.gpu.simt import AccessEvent, SimtExecutor
+from repro.errors import DeadlockError, ReproError
+from repro.patterns import PATTERNS, execute_pattern, get_pattern
+
+
+def ev(step, tid, *, launch=0, block=0, epoch=0, array="x", start=0,
+       nbytes=4, read=False, write=False, access=AccessKind.PLAIN,
+       value=0):
+    return AccessEvent(step=step, launch=launch, tid=tid, block=block,
+                       epoch=epoch,
+                       span=MemSpan(array, start, nbytes),
+                       is_read=read, is_write=write, access=access,
+                       value=value)
+
+
+def collect(events, history=4):
+    """Run the engine standalone; return (first_tid, second_tid,
+    predicted) triples deduped per pair."""
+    seen = set()
+
+    def on_report(a, b, byte, predicted):
+        seen.add((a.tid, b.tid, a.is_write, b.is_write, predicted))
+        return True
+
+    VectorClockEngine(on_report, history=history).analyze(events)
+    return seen
+
+
+class TestVectorClock:
+    def test_advance_join_contains(self):
+        a = VectorClock()
+        assert a.advance(1) == 1
+        assert a.advance(1) == 2
+        b = VectorClock()
+        b.advance(2)
+        b.join(a)
+        assert b.contains(1, 2)
+        assert not b.contains(1, 3)
+        assert b.get(2) == 1
+        c = b.copy()
+        c.advance(1)
+        assert not b.contains(1, 3)  # copy is independent
+
+    def test_conflicts_predicate(self):
+        w0 = ev(1, 0, write=True)
+        w1 = ev(2, 1, write=True)
+        r1 = ev(2, 1, read=True)
+        a0 = ev(1, 0, write=True, access=AccessKind.ATOMIC)
+        a1 = ev(2, 1, write=True, access=AccessKind.ATOMIC)
+        assert conflicts(w0, w1)
+        assert conflicts(w0, r1)
+        assert not conflicts(w0, ev(2, 0, write=True))  # same thread
+        assert not conflicts(r1, ev(3, 0, read=True))   # two reads
+        assert not conflicts(a0, a1)                    # both atomic
+        assert conflicts(a0, w1)                        # atomic vs plain
+
+
+class TestHappensBefore:
+    def test_adjacent_writes_race(self):
+        races = collect([ev(1, 0, write=True), ev(2, 1, write=True)])
+        assert (0, 1, True, True, False) in races
+
+    def test_launch_boundary_orders(self):
+        races = collect([
+            ev(1, 0, write=True, launch=0),
+            ev(1, 1, read=True, launch=1),
+            ev(2, 1, write=True, launch=1),
+        ])
+        assert races == set()
+
+    def test_barrier_orders_within_block(self):
+        races = collect([
+            ev(1, 0, write=True, epoch=0),
+            ev(2, 1, write=True, epoch=1),
+        ])
+        assert races == set()
+
+    def test_barrier_does_not_order_across_blocks(self):
+        races = collect([
+            ev(1, 0, block=0, write=True, epoch=0),
+            ev(2, 1, block=1, write=True, epoch=1),
+        ])
+        assert (0, 1, True, True, False) in races
+
+    def test_atomics_do_not_synchronize(self):
+        # t0 plain-writes, t1 atomically RMWs, t2 plain-reads: the
+        # atomic in the middle creates no happens-before edge
+        races = collect([
+            ev(1, 0, write=True),
+            ev(2, 1, read=True, write=True, access=AccessKind.ATOMIC),
+            ev(3, 2, read=True),
+        ])
+        assert (0, 2, True, False, True) in races  # predicted w-r
+        assert (0, 1, True, True, False) in races  # plain vs atomic
+
+
+class TestPredictiveReports:
+    def test_displaced_write_predicts(self):
+        """w(t0); w(t1); w(t2): the pairwise scan only sees the two
+        adjacent pairs — the (t0, t2) race needs the history window."""
+        events = [ev(1, 0, write=True), ev(2, 1, write=True),
+                  ev(3, 2, write=True)]
+        races = collect(events)
+        assert (0, 2, True, True, True) in races
+
+        # cross-check: the pairwise engine cannot see it
+        pairwise = RaceDetector(engine="pairwise",
+                                dedupe_by_location=False)
+        pairs = {(r.first.tid, r.second.tid)
+                 for r in pairwise.analyze(events)}
+        assert (0, 2) not in pairs
+        assert {(0, 1), (1, 2)} <= pairs
+
+    def test_displaced_reader_predicts(self):
+        """r(t0); w(t1) clears readers; w(t2) still races with r(t0)."""
+        races = collect([ev(1, 0, read=True), ev(2, 1, write=True),
+                         ev(3, 2, write=True)])
+        assert (0, 2, False, True, True) in races
+
+    def test_history_zero_disables_prediction(self):
+        events = [ev(1, 0, write=True), ev(2, 1, write=True),
+                  ev(3, 2, write=True)]
+        races = collect(events, history=0)
+        assert all(not predicted for *_, predicted in races)
+
+    def test_prediction_respects_happens_before(self):
+        """A displaced write separated by a launch boundary is ordered:
+        no predicted report on race-free multi-launch programs."""
+        races = collect([
+            ev(1, 0, write=True, launch=0),
+            ev(1, 1, write=True, launch=1),
+            ev(2, 2, write=True, launch=2),
+        ])
+        assert races == set()
+
+
+class TestDetectorIntegration:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ReproError):
+            RaceDetector(engine="magic")
+
+    def test_predictive_flag_filters_reports(self):
+        events = [ev(1, 0, write=True), ev(2, 1, write=True),
+                  ev(3, 2, write=True)]
+        with_pred = RaceDetector(dedupe_by_location=False).analyze(events)
+        without = RaceDetector(dedupe_by_location=False,
+                               predictive=False).analyze(events)
+        assert any(r.predicted for r in with_pred)
+        assert not any(r.predicted for r in without)
+        assert len(without) < len(with_pred)
+
+    def test_describe_marks_predicted(self):
+        events = [ev(1, 0, write=True), ev(2, 1, write=True),
+                  ev(3, 2, write=True)]
+        reports = RaceDetector(dedupe_by_location=False).analyze(events)
+        predicted = next(r for r in reports if r.predicted)
+        assert predicted.describe().startswith("predicted ")
+
+
+def _pattern_events(name, variant, seed):
+    pattern = get_pattern(name)
+    kernel, n_threads, setup, _check = pattern.build(variant)
+    mem = GlobalMemory()
+    handles = setup(mem)
+    ex = SimtExecutor(mem, scheduler=AdversarialScheduler(seed),
+                      max_steps=50_000)
+    try:
+        execute_pattern(name, kernel, n_threads, ex, handles)
+    except DeadlockError:
+        pass
+    return ex.events
+
+
+class TestCrossCheckOnPatternTraces:
+    """On every recorded pattern trace, the vclock engine must find at
+    least everything the pairwise scan finds (predictive reports are a
+    superset), and must stay silent wherever the program is race-free."""
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    @pytest.mark.parametrize("variant", list(Variant))
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_vclock_superset_of_pairwise(self, name, variant, seed):
+        events = _pattern_events(name, variant, seed)
+        pairwise = RaceDetector(engine="pairwise",
+                                dedupe_by_location=False,
+                                max_reports=100_000).analyze(events)
+        vclock = RaceDetector(engine="vclock",
+                              dedupe_by_location=False,
+                              max_reports=100_000).analyze(events)
+        pairwise_pairs = {(r.first.tid, r.second.tid, r.byte, r.kind)
+                          for r in pairwise}
+        vclock_pairs = {(r.first.tid, r.second.tid, r.byte, r.kind)
+                        for r in vclock}
+        assert pairwise_pairs <= vclock_pairs
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_no_reports_on_race_free_code(self, name, seed):
+        pattern = get_pattern(name)
+        variant = (Variant.RACE_FREE if pattern.expected_racy
+                   else Variant.BASELINE)
+        events = _pattern_events(name, variant, seed)
+        assert RaceDetector(engine="vclock").analyze(events) == []
