@@ -15,6 +15,13 @@ Environment knobs:
 * ``REPRO_CHECKPOINT`` — path for an incremental sweep checkpoint; if
   the file already exists it is loaded first, so an interrupted bench
   session resumes instead of recomputing (unset = no checkpointing).
+* ``REPRO_TRACE_CACHE`` — directory for the on-disk trace cache
+  (default ``benchmarks/output/trace_cache``).  Traces recorded by the
+  table benches are re-priced — not re-executed — by the figure and
+  correlation benches, and survive across bench sessions; point several
+  sessions at the same directory to share recordings.
+* ``REPRO_JOBS`` — worker processes for the shared study's sweeps
+  (default 1 = serial).  Parallel runs are bit-identical to serial.
 
 The harness runs on the resilient study (same results, memoized and
 bit-identical when nothing fails), so one bad cell cannot take down a
@@ -37,6 +44,10 @@ CHECKPOINT = os.environ.get("REPRO_CHECKPOINT") or None
 UNDIRECTED_ALGOS = ["cc", "gc", "mis", "mst"]
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+TRACE_CACHE = os.environ.get(
+    "REPRO_TRACE_CACHE", str(OUTPUT_DIR / "trace_cache"))
+JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 
 def save_output(name: str, text: str) -> None:

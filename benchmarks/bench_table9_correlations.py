@@ -9,7 +9,7 @@ outliers dominate — the paper notes the same caveat).
 
 from __future__ import annotations
 
-from _harness import UNDIRECTED_ALGOS, emit, save_output
+from _harness import SCALE, UNDIRECTED_ALGOS, emit, save_output
 
 from repro.core.report import correlation_table
 from repro.core.study import paper_properties
@@ -30,7 +30,7 @@ def test_table9_property_correlations(study, benchmark):
         return cells
 
     cells = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = correlation_table(cells)
+    table = correlation_table(cells, scale=SCALE)
     emit("Table IX (correlations)", table)
     save_output("table9_correlations.md", table)
 
@@ -38,6 +38,7 @@ def test_table9_property_correlations(study, benchmark):
     for dev in DEVICE_ORDER:
         scc_cells = [c for c in cells
                      if c.device_key == dev and c.algorithm == "scc"]
-        degrees = [paper_properties(c.input_name)[2] for c in scc_cells]
+        degrees = [paper_properties(c.input_name, scale=SCALE)[2]
+                   for c in scc_cells]
         speedups = [c.speedup for c in scc_cells]
         assert pearson(degrees, speedups) < 0.0, dev

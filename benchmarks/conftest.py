@@ -6,7 +6,7 @@ from pathlib import Path
 
 import pytest
 
-from _harness import CHECKPOINT, REPS, RETRIES, SCALE
+from _harness import CHECKPOINT, JOBS, REPS, RETRIES, SCALE, TRACE_CACHE
 
 from repro import ResilientStudy
 
@@ -21,9 +21,14 @@ def study() -> ResilientStudy:
     aborting the whole session, transient faults are retried, and an
     optional checkpoint (``REPRO_CHECKPOINT``) lets an interrupted
     session resume.
+
+    The on-disk trace cache (``REPRO_TRACE_CACHE``) means a trace
+    recorded for one device is re-priced for the other devices of the
+    same staleness class, and recordings persist across bench sessions.
     """
     s = ResilientStudy(reps=REPS, scale=SCALE, retries=RETRIES,
-                       checkpoint=CHECKPOINT)
+                       checkpoint=CHECKPOINT, trace_cache=TRACE_CACHE,
+                       jobs=JOBS)
     if CHECKPOINT is not None and Path(CHECKPOINT).exists():
         s.load_checkpoint()
     return s

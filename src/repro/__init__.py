@@ -44,6 +44,7 @@ from repro.core.transform import AccessPlan, AccessSite, remove_races
 from repro.core.variants import Variant, get_algorithm, list_algorithms
 from repro.errors import ReproError
 from repro.gpu.faults import FaultPlan
+from repro.perf.trace import TraceCache
 
 __version__ = "1.0.0"
 
@@ -54,6 +55,7 @@ __all__ = [
     "CellFailure",
     "SweepResult",
     "FaultPlan",
+    "TraceCache",
     "RunResult",
     "SpeedupCell",
     "Variant",

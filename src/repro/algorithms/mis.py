@@ -90,11 +90,12 @@ def run_perf(graph, recorder, seed: int = 0,
 
     if stale_fraction is None:
         stale_fraction = BASELINE_STALE_FRACTION
-    delay = recorder.device.plain_staleness_rounds
     if recorder.variant is Variant.RACE_FREE or stale_fraction == 0.0:
+        # atomics are immediately visible: the staleness constant is
+        # never consumed, so this trace serves every device
         view = DelayedView(status, delay=0)
     else:
-        view = DelayedView(status, delay=delay,
+        view = DelayedView(status, delay=recorder.visibility_delay(),
                            stale_fraction=stale_fraction,
                            seed=seed)
 

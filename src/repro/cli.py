@@ -83,12 +83,14 @@ def _cmd_table(args) -> int:
     study = Study(reps=args.reps)
     if args.algo == "scc":
         inputs = suite_names(directed=True)
-        cells = [study.speedup("scc", n, args.device) for n in inputs]
+        cells = study.speedup_table(args.device, ["scc"], inputs,
+                                    jobs=args.jobs)
         title = f"SCC speedups on {args.device} (cf. Table VIII)"
     else:
         inputs = suite_names(directed=False)
         algos = ["cc", "gc", "mis", "mst"]
-        cells = study.speedup_table(args.device, algos, inputs)
+        cells = study.speedup_table(args.device, algos, inputs,
+                                    jobs=args.jobs)
         title = f"Race-free speedups on {args.device} (cf. Tables IV-VII)"
     print(speedup_table(cells, title=title))
     return 0
@@ -101,8 +103,9 @@ def _cmd_fig6(args) -> int:
     cells = []
     for dev in DEVICE_ORDER:
         cells += study.speedup_table(dev, ["cc", "gc", "mis", "mst"],
-                                     undirected)
-        cells += [study.speedup("scc", n, dev) for n in directed]
+                                     undirected, jobs=args.jobs)
+        cells += study.speedup_table(dev, ["scc"], directed,
+                                     jobs=args.jobs)
     print(fig6_bars(geomean_summary(cells)))
     return 0
 
@@ -184,7 +187,7 @@ def _cmd_sweep(args) -> int:
     study = ResilientStudy(
         reps=args.reps, validate=args.validate, retries=args.retries,
         backoff_s=args.backoff, budget=budget, faults=faults,
-        checkpoint=args.checkpoint)
+        checkpoint=args.checkpoint, trace_cache=args.trace_cache or None)
     resumed = (0, 0)
     if args.resume:
         if args.checkpoint is None:
@@ -202,7 +205,7 @@ def _cmd_sweep(args) -> int:
     if args.limit:
         inputs = inputs[:args.limit]
 
-    sweep = study.sweep(args.device, algos, inputs)
+    sweep = study.sweep(args.device, algos, inputs, jobs=args.jobs)
     injected = f", inject: {faults.describe()}" if faults else ""
     title = (f"Resilient speedups on {args.device} "
              f"(median of {args.reps}{injected})")
@@ -298,11 +301,15 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--algo", default="undirected",
                        help="'scc' for Table VIII, else Tables IV-VII")
     table.add_argument("--reps", type=int, default=3)
+    table.add_argument("--jobs", type=int, default=None,
+                       help="parallel sweep workers (default: REPRO_JOBS)")
 
     fig6 = sub.add_parser("fig6", help="geomean bars across devices")
     fig6.add_argument("--reps", type=int, default=3)
     fig6.add_argument("--limit", type=int, default=0,
                       help="use only the first N inputs (0 = all)")
+    fig6.add_argument("--jobs", type=int, default=None,
+                      help="parallel sweep workers (default: REPRO_JOBS)")
 
     races = sub.add_parser("races", help="detect races in one code")
     races.add_argument("--algo", required=True)
@@ -348,6 +355,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--fault-seed", type=int, default=0)
     sweep.add_argument("--validate", action="store_true",
                        help="verify outputs (how torn writes are caught)")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="parallel sweep workers (default: REPRO_JOBS, "
+                            "1 = serial); results are bit-identical")
+    sweep.add_argument("--trace-cache", default=None, metavar="DIR",
+                       help="on-disk trace cache directory (default: "
+                            "REPRO_TRACE_CACHE; shared by pool workers)")
 
     chk = sub.add_parser(
         "check", help="systematic schedule exploration of a pattern")

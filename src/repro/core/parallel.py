@@ -1,0 +1,187 @@
+"""Parallel sweep execution: fan cells out over a process pool.
+
+The paper's evaluation is a (algorithm x input x device x variant x
+reps) grid of *independent* cells — every simulated runtime depends
+only on its own (algorithm, graph, variant, seed, staleness class) and
+the device constants, never on other cells.  That makes the sweep
+embarrassingly parallel, and this module is the executor:
+:meth:`repro.core.study.Study.speedup_table` and
+:meth:`repro.core.resilience.ResilientStudy.sweep` build one
+:class:`CellTask` per missing (algorithm, input) pair and hand them to
+:func:`execute_tasks`, which runs them on a ``ProcessPoolExecutor`` and
+feeds picklable result records back to the study **in submission
+order** — so the memo (and therefore ``save_results`` output, speedup
+tables, and checkpoints) is byte-identical to the serial path.
+
+Each worker process owns a private study configured from the parent's
+:class:`WorkerConfig` (same reps/scale/validate/retry policy, same
+fault plan seed) plus a :class:`~repro.perf.trace.TraceCache` pointed
+at the parent's on-disk trace directory when one is configured — that
+shared disk layer is how workers pricing different devices reuse one
+functional execution per staleness class.
+
+Knobs: ``Study(jobs=N)`` / ``speedup_table(..., jobs=N)`` /
+``repro sweep --jobs N``, all defaulting to the ``REPRO_JOBS``
+environment variable (unset = 1 = serial, no pool is ever created).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.variants import Variant
+from repro.errors import StudyError
+
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective worker count: explicit argument, else ``REPRO_JOBS``,
+    else 1 (serial)."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise StudyError(
+                f"{JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    jobs = int(jobs)
+    if jobs < 1:
+        raise StudyError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a pool worker needs to rebuild the parent's policy.
+
+    All fields are picklable; ``faults`` and ``budget`` carry the
+    resilient study's fault plan and cell budget so injected fault
+    streams (derived from the plan seed plus the cell key) are
+    identical to the serial path's.
+    """
+
+    resilient: bool
+    reps: int
+    scale: float
+    validate: bool
+    retries: int = 0
+    backoff_s: float = 0.0
+    budget: object | None = None
+    faults: object | None = None
+    trace_dir: str | None = None
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One (algorithm, input, device) pair and the variants still to
+    run.  ``graph_or_name`` is a suite name or a pickled
+    :class:`~repro.graphs.csr.CSRGraph`."""
+
+    algorithm: str
+    graph_or_name: object
+    device: str
+    variants: tuple[str, ...]
+
+
+#: the per-process study, built once by the pool initializer
+_WORKER_STUDY = None
+
+
+def _init_worker(config: WorkerConfig) -> None:
+    global _WORKER_STUDY
+    from repro.core.resilience import ResilientStudy
+    from repro.core.study import Study
+    from repro.perf.trace import TraceCache
+
+    # workers never validate against the parent's retained outputs, so
+    # they keep memory lean; the disk layer (when configured) is the
+    # channel that shares recordings between workers and sweeps
+    cache = TraceCache(disk_dir=config.trace_dir,
+                       retain_outputs=config.validate)
+    if config.resilient:
+        _WORKER_STUDY = ResilientStudy(
+            reps=config.reps, scale=config.scale, validate=config.validate,
+            retries=config.retries, backoff_s=config.backoff_s,
+            budget=config.budget, faults=config.faults,
+            trace_cache=cache)
+    else:
+        _WORKER_STUDY = Study(reps=config.reps, scale=config.scale,
+                              validate=config.validate, trace_cache=cache)
+
+
+def _run_task(task: CellTask) -> list[dict]:
+    """Execute one task in the worker; returns one record per variant."""
+    from repro.core.resilience import CellFailure, ResilientStudy
+
+    study = _WORKER_STUDY
+    if study is None:  # pragma: no cover - initializer always ran
+        raise StudyError("worker pool used before initialization")
+    records: list[dict] = []
+    for value in task.variants:
+        variant = Variant(value)
+        if isinstance(study, ResilientStudy):
+            out = study.run_cell(task.algorithm, task.graph_or_name,
+                                 task.device, variant)
+            if isinstance(out, CellFailure):
+                records.append({
+                    "kind": "failure",
+                    "algorithm": out.algorithm,
+                    "input": out.input_name,
+                    "device": out.device_key,
+                    "variant": out.variant,
+                    "reason": out.reason,
+                    "message": out.message,
+                    "attempts": out.attempts,
+                    "elapsed_s": out.elapsed_s,
+                })
+                continue
+        else:
+            out = study.run(task.algorithm, task.graph_or_name,
+                            task.device, variant)
+        records.append({
+            "kind": "result",
+            "algorithm": out.algorithm,
+            "input": out.input_name,
+            "device": out.device_key,
+            "variant": out.variant.value,
+            "runtimes_ms": list(out.runtimes_ms),
+        })
+    return records
+
+
+def execute_tasks(config: WorkerConfig, tasks: list[CellTask], jobs: int,
+                  merge: Callable[[dict], None]) -> None:
+    """Run ``tasks`` on ``jobs`` workers, merging records serially.
+
+    Every task is submitted up front (workers stay saturated), but
+    ``merge`` is invoked strictly in submission order — the order the
+    serial sweep would have produced — one record per variant.  A
+    worker exception cancels the remaining tasks and propagates.
+    """
+    import multiprocessing as mp
+
+    if not tasks:
+        return
+    # fork inherits warm module state (algorithm registry, suite graph
+    # cache) where available; fall back to the platform default
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else None)
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
+                             initializer=_init_worker,
+                             initargs=(config,)) as pool:
+        try:
+            futures = [pool.submit(_run_task, t) for t in tasks]
+            for future in futures:
+                for record in future.result():
+                    merge(record)
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise

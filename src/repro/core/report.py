@@ -150,8 +150,11 @@ def fig6_bars(summary: dict[str, dict[str, float]],
     return "\n".join(lines)
 
 
-def correlation_table(cells: list[SpeedupCell]) -> str:
-    """Table IX: correlation of speedups with input graph properties."""
+def correlation_table(cells: list[SpeedupCell], scale: float = 1.0) -> str:
+    """Table IX: correlation of speedups with input graph properties.
+
+    ``scale`` must match the study that produced ``cells`` so the
+    correlated properties come from the graphs actually run."""
     by_dev_algo: dict[str, dict[str, list[SpeedupCell]]] = defaultdict(
         lambda: defaultdict(list))
     for c in cells:
@@ -166,7 +169,8 @@ def correlation_table(cells: list[SpeedupCell]) -> str:
             row: list[object] = [label]
             for a in algos:
                 pts = algo_map[a]
-                xs = [paper_properties(c.input_name)[prop_idx] for c in pts]
+                xs = [paper_properties(c.input_name, scale=scale)[prop_idx]
+                      for c in pts]
                 ys = [c.speedup for c in pts]
                 try:
                     row.append(pearson(xs, ys))

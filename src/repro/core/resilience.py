@@ -216,8 +216,10 @@ class ResilientStudy(Study):
                  backoff_s: float = 0.0,
                  budget: CellBudget | None = None,
                  faults: FaultPlan | None = None,
-                 checkpoint: str | Path | None = None) -> None:
-        super().__init__(reps=reps, scale=scale, validate=validate)
+                 checkpoint: str | Path | None = None,
+                 trace_cache=None, jobs: int | None = None) -> None:
+        super().__init__(reps=reps, scale=scale, validate=validate,
+                         trace_cache=trace_cache, jobs=jobs)
         if retries < 0:
             raise StudyError(f"retries must be >= 0, got {retries}")
         self.retries = retries
@@ -274,7 +276,9 @@ class ResilientStudy(Study):
                 run = run_algorithm(
                     algo, graph, spec, variant,
                     seed=self._rep_seed(rep, attempt),
-                    faults=self._injector(key, rep, attempt))
+                    faults=self._injector(key, rep, attempt),
+                    trace_cache=self.trace_cache,
+                    need_output=self.validate)
                 if self.validate:
                     self._validate(algo, graph, run)
                 runtimes.append(run.runtime_ms)
@@ -343,14 +347,65 @@ class ResilientStudy(Study):
         )
 
     def sweep(self, device: str, algorithms: list[str],
-              inputs: list[str]) -> SweepResult:
-        """All cells of one device table, surviving per-cell failures."""
+              inputs: list[str], jobs: int | None = None) -> SweepResult:
+        """All cells of one device table, surviving per-cell failures.
+
+        ``jobs > 1`` runs the missing cells on a process pool (workers
+        apply the same retry/budget/fault policy and return picklable
+        outcome records), then assembles the table from the memo; the
+        cells, checkpoints, and ``save_results`` output are
+        bit-identical to the serial path.
+        """
+        jobs = jobs if jobs is not None else self.jobs
+        if jobs > 1:
+            self._parallel_prefetch(device, algorithms, inputs, jobs)
         cells = [
             self.speedup_cell(a, name, device)
             for name in inputs
             for a in algorithms
         ]
         return SweepResult(device_key=device, cells=cells)
+
+    # ------------------------------------------------------------------
+    # Parallel execution hooks (see repro.core.parallel)
+    # ------------------------------------------------------------------
+    def _cell_done(self, key: tuple) -> bool:
+        return key in self._results or key in self._failures
+
+    def _worker_config(self):
+        from repro.core.parallel import WorkerConfig
+
+        trace_dir = (str(self.trace_cache.disk_dir)
+                     if self.trace_cache is not None
+                     and self.trace_cache.disk_dir is not None else None)
+        return WorkerConfig(resilient=True, reps=self.reps,
+                            scale=self.scale, validate=self.validate,
+                            retries=self.retries, backoff_s=self.backoff_s,
+                            budget=self.budget, faults=self.faults,
+                            trace_dir=trace_dir)
+
+    def _merge_parallel_record(self, record: dict) -> None:
+        variant = Variant(record["variant"])
+        key = (record["algorithm"], record["input"], record["device"],
+               variant)
+        if key in self._results or key in self._failures:
+            return
+        if record["kind"] == "failure":
+            self._failures[key] = CellFailure(
+                algorithm=record["algorithm"],
+                input_name=record["input"],
+                device_key=record["device"],
+                variant=record["variant"],
+                reason=record["reason"],
+                message=record["message"],
+                attempts=int(record["attempts"]),
+                elapsed_s=float(record["elapsed_s"]))
+        else:
+            super()._merge_parallel_record(record)
+        # each record is one cell a worker actually executed (the
+        # parent only submits cells missing from memo and checkpoint)
+        self.cells_executed += 1
+        self._autosave()
 
     def failures(self) -> list[CellFailure]:
         """Every failure recorded (or checkpoint-loaded) so far."""

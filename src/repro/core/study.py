@@ -13,6 +13,7 @@ simulator's analog of run-to-run hardware variance.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -20,10 +21,15 @@ from repro.core.variants import AlgorithmInfo, Variant, get_algorithm
 from repro.errors import StudyError
 from repro.gpu.device import DeviceSpec, get_device
 from repro.graphs.csr import CSRGraph
-from repro.graphs.suite import load_suite_graph, suite_entry
+from repro.graphs.suite import load_suite_graph, weighted_graph
 from repro.perf.engine import PerfRun, run_algorithm
+from repro.perf.trace import TraceCache
 from repro.utils.atomicio import atomic_write_text
 from repro.utils.stats import median, relative_deviation
+
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
+"""Environment variable naming the on-disk trace-cache directory used
+by studies that were not given an explicit cache."""
 
 
 @dataclass
@@ -78,15 +84,40 @@ class Study:
     validate:
         Verify every output against the reference checkers (slow; used
         by the test-suite, off for the big sweeps).
+    trace_cache:
+        The record/replay cache (see :mod:`repro.perf.trace`).  By
+        default each study gets its own in-memory cache, with an
+        on-disk layer when ``REPRO_TRACE_CACHE`` names a directory.
+        Pass a :class:`~repro.perf.trace.TraceCache`, a directory path
+        (enables the disk layer there), or ``False`` to disable
+        caching entirely (every repetition re-executes the vectorized
+        algorithm — the pre-replay engine).
+    jobs:
+        Default worker count for :meth:`speedup_table` (and
+        :meth:`~repro.core.resilience.ResilientStudy.sweep`); ``None``
+        reads ``REPRO_JOBS``, 1 means serial.
     """
 
     def __init__(self, reps: int = 9, scale: float = 1.0,
-                 validate: bool = False) -> None:
+                 validate: bool = False,
+                 trace_cache: TraceCache | str | Path | bool | None = None,
+                 jobs: int | None = None) -> None:
+        from repro.core.parallel import resolve_jobs
+
         if reps < 1:
             raise StudyError(f"reps must be >= 1, got {reps}")
         self.reps = reps
         self.scale = scale
         self.validate = validate
+        if trace_cache is None or trace_cache is True:
+            trace_cache = TraceCache(
+                disk_dir=os.environ.get(TRACE_CACHE_ENV) or None)
+        elif trace_cache is False:
+            trace_cache = None
+        elif isinstance(trace_cache, (str, Path)):
+            trace_cache = TraceCache(disk_dir=trace_cache)
+        self.trace_cache: TraceCache | None = trace_cache
+        self.jobs = resolve_jobs(jobs)
         self._results: dict[tuple, RunResult] = {}
         #: content fingerprints of graphs seen per input name, so two
         #: different graphs cannot silently share one memo entry
@@ -138,7 +169,9 @@ class Study:
             graph = load_suite_graph(graph_or_name, scale=self.scale)
             self._note_fingerprint(graph_or_name, graph)
         if algo.needs_weights and not graph.has_weights:
-            graph = graph.with_random_weights(seed=12345)
+            # process-wide cache: every study (and every repetition of
+            # every device) shares one weighted copy per graph content
+            graph = weighted_graph(graph, seed=12345)
         return graph
 
     def run(self, algorithm: str, graph_or_name, device: str,
@@ -156,7 +189,9 @@ class Study:
         last: PerfRun | None = None
         for rep in range(self.reps):
             run = run_algorithm(algo, graph, spec, variant,
-                                seed=self._rep_seed(rep))
+                                seed=self._rep_seed(rep),
+                                trace_cache=self.trace_cache,
+                                need_output=self.validate)
             # every repetition is validated: reps differ in their
             # randomization seed, so a corrupt rep 3 would be invisible
             # if only the final repetition were checked
@@ -188,13 +223,81 @@ class Study:
         )
 
     def speedup_table(self, device: str, algorithms: list[str],
-                      inputs: list[str]) -> list[SpeedupCell]:
-        """All cells of one of Tables IV-VIII."""
+                      inputs: list[str],
+                      jobs: int | None = None) -> list[SpeedupCell]:
+        """All cells of one of Tables IV-VIII.
+
+        ``jobs > 1`` executes the missing cells on a process pool
+        first (see :mod:`repro.core.parallel`), then assembles the
+        table from the memo — the cells, their order, and any
+        subsequently saved results are bit-identical to the serial
+        path.
+        """
+        jobs = jobs if jobs is not None else self.jobs
+        if jobs > 1:
+            self._parallel_prefetch(device, algorithms, inputs, jobs)
         return [
             self.speedup(a, name, device)
             for name in inputs
             for a in algorithms
         ]
+
+    # ------------------------------------------------------------------
+    # Parallel execution (see repro.core.parallel)
+    # ------------------------------------------------------------------
+    def _cell_done(self, key: tuple) -> bool:
+        """Whether the sweep already has an outcome for ``key``."""
+        return key in self._results
+
+    def _worker_config(self):
+        """The picklable policy a pool worker rebuilds this study from."""
+        from repro.core.parallel import WorkerConfig
+
+        trace_dir = (str(self.trace_cache.disk_dir)
+                     if self.trace_cache is not None
+                     and self.trace_cache.disk_dir is not None else None)
+        return WorkerConfig(resilient=False, reps=self.reps,
+                            scale=self.scale, validate=self.validate,
+                            trace_dir=trace_dir)
+
+    def _merge_parallel_record(self, record: dict) -> None:
+        """Fold one worker record into the memo (submission order)."""
+        variant = Variant(record["variant"])
+        key = (record["algorithm"], record["input"], record["device"],
+               variant)
+        if key in self._results:
+            return
+        self._results[key] = RunResult(
+            record["algorithm"], record["input"], record["device"],
+            variant, [float(x) for x in record["runtimes_ms"]],
+            last_run=None)
+
+    def _parallel_prefetch(self, device: str, algorithms: list[str],
+                           inputs: list[str], jobs: int) -> None:
+        """Execute every missing (algorithm, input) pair on a pool.
+
+        Tasks are built — and their records merged — in the exact
+        order the serial sweep would have executed them, which is what
+        keeps the memo's insertion order (and therefore
+        :meth:`save_results` output) byte-identical.
+        """
+        from repro.core.parallel import CellTask, execute_tasks
+
+        variants = (Variant.BASELINE, Variant.RACE_FREE)
+        tasks = []
+        for graph_or_name in inputs:
+            name = (graph_or_name.name
+                    if isinstance(graph_or_name, CSRGraph)
+                    else graph_or_name)
+            for a in algorithms:
+                pending = tuple(
+                    v.value for v in variants
+                    if not self._cell_done((a, name, device, v)))
+                if pending:
+                    tasks.append(CellTask(a, graph_or_name, device,
+                                          pending))
+        execute_tasks(self._worker_config(), tasks, jobs,
+                      self._merge_parallel_record)
 
     # ------------------------------------------------------------------
     # Result persistence (the artifact's ./results/ raw-runtime logs)
@@ -284,11 +387,15 @@ class Study:
             verify.check_apsp(graph, out["dist"])
 
 
-def paper_properties(name: str) -> tuple[int, int, float]:
+def paper_properties(name: str, scale: float = 1.0) -> tuple[int, int, float]:
     """(edge count, vertex count, average degree) of a suite input —
-    the Table IX correlates; taken from the *scaled* graph actually run."""
-    entry = suite_entry(name)
-    graph = load_suite_graph(name)
-    del entry
+    the Table IX correlates; taken from the *scaled* graph actually run.
+
+    ``scale`` must match the study that produced the speedups (a
+    ``REPRO_SCALE != 1`` sweep correlates against differently sized
+    graphs than the default suite).  Served from the shared suite
+    cache, so repeated correlation passes never rebuild CSR arrays.
+    """
+    graph = load_suite_graph(name, scale=scale)
     return (graph.num_edges, graph.num_vertices,
             graph.num_edges / max(1, graph.num_vertices))

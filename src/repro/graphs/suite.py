@@ -176,7 +176,32 @@ def suite_entry(name: str) -> SuiteEntry:
         ) from None
 
 
-@lru_cache(maxsize=64)
+@lru_cache(maxsize=256)
 def load_suite_graph(name: str, scale: float = 1.0) -> CSRGraph:
-    """Build (and memoize) the scaled synthetic analog of a paper input."""
+    """Build (and memoize) the scaled synthetic analog of a paper input.
+
+    The cache is process-wide and shared by every study, sweep worker
+    task, and bench module in the process — a multi-study session (or
+    a pool worker serving many cells) builds each (name, scale) CSR
+    exactly once.
+    """
     return suite_entry(name).builder(scale)
+
+
+#: (graph fingerprint, weight seed) -> weighted copy.  Process-wide,
+#: content-keyed: every study requesting weights for the same graph —
+#: MST and APSP re-prepare per (device, variant) run — shares one
+#: weighted instance instead of regenerating and re-hashing the arrays.
+_WEIGHTED_CACHE: dict[tuple[str, int], CSRGraph] = {}
+
+
+def weighted_graph(graph: CSRGraph, seed: int = 12345) -> CSRGraph:
+    """``graph.with_random_weights(seed)``, cached by graph content."""
+    if graph.has_weights:
+        return graph
+    key = (graph.fingerprint(), seed)
+    cached = _WEIGHTED_CACHE.get(key)
+    if cached is None:
+        cached = graph.with_random_weights(seed=seed)
+        _WEIGHTED_CACHE[key] = cached
+    return cached

@@ -12,6 +12,12 @@ access to *shared* data goes through a :class:`Recorder`, which
   within the round's access vector — CC/MST's hot set representatives).
 
 ``run_algorithm`` is the single entry point the study framework uses.
+It is internally split into **record** (:func:`record_trace` — run the
+vectorized algorithm once per staleness class) and **replay**
+(:func:`replay_trace` — price a cached trace for a device), with an
+optional :class:`~repro.perf.trace.TraceCache` so a multi-device sweep
+executes each configuration's functional work once instead of once per
+device.
 """
 
 from __future__ import annotations
@@ -27,6 +33,14 @@ from repro.errors import StudyError
 from repro.gpu.accesses import AccessKind, MemoryOrder
 from repro.gpu.device import DeviceSpec
 from repro.gpu.timing import AccessStats, TimingModel
+from repro.perf.trace import (
+    ANY_STALENESS,
+    Trace,
+    output_fingerprint,
+    plan_fingerprint,
+    stable_config_hash,
+    trace_key,
+)
 
 
 @dataclass
@@ -43,13 +57,30 @@ class PerfRun:
 
 
 class Recorder:
-    """Counts the shared-memory traffic of one run."""
+    """Counts the shared-memory traffic of one run.
+
+    The recorder sees the device only through ``staleness_rounds`` (the
+    register-caching visibility constant) — this is what makes recorded
+    traces device-independent within a staleness class, so the trace
+    cache can replay one execution on every device that shares the
+    constant.  Pass either a full :class:`DeviceSpec` (the constant is
+    taken from it) or ``staleness_rounds`` directly (the record path).
+    """
 
     def __init__(self, plan: AccessPlan, variant: Variant,
-                 device: DeviceSpec) -> None:
+                 device: DeviceSpec | None = None, *,
+                 staleness_rounds: int | None = None) -> None:
         self.plan = plan
         self.variant = variant
         self.device = device
+        if staleness_rounds is None:
+            if device is None:
+                raise StudyError("pass either device or staleness_rounds")
+            staleness_rounds = device.plain_staleness_rounds
+        self.staleness_rounds = int(staleness_rounds)
+        #: set when an execution actually consumes the constant; traces
+        #: that never do are valid for every staleness class
+        self.staleness_consulted = False
         self.stats = AccessStats()
         self._footprints: dict[str, float] = {}
 
@@ -163,8 +194,15 @@ class Recorder:
         """
         kind = site_kind(self.plan, self.variant, site)
         if kind is AccessKind.PLAIN:
-            return self.device.plain_staleness_rounds
+            return self.visibility_delay()
         return 0
+
+    def visibility_delay(self) -> int:
+        """Consume the staleness constant (marks the recording as
+        staleness-class-dependent; see :data:`~repro.perf.trace
+        .ANY_STALENESS`)."""
+        self.staleness_consulted = True
+        return self.staleness_rounds
 
 
 #: relative sigma of the run-to-run noise model (the paper reports a
@@ -172,17 +210,93 @@ class Recorder:
 RUNTIME_NOISE_SIGMA = 0.004
 
 
+def noise_multiplier(algorithm_key: str, variant: Variant,
+                     seed: int) -> float:
+    """The seeded run-to-run noise factor of one repetition.
+
+    Stands in for hardware variance (clock jitter, scheduling) so the
+    paper's median-of-nine protocol remains meaningful on
+    configurations whose computation is otherwise seed-invariant.
+    Seeded by (seed, algorithm, variant) only — never by the device —
+    which is what lets a replayed trace reproduce the direct engine's
+    runtime bit-for-bit.  Uses a stable digest, not Python's
+    per-process randomized string hash, so the factor is identical
+    across interpreter invocations and pool workers.
+    """
+    rng = np.random.default_rng(
+        (seed * 2654435761
+         + stable_config_hash(algorithm_key, variant)) & 0xFFFFFFFF
+    )
+    return 1.0 + float(np.clip(rng.normal(0.0, RUNTIME_NOISE_SIGMA),
+                               -0.015, 0.015))
+
+
+def record_trace(algorithm, graph, variant: Variant, seed: int,
+                 staleness_rounds: int, plan: AccessPlan | None = None
+                 ) -> Trace:
+    """Run the functional execution once and capture its trace.
+
+    This is the expensive half of the record/replay split: it executes
+    ``perf_runner`` (the full vectorized algorithm) under a
+    :class:`Recorder` parameterized only by the staleness class, and
+    returns the :class:`~repro.perf.trace.Trace` that
+    :func:`replay_trace` can price for *any* device sharing that
+    staleness constant.
+    """
+    if plan is None:
+        plan = algorithm_plan(algorithm)
+    recorder = Recorder(plan, variant, staleness_rounds=staleness_rounds)
+    output = algorithm.perf_runner(graph, recorder, seed)
+    return Trace(
+        algorithm=algorithm.key,
+        variant=variant,
+        seed=seed,
+        # a recording that never consumed the constant is valid for
+        # every staleness class: key it with the wildcard
+        staleness_rounds=(int(staleness_rounds)
+                          if recorder.staleness_consulted
+                          else ANY_STALENESS),
+        graph_fp=graph.fingerprint(),
+        plan_fp=plan_fingerprint(plan),
+        stats=recorder.stats,
+        output_fp=output_fingerprint(output),
+        output=output,
+    )
+
+
+def replay_trace(trace: Trace, device: DeviceSpec) -> float:
+    """Price a recorded trace for one device (microseconds of work).
+
+    Bit-identical to what the direct engine computes for the same
+    (algorithm, graph, variant, seed) on ``device``: the same
+    :class:`~repro.gpu.timing.TimingModel` call on the same stats,
+    scaled by the same seeded noise factor.
+    """
+    noise = noise_multiplier(trace.algorithm, trace.variant, trace.seed)
+    return TimingModel(device).estimate_ms(trace.stats) * noise
+
+
 def run_algorithm(algorithm, graph, device: DeviceSpec, variant: Variant,
-                  seed: int = 0, faults=None) -> PerfRun:
+                  seed: int = 0, faults=None, trace_cache=None,
+                  need_output: bool = True) -> PerfRun:
     """Run one (algorithm, input, device, variant) configuration.
 
     ``algorithm`` is an :class:`~repro.core.variants.AlgorithmInfo`;
     its ``perf_runner(graph, recorder, seed)`` does the work and returns
     the output arrays.  The runtime is then priced by the timing model,
     plus a small seeded noise term standing in for hardware run-to-run
-    variance (clock jitter, scheduling), so the paper's median-of-nine
-    protocol remains meaningful on configurations whose computation is
-    otherwise seed-invariant.
+    variance.
+
+    ``trace_cache`` is an optional
+    :class:`~repro.perf.trace.TraceCache`: when the cache holds a trace
+    for this (algorithm, graph, variant, seed, staleness-class), the
+    functional execution is skipped entirely and the cached stats are
+    re-priced for ``device`` — bit-identical to the direct path,
+    microseconds instead of a full numpy execution.  ``need_output``
+    forces a fresh recording when the cached trace carries no output
+    arrays (disk-loaded traces never do); callers that validate
+    outputs must set it.  Replayed runs may therefore have
+    ``output=None`` when ``need_output`` is false.
 
     ``faults`` is an optional
     :class:`~repro.gpu.faults.FaultInjector`: it may abort the run with
@@ -192,29 +306,53 @@ def run_algorithm(algorithm, graph, device: DeviceSpec, variant: Variant,
     silently corrupt the output arrays (torn/dropped non-atomic
     stores) — each gated on the *variant's* exposure, so race-free
     plans are immune to the data-corrupting kinds.  ``faults=None``
-    leaves the run bit-identical to the unfaulted engine.
+    leaves the run bit-identical to the unfaulted engine.  A faulted
+    run never touches the trace cache: injection mutates outputs and
+    runtimes in ways a shared recording must not absorb.
     """
     plan = algorithm_plan(algorithm)
-    recorder = Recorder(plan, variant, device)
+    staleness = device.plain_staleness_rounds
+
     if faults is not None:
         faults.begin_perf_run(algorithm.key, variant, plan)
-    output = algorithm.perf_runner(graph, recorder, seed)
-    noise_rng = np.random.default_rng(
-        (seed * 2654435761 + hash((algorithm.key, variant.value))) & 0xFFFFFFFF
-    )
-    noise = 1.0 + float(np.clip(noise_rng.normal(0.0, RUNTIME_NOISE_SIGMA),
-                                -0.015, 0.015))
-    runtime = TimingModel(device).estimate_ms(recorder.stats) * noise
-    if faults is not None:
-        runtime = faults.perf_finish(output, runtime)
+        trace = record_trace(algorithm, graph, variant, seed, staleness,
+                             plan=plan)
+        runtime = replay_trace(trace, device)
+        runtime = faults.perf_finish(trace.output, runtime)
+        return _perf_run(algorithm, variant, device, trace, runtime)
+
+    trace = None
+    if trace_cache is not None:
+        graph_fp = graph.fingerprint()
+        plan_fp = plan_fingerprint(plan)
+        key = trace_key(algorithm.key, graph_fp, variant, seed,
+                        staleness, plan_fp)
+        trace = trace_cache.lookup(key, need_output=need_output)
+        if trace is None:
+            # staleness-independent recordings live under the wildcard
+            trace = trace_cache.lookup(
+                trace_key(algorithm.key, graph_fp, variant, seed,
+                          ANY_STALENESS, plan_fp),
+                need_output=need_output)
+    if trace is None:
+        trace = record_trace(algorithm, graph, variant, seed, staleness,
+                             plan=plan)
+        if trace_cache is not None:
+            trace_cache.store(trace)
+    return _perf_run(algorithm, variant, device, trace,
+                     replay_trace(trace, device))
+
+
+def _perf_run(algorithm, variant: Variant, device: DeviceSpec,
+              trace: Trace, runtime: float) -> PerfRun:
     return PerfRun(
         algorithm=algorithm.key,
         variant=variant,
         device=device,
-        output=output,
-        stats=recorder.stats,
+        output=trace.output,
+        stats=trace.stats,
         runtime_ms=runtime,
-        rounds=recorder.stats.rounds,
+        rounds=trace.rounds,
     )
 
 

@@ -141,9 +141,9 @@ class TestMemoKeyIntegrity:
         calls = {"n": 0}
 
         def sabotage_first_rep(algo, graph, spec, variant, seed=0,
-                               faults=None):
+                               faults=None, **kwargs):
             run = real(algo, graph, spec, variant, seed=seed,
-                       faults=faults)
+                       faults=faults, **kwargs)
             calls["n"] += 1
             if calls["n"] == 1:
                 # give every vertex its own label: any edge now joins

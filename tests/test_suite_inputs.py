@@ -83,3 +83,27 @@ def test_memoization_returns_same_object():
     a = load_suite_graph("internet")
     b = load_suite_graph("internet")
     assert a is b
+
+
+def test_paper_properties_track_study_scale():
+    """Table IX correlates against the graphs actually run, so the
+    properties must follow the study's scale factor."""
+    from repro.core.study import paper_properties
+
+    base = paper_properties("citationCiteseer")
+    scaled = paper_properties("citationCiteseer", scale=2.0)
+    assert scaled[1] > base[1]  # more vertices at scale 2
+    g = load_suite_graph("citationCiteseer", scale=2.0)
+    assert scaled == (g.num_edges, g.num_vertices,
+                      g.num_edges / g.num_vertices)
+
+
+def test_weighted_graph_cached_by_content():
+    from repro.graphs.suite import weighted_graph
+
+    g = load_suite_graph("internet")
+    w1 = weighted_graph(g)
+    w2 = weighted_graph(g)
+    assert w1 is w2
+    assert w1.has_weights
+    assert weighted_graph(w1) is w1  # already weighted: no-op

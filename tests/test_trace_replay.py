@@ -1,0 +1,196 @@
+"""Tests for the trace record/replay engine (repro.perf.trace).
+
+The contract under test: replaying a recorded trace for a device is
+bit-identical to running the direct engine for that device, one
+recording serves every device of its staleness class, and the cache
+key invalidates on any input that could change the trace.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.transform import AccessPlan, AccessSite
+from repro.core.variants import Variant, get_algorithm, list_algorithms
+from repro.gpu.accesses import AccessKind
+from repro.gpu.device import DEVICE_ORDER, PAPER_GPUS, get_device
+from repro.gpu.faults import FaultPlan
+from repro.graphs import generators as gen
+from repro.perf.engine import noise_multiplier, run_algorithm
+from repro.perf.trace import TraceCache, plan_fingerprint
+from repro.perf.trace import stable_config_hash
+
+
+def _graph_for(algo):
+    if algo.key == "apsp":
+        g = gen.random_uniform(12, 2.0, seed=3)
+    elif algo.directed:
+        g = gen.directed_powerlaw(48, 2.5, seed=3)
+    else:
+        g = gen.random_uniform(48, 3.0, seed=3)
+    if algo.needs_weights and not g.has_weights:
+        g = g.with_random_weights(seed=1)
+    return g
+
+
+ALGO_VARIANTS = [(a.key, v) for a in list_algorithms() for v in Variant]
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("algo_key,variant", ALGO_VARIANTS)
+    def test_replay_bit_identical_to_direct_on_every_device(
+            self, algo_key, variant):
+        """The cached-trace path must reproduce the direct engine's
+        runtime, rounds, and outputs exactly, for all four devices."""
+        algo = get_algorithm(algo_key)
+        graph = _graph_for(algo)
+        cache = TraceCache()
+        for dev in DEVICE_ORDER:
+            spec = get_device(dev)
+            direct = run_algorithm(algo, graph, spec, variant, seed=7,
+                                   trace_cache=None)
+            cached = run_algorithm(algo, graph, spec, variant, seed=7,
+                                   trace_cache=cache)
+            assert cached.runtime_ms == direct.runtime_ms, dev
+            assert cached.rounds == direct.rounds, dev
+            for name in direct.output:
+                assert np.array_equal(np.asarray(cached.output[name]),
+                                      np.asarray(direct.output[name])), dev
+
+    def test_staleness_dependent_records_once_per_class(self):
+        """Baseline MIS consumes the staleness constant, so the four
+        devices (two staleness classes) need exactly two recordings."""
+        classes = {spec.plain_staleness_rounds
+                   for spec in PAPER_GPUS.values()}
+        assert len(classes) == 2  # the premise of the whole design
+        algo = get_algorithm("mis")
+        graph = _graph_for(algo)
+        cache = TraceCache()
+        for dev in DEVICE_ORDER:
+            run_algorithm(algo, graph, get_device(dev), Variant.BASELINE,
+                          seed=5, trace_cache=cache)
+        assert cache.recorded == len(classes)
+        assert cache.memory_hits == len(DEVICE_ORDER) - len(classes)
+
+    @pytest.mark.parametrize("algo_key,variant", [
+        ("cc", Variant.BASELINE), ("gc", Variant.BASELINE),
+        ("mst", Variant.BASELINE), ("scc", Variant.BASELINE),
+        ("mis", Variant.RACE_FREE),
+    ])
+    def test_staleness_independent_records_once_total(self, algo_key,
+                                                      variant):
+        """Executions that never consume the staleness constant —
+        everything except baseline MIS — record once for all four
+        devices (the wildcard-key path)."""
+        algo = get_algorithm(algo_key)
+        graph = _graph_for(algo)
+        cache = TraceCache()
+        for dev in DEVICE_ORDER:
+            run_algorithm(algo, graph, get_device(dev), variant,
+                          seed=5, trace_cache=cache)
+        assert cache.recorded == 1
+        assert cache.memory_hits == len(DEVICE_ORDER) - 1
+
+
+class TestTraceCache:
+    def test_disk_roundtrip(self, tmp_path):
+        algo = get_algorithm("mis")
+        graph = _graph_for(algo)
+        spec = get_device("titanv")
+        first = TraceCache(disk_dir=tmp_path)
+        direct = run_algorithm(algo, graph, spec, Variant.RACE_FREE,
+                               seed=11, trace_cache=first)
+        assert first.recorded == 1
+
+        # a fresh process/session pointing at the same directory replays
+        # without re-recording — but cannot supply output arrays
+        second = TraceCache(disk_dir=tmp_path)
+        replayed = run_algorithm(algo, graph, spec, Variant.RACE_FREE,
+                                 seed=11, trace_cache=second,
+                                 need_output=False)
+        assert second.recorded == 0
+        assert second.disk_hits == 1
+        assert replayed.runtime_ms == direct.runtime_ms
+        assert replayed.output is None
+
+    def test_need_output_forces_rerecord(self, tmp_path):
+        algo = get_algorithm("cc")
+        graph = _graph_for(algo)
+        spec = get_device("a100")
+        run_algorithm(algo, graph, spec, Variant.BASELINE, seed=2,
+                      trace_cache=TraceCache(disk_dir=tmp_path))
+        fresh = TraceCache(disk_dir=tmp_path)
+        run = run_algorithm(algo, graph, spec, Variant.BASELINE, seed=2,
+                            trace_cache=fresh, need_output=True)
+        assert fresh.recorded == 1  # disk trace has no outputs: re-record
+        assert run.output is not None
+
+    def test_different_graph_does_not_alias(self):
+        algo = get_algorithm("cc")
+        spec = get_device("titanv")
+        cache = TraceCache()
+        g1 = gen.random_uniform(48, 3.0, seed=3)
+        g2 = gen.random_uniform(48, 3.0, seed=4)
+        run_algorithm(algo, g1, spec, Variant.BASELINE, seed=1,
+                      trace_cache=cache)
+        run_algorithm(algo, g2, spec, Variant.BASELINE, seed=1,
+                      trace_cache=cache)
+        assert cache.recorded == 2
+
+    def test_plan_fingerprint_covers_site_fields(self):
+        base = AccessPlan("t", (
+            AccessSite("t.x", AccessKind.PLAIN, is_store=True),
+        ))
+        reordered = AccessPlan("t", (
+            AccessSite("t.x", AccessKind.VOLATILE, is_store=True),
+        ))
+        assert plan_fingerprint(base) != plan_fingerprint(reordered)
+
+    def test_faulted_runs_bypass_the_cache(self):
+        """Injection mutates outputs/runtimes; a shared recording must
+        never absorb that, and a faulted run must not consume one."""
+        algo = get_algorithm("cc")
+        graph = _graph_for(algo)
+        spec = get_device("titanv")
+        cache = TraceCache()
+        plan = FaultPlan.parse("stall=1.0", seed=9)
+        injector = plan.injector("cc", graph.name, "titanv",
+                                 Variant.BASELINE.value, 0, 0)
+        run_algorithm(algo, graph, spec, Variant.BASELINE, seed=1,
+                      faults=injector, trace_cache=cache)
+        assert cache.recorded == 0
+        assert len(cache) == 0
+
+
+class TestStableNoise:
+    def test_crc_not_string_hash(self):
+        # the exact value is part of the persisted-results contract now
+        assert stable_config_hash("cc", Variant.BASELINE) == \
+            stable_config_hash("cc", Variant.BASELINE)
+        assert stable_config_hash("cc", Variant.BASELINE) != \
+            stable_config_hash("cc", Variant.RACE_FREE)
+
+    def test_noise_identical_across_interpreter_invocations(self):
+        """The historical hash((algo, variant)) seeding was randomized
+        per process; the replacement must not be."""
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        code = ("from repro.core.variants import Variant;"
+                "from repro.perf.engine import noise_multiplier;"
+                "print(repr(noise_multiplier('mis', Variant.RACE_FREE, 7)))")
+        values = set()
+        for hashseed in ("0", "1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed,
+                       PYTHONPATH=src)
+            out = subprocess.run(
+                [sys.executable, "-c", code], env=env,
+                capture_output=True, text=True, check=True)
+            values.add(out.stdout.strip())
+        assert len(values) == 1
+        assert values.pop() == repr(
+            noise_multiplier("mis", Variant.RACE_FREE, 7))
