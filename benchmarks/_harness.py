@@ -22,6 +22,10 @@ Environment knobs:
   sessions at the same directory to share recordings.
 * ``REPRO_JOBS`` — worker processes for the shared study's sweeps
   (default 1 = serial).  Parallel runs are bit-identical to serial.
+* ``REPRO_TELEMETRY`` — path for a telemetry JSONL export.  When set,
+  the metric registry and span recorder are enabled for the whole bench
+  session and written to the named file at interpreter exit (unset =
+  telemetry off, the zero-overhead default).
 
 The harness runs on the resilient study (same results, memoized and
 bit-identical when nothing fails), so one bad cell cannot take down a
@@ -48,6 +52,20 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 TRACE_CACHE = os.environ.get(
     "REPRO_TRACE_CACHE", str(OUTPUT_DIR / "trace_cache"))
 JOBS = int(os.environ.get("REPRO_JOBS", "1"))
+
+TELEMETRY = os.environ.get("REPRO_TELEMETRY") or None
+if TELEMETRY:
+    import atexit
+
+    from repro import telemetry as _telemetry
+    from repro.telemetry.export import write_jsonl as _write_jsonl
+
+    _registry, _spans = _telemetry.enable()
+
+    @atexit.register
+    def _export_bench_telemetry() -> None:
+        _write_jsonl(TELEMETRY, _registry, _spans)
+        print(f"telemetry written to {TELEMETRY}")
 
 
 def save_output(name: str, text: str) -> None:

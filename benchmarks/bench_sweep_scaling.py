@@ -9,11 +9,14 @@ variant, ``REPRO_REPS`` repetitions) three ways:
   once per staleness class and re-priced per device/repetition.
 * **parallel** — replay plus ``jobs`` pool workers sharing one on-disk
   trace directory.
+* **telemetry** — replay with the metric registry and span recorder
+  enabled, measuring observability overhead (the acceptance target is
+  under 5% over replay).
 
-All three produce bit-identical cells (asserted), so the wall-clock
+All modes produce bit-identical cells (asserted), so the wall-clock
 ratios are pure engine speedup.  Results go to ``BENCH_sweep.json`` at
 the repo root: one record per mode with seconds, cell count, and
-speedup over serial.
+speedup over serial, plus the measured ``telemetry_overhead``.
 
 Run directly for the full measurement (the acceptance gate is
 parallel >= 3x serial)::
@@ -36,7 +39,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from _harness import JOBS, REPS, SCALE, UNDIRECTED_ALGOS
 
-from repro import Study
+from repro import Study, telemetry
 from repro.gpu.device import DEVICE_ORDER
 from repro.graphs.suite import load_suite_graph, suite_names
 
@@ -79,12 +82,17 @@ def run_benchmark(reps: int, inputs: list[str], jobs: int,
             ("serial", dict(jobs=1, trace_cache=False)),
             ("replay", dict(jobs=1, trace_cache=True)),
             ("parallel", dict(jobs=jobs, trace_cache=trace_dir)),
+            ("telemetry", dict(jobs=1, trace_cache=True)),
         ]
         records = []
         baseline_cells = None
         baseline_s = None
         for mode, kwargs in modes:
-            cells, seconds = _run_sweep(reps, inputs, **kwargs)
+            if mode == "telemetry":
+                with telemetry.session():
+                    cells, seconds = _run_sweep(reps, inputs, **kwargs)
+            else:
+                cells, seconds = _run_sweep(reps, inputs, **kwargs)
             if baseline_cells is None:
                 baseline_cells, baseline_s = cells, seconds
             elif not _cells_equal(cells, baseline_cells):
@@ -99,6 +107,11 @@ def run_benchmark(reps: int, inputs: list[str], jobs: int,
             print(f"{mode:9s} {seconds:8.2f}s  "
                   f"{records[-1]['speedup_vs_serial']:6.2f}x  "
                   f"({len(cells)} cells)")
+    replay_s = next(m["seconds"] for m in records if m["mode"] == "replay")
+    telemetry_s = next(m["seconds"] for m in records
+                       if m["mode"] == "telemetry")
+    overhead = telemetry_s / replay_s - 1.0
+    print(f"telemetry overhead vs replay: {overhead:+.2%}")
     payload = {
         "bench": "sweep_scaling",
         "reps": reps,
@@ -107,6 +120,7 @@ def run_benchmark(reps: int, inputs: list[str], jobs: int,
         "devices": list(DEVICE_ORDER),
         "inputs": inputs,
         "modes": records,
+        "telemetry_overhead": round(overhead, 4),
     }
     if result_path is not None:
         result_path.write_text(json.dumps(payload, indent=1) + "\n")
@@ -120,9 +134,10 @@ def test_sweep_scaling_smoke():
                             inputs=suite_names(directed=False)[:3],
                             jobs=2, result_path=None)
     assert [m["mode"] for m in payload["modes"]] == \
-        ["serial", "replay", "parallel"]
+        ["serial", "replay", "parallel", "telemetry"]
     assert all(m["cells"] == 3 * len(UNDIRECTED_ALGOS) * len(DEVICE_ORDER)
                for m in payload["modes"])
+    assert "telemetry_overhead" in payload
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -141,7 +156,8 @@ def main(argv: list[str] | None = None) -> int:
     payload = run_benchmark(reps=REPS,
                             inputs=suite_names(directed=False),
                             jobs=args.jobs)
-    parallel = payload["modes"][-1]["speedup_vs_serial"]
+    parallel = next(m for m in payload["modes"]
+                    if m["mode"] == "parallel")["speedup_vs_serial"]
     print(f"parallel speedup over the old serial engine: {parallel:.2f}x")
     return 0
 

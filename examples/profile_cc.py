@@ -10,7 +10,10 @@ performance difference."
 This script profiles baseline vs. race-free CC on one input and prints
 the per-site traffic comparison: identical access *counts*, different
 access *kinds*, and the collapse of the L1-path share that costs the
-race-free version its performance.
+race-free version its performance.  The profiles are also emitted
+through the telemetry registry (``repro_site_accesses_total`` and the
+L1 gauges), and the script closes with the registry's view of the same
+argument.
 
 Run:  python examples/profile_cc.py [input-name] [device]
 """
@@ -19,6 +22,7 @@ from __future__ import annotations
 
 import sys
 
+from repro import telemetry
 from repro.core.variants import Variant, get_algorithm
 from repro.gpu.device import get_device
 from repro.graphs import load_suite_graph
@@ -35,21 +39,29 @@ def main() -> None:
     graph = load_suite_graph(input_name)
     algo = get_algorithm("cc")
 
-    base = profile_run(algo, graph, device, Variant.BASELINE, seed=7)
-    free = profile_run(algo, graph, device, Variant.RACE_FREE, seed=7)
+    with telemetry.session() as (registry, _spans):
+        base = profile_run(algo, graph, device, Variant.BASELINE, seed=7)
+        free = profile_run(algo, graph, device, Variant.RACE_FREE, seed=7)
 
-    print(f"profiling CC on {graph!r} ({device.name})\n")
-    print(compare_profiles(base, free))
-    print()
-    hot = dominant_racy_site(base)
-    print(f"dominant racy site: {hot}")
-    print(f"L1-path share: baseline {base.l1_traffic_share:.0%} -> "
-          f"race-free {free.l1_traffic_share:.0%}")
-    print(f"runtime: baseline {base.runtime_ms:.4f} ms -> "
-          f"race-free {free.runtime_ms:.4f} ms "
-          f"(speedup {base.runtime_ms / free.runtime_ms:.2f}x)")
-    print("\nSame access counts, same algorithm — the entire difference "
-          "is where the accesses are served (L1 vs. L2 atomics).")
+        print(f"profiling CC on {graph!r} ({device.name})\n")
+        print(compare_profiles(base, free))
+        print()
+        hot = dominant_racy_site(base)
+        print(f"dominant racy site: {hot}")
+        print(f"L1-path share: baseline {base.l1_traffic_share:.0%} -> "
+              f"race-free {free.l1_traffic_share:.0%}")
+        print(f"runtime: baseline {base.runtime_ms:.4f} ms -> "
+              f"race-free {free.runtime_ms:.4f} ms "
+              f"(speedup {base.runtime_ms / free.runtime_ms:.2f}x)")
+        print("\nSame access counts, same algorithm — the entire "
+              "difference is where the accesses are served (L1 vs. L2 "
+              "atomics).")
+
+        share = registry.get("repro_profile_l1_traffic_share")
+        print("\ntelemetry registry view "
+              "(repro_profile_l1_traffic_share):")
+        for labels, value in share.samples():
+            print(f"  {dict(zip(share.labelnames, labels))}: {value:.4f}")
 
 
 if __name__ == "__main__":

@@ -31,6 +31,13 @@ Resilient sweeps (fault injection, isolation, checkpoint/resume)::
     study = ResilientStudy(reps=9, retries=2, checkpoint="sweep.json",
                            faults=FaultPlan.parse("tear=0.3,abort=0.1"))
     result = study.sweep("titanv", ["cc", "mis"], ["internet"])
+
+Telemetry (off by default; see docs/observability.md)::
+
+    from repro import telemetry
+    with telemetry.session() as (registry, spans):
+        Study(reps=3).speedup("cc", "internet", "titanv")
+        print(telemetry.export.to_console(registry))
 """
 
 from repro.core.resilience import (
@@ -45,6 +52,7 @@ from repro.core.variants import Variant, get_algorithm, list_algorithms
 from repro.errors import ReproError
 from repro.gpu.faults import FaultPlan
 from repro.perf.trace import TraceCache
+from repro import telemetry
 
 __version__ = "1.0.0"
 
@@ -65,5 +73,6 @@ __all__ = [
     "get_algorithm",
     "list_algorithms",
     "ReproError",
+    "telemetry",
     "__version__",
 ]

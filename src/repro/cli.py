@@ -16,9 +16,13 @@ Commands
 * ``patterns`` — run the Indigo-style microbenchmark corpus: every racy
   idiom, its detected races and failure mode, and its race-free fix.
 * ``sweep``   — the resilient sweep driver: per-cell fault isolation,
-  retries, budgets, fault injection, and checkpoint/resume.
+  retries, budgets, fault injection, and checkpoint/resume; with
+  ``--telemetry`` it exports the run's metric registry and span tree.
 * ``check``   — systematic schedule exploration (DPOR) of one pattern:
   enumerate interleavings, race-check each, minimize failing schedules.
+* ``metrics`` — post-process an exported telemetry JSONL file
+  (``metrics summarize``).
+* ``trace``   — manage the on-disk trace cache (``trace prune``).
 """
 
 from __future__ import annotations
@@ -178,8 +182,40 @@ def _cmd_inputs(args) -> int:
     return 0
 
 
+def _export_telemetry(path: str, fmt: str) -> None:
+    """Write the active registry/spans to ``path`` in ``fmt``."""
+    from repro.telemetry.export import (
+        to_console,
+        to_prometheus,
+        write_jsonl,
+    )
+    from repro.telemetry.metrics import get_registry
+    from repro.telemetry.spans import get_spans
+    from repro.utils.atomicio import atomic_write_text
+
+    registry = get_registry()
+    if fmt == "prom":
+        atomic_write_text(path, to_prometheus(registry))
+    elif fmt == "console":
+        text = to_console(registry)
+        print(text)
+        atomic_write_text(path, text + "\n")
+    else:
+        write_jsonl(path, registry, get_spans())
+    print(f"telemetry ({fmt}) written to {path}")
+
+
 def _cmd_sweep(args) -> int:
     """Resilient speedup sweep: Tables IV-VIII under adversity."""
+    if args.telemetry:
+        from repro import telemetry
+
+        with telemetry.session():
+            return _run_sweep(args)
+    return _run_sweep(args)
+
+
+def _run_sweep(args) -> int:
     faults = (FaultPlan.parse(args.inject, seed=args.fault_seed)
               if args.inject else None)
     budget = CellBudget(max_seconds=args.max_seconds,
@@ -212,6 +248,29 @@ def _cmd_sweep(args) -> int:
     print(resilient_speedup_table(sweep.cells, title=title))
     print(f"cells executed this run: {study.cells_executed} "
           f"(resumed {resumed[0]} results, {resumed[1]} failures)")
+    if args.telemetry:
+        _export_telemetry(args.telemetry, args.metrics_format)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Post-process an exported telemetry JSONL file."""
+    from repro.telemetry.export import read_jsonl, summarize
+
+    metrics, spans = read_jsonl(args.file)
+    print(summarize(metrics, spans))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Manage the on-disk trace cache."""
+    from repro.perf.trace import TraceCache
+
+    cache = TraceCache(disk_dir=args.dir)
+    removed, freed = cache.prune(args.max_bytes)
+    entries, nbytes = cache.disk_usage()
+    print(f"pruned {removed} trace(s), freed {freed} bytes; "
+          f"{entries} entries ({nbytes} bytes) remain in {args.dir}")
     return 0
 
 
@@ -361,6 +420,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--trace-cache", default=None, metavar="DIR",
                        help="on-disk trace cache directory (default: "
                             "REPRO_TRACE_CACHE; shared by pool workers)")
+    sweep.add_argument("--telemetry", default=None, metavar="PATH",
+                       help="enable telemetry and export the sweep's "
+                            "metrics/spans to PATH")
+    sweep.add_argument("--metrics-format", default="jsonl",
+                       choices=["jsonl", "prom", "console"],
+                       help="telemetry export format (default: jsonl)")
+
+    metrics = sub.add_parser(
+        "metrics", help="post-process exported telemetry")
+    msub = metrics.add_subparsers(dest="metrics_command", required=True)
+    summ = msub.add_parser(
+        "summarize", help="human-readable rollup of a telemetry JSONL file")
+    summ.add_argument("file", help="telemetry JSONL file to summarize")
+
+    trace = sub.add_parser("trace", help="manage the on-disk trace cache")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+    prune = tsub.add_parser(
+        "prune", help="evict oldest traces until the cache fits a budget")
+    prune.add_argument("--dir", required=True,
+                       help="trace cache directory to prune")
+    prune.add_argument("--max-bytes", type=int, required=True,
+                       help="target size of the disk layer in bytes")
 
     chk = sub.add_parser(
         "check", help="systematic schedule exploration of a pattern")
@@ -401,6 +482,8 @@ def main(argv: list[str] | None = None) -> int:
         "inputs": _cmd_inputs,
         "sweep": _cmd_sweep,
         "check": _cmd_check,
+        "metrics": _cmd_metrics,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

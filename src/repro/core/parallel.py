@@ -76,6 +76,9 @@ class WorkerConfig:
     budget: object | None = None
     faults: object | None = None
     trace_dir: str | None = None
+    #: when true, workers run with telemetry enabled and ship their
+    #: metric/span snapshots back as per-task ``telemetry`` records
+    telemetry: bool = False
 
 
 @dataclass(frozen=True)
@@ -96,10 +99,18 @@ _WORKER_STUDY = None
 
 def _init_worker(config: WorkerConfig) -> None:
     global _WORKER_STUDY
+    from repro import telemetry
     from repro.core.resilience import ResilientStudy
     from repro.core.study import Study
     from repro.perf.trace import TraceCache
 
+    # a forked worker inherits the parent's registry object — reset to
+    # a fresh one (or to disabled) so shipped snapshots are pure deltas
+    # and nothing the parent already counted is counted again
+    if config.telemetry:
+        telemetry.enable()
+    else:
+        telemetry.disable()
     # workers never validate against the parent's retained outputs, so
     # they keep memory lean; the disk layer (when configured) is the
     # channel that shares recordings between workers and sweeps
@@ -153,7 +164,32 @@ def _run_task(task: CellTask) -> list[dict]:
             "variant": out.variant.value,
             "runtimes_ms": list(out.runtimes_ms),
         })
+    _append_telemetry_record(records)
     return records
+
+
+def _append_telemetry_record(records: list[dict]) -> None:
+    """Ship this task's metric/span deltas (and reset them).
+
+    Snapshot-then-clear makes each record a pure per-task delta, so the
+    parent merging records in submission order performs exactly the
+    write sequence the serial path would have.
+    """
+    from repro.telemetry.metrics import get_registry
+    from repro.telemetry.spans import get_spans
+
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    spans = get_spans()
+    records.append({
+        "kind": "telemetry",
+        "snapshot": registry.snapshot(),
+        "spans": spans.snapshot(),
+        "worker": str(os.getpid()),
+    })
+    registry.clear()
+    spans.clear()
 
 
 def execute_tasks(config: WorkerConfig, tasks: list[CellTask], jobs: int,

@@ -47,6 +47,8 @@ from repro.errors import (
 from repro.gpu.device import get_device
 from repro.gpu.faults import FaultPlan
 from repro.perf.engine import PerfRun, run_algorithm
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import get_spans
 from repro.utils.atomicio import atomic_write_text
 
 CHECKPOINT_FORMAT = 2
@@ -236,6 +238,25 @@ class ResilientStudy(Study):
     # ------------------------------------------------------------------
     # Cell execution
     # ------------------------------------------------------------------
+    def _count_cell(self, outcome: str, attempts: int) -> None:
+        reg = get_registry()
+        if not reg.enabled:
+            return
+        reg.counter("repro_cells_total",
+                    "Sweep cells executed, by final outcome", ("outcome",)
+                    ).inc(1, outcome)
+        reg.counter("repro_cell_attempts_total",
+                    "Cell execution attempts (first tries + retries)"
+                    ).inc(max(attempts, 1))
+        if attempts > 1:
+            reg.counter("repro_cell_retries_total",
+                        "Extra attempts after transient kernel faults"
+                        ).inc(attempts - 1)
+        if outcome == "timeout":
+            reg.counter("repro_watchdog_trips_total",
+                        "Cells stopped by the wall-clock budget watchdog"
+                        ).inc(1)
+
     def _injector(self, key: tuple, rep: int, attempt: int):
         if self.faults is None:
             return None
@@ -262,8 +283,10 @@ class ResilientStudy(Study):
         graph = self._prepare_graph(algo, graph_or_name)
         deadline = (None if self.budget.max_seconds is None
                     else time.monotonic() + self.budget.max_seconds)
+        attempts_made = [0]
 
         def attempt_cell(attempt: int) -> RunResult:
+            attempts_made[0] = attempt + 1
             runtimes: list[float] = []
             last: PerfRun | None = None
             for rep in range(self.reps):
@@ -286,9 +309,15 @@ class ResilientStudy(Study):
             return RunResult(algorithm, name, device, variant,
                              runtimes, last)
 
-        value, failure = run_guarded(
-            attempt_cell, retries=self.retries, backoff_s=self.backoff_s,
-            budget=self.budget)
+        with get_spans().span("sweep.cell", algorithm=algorithm,
+                              input=name, device=device,
+                              variant=variant.value) as sp:
+            value, failure = run_guarded(
+                attempt_cell, retries=self.retries,
+                backoff_s=self.backoff_s, budget=self.budget)
+            outcome = "ok" if failure is None else failure.reason
+            sp.set(outcome=outcome, attempts=attempts_made[0])
+        self._count_cell(outcome, attempts_made[0])
         self.cells_executed += 1
         if failure is not None:
             record = CellFailure(
@@ -357,13 +386,16 @@ class ResilientStudy(Study):
         bit-identical to the serial path.
         """
         jobs = jobs if jobs is not None else self.jobs
-        if jobs > 1:
-            self._parallel_prefetch(device, algorithms, inputs, jobs)
-        cells = [
-            self.speedup_cell(a, name, device)
-            for name in inputs
-            for a in algorithms
-        ]
+        with get_spans().span("study.sweep", device=device, jobs=jobs,
+                              cells=len(algorithms) * len(inputs),
+                              resilient=True):
+            if jobs > 1:
+                self._parallel_prefetch(device, algorithms, inputs, jobs)
+            cells = [
+                self.speedup_cell(a, name, device)
+                for name in inputs
+                for a in algorithms
+            ]
         return SweepResult(device_key=device, cells=cells)
 
     # ------------------------------------------------------------------
@@ -378,13 +410,19 @@ class ResilientStudy(Study):
         trace_dir = (str(self.trace_cache.disk_dir)
                      if self.trace_cache is not None
                      and self.trace_cache.disk_dir is not None else None)
+        from repro.telemetry.metrics import telemetry_enabled
+
         return WorkerConfig(resilient=True, reps=self.reps,
                             scale=self.scale, validate=self.validate,
                             retries=self.retries, backoff_s=self.backoff_s,
                             budget=self.budget, faults=self.faults,
-                            trace_dir=trace_dir)
+                            trace_dir=trace_dir,
+                            telemetry=telemetry_enabled())
 
     def _merge_parallel_record(self, record: dict) -> None:
+        if record.get("kind") == "telemetry":
+            self._merge_telemetry_record(record)
+            return
         variant = Variant(record["variant"])
         key = (record["algorithm"], record["input"], record["device"],
                variant)

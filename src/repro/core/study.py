@@ -24,6 +24,7 @@ from repro.graphs.csr import CSRGraph
 from repro.graphs.suite import load_suite_graph, weighted_graph
 from repro.perf.engine import PerfRun, run_algorithm
 from repro.perf.trace import TraceCache
+from repro.telemetry.spans import get_spans
 from repro.utils.atomicio import atomic_write_text
 from repro.utils.stats import median, relative_deviation
 
@@ -187,18 +188,21 @@ class Study:
 
         runtimes: list[float] = []
         last: PerfRun | None = None
-        for rep in range(self.reps):
-            run = run_algorithm(algo, graph, spec, variant,
-                                seed=self._rep_seed(rep),
-                                trace_cache=self.trace_cache,
-                                need_output=self.validate)
-            # every repetition is validated: reps differ in their
-            # randomization seed, so a corrupt rep 3 would be invisible
-            # if only the final repetition were checked
-            if self.validate:
-                self._validate(algo, graph, run)
-            runtimes.append(run.runtime_ms)
-            last = run
+        with get_spans().span("study.run", algorithm=algorithm,
+                              input=name, device=device,
+                              variant=variant.value, reps=self.reps):
+            for rep in range(self.reps):
+                run = run_algorithm(algo, graph, spec, variant,
+                                    seed=self._rep_seed(rep),
+                                    trace_cache=self.trace_cache,
+                                    need_output=self.validate)
+                # every repetition is validated: reps differ in their
+                # randomization seed, so a corrupt rep 3 would be
+                # invisible if only the final repetition were checked
+                if self.validate:
+                    self._validate(algo, graph, run)
+                runtimes.append(run.runtime_ms)
+                last = run
         result = RunResult(algorithm, name, device, variant, runtimes, last)
         self._results[key] = result
         return result
@@ -234,13 +238,15 @@ class Study:
         path.
         """
         jobs = jobs if jobs is not None else self.jobs
-        if jobs > 1:
-            self._parallel_prefetch(device, algorithms, inputs, jobs)
-        return [
-            self.speedup(a, name, device)
-            for name in inputs
-            for a in algorithms
-        ]
+        with get_spans().span("study.sweep", device=device, jobs=jobs,
+                              cells=len(algorithms) * len(inputs)):
+            if jobs > 1:
+                self._parallel_prefetch(device, algorithms, inputs, jobs)
+            return [
+                self.speedup(a, name, device)
+                for name in inputs
+                for a in algorithms
+            ]
 
     # ------------------------------------------------------------------
     # Parallel execution (see repro.core.parallel)
@@ -256,12 +262,28 @@ class Study:
         trace_dir = (str(self.trace_cache.disk_dir)
                      if self.trace_cache is not None
                      and self.trace_cache.disk_dir is not None else None)
+        from repro.telemetry.metrics import telemetry_enabled
+
         return WorkerConfig(resilient=False, reps=self.reps,
                             scale=self.scale, validate=self.validate,
-                            trace_dir=trace_dir)
+                            trace_dir=trace_dir,
+                            telemetry=telemetry_enabled())
+
+    def _merge_telemetry_record(self, record: dict) -> None:
+        """Fold one worker's shipped metric/span deltas into the
+        process-wide registry (records arrive in submission order, so
+        the merged write sequence equals the serial one)."""
+        from repro.telemetry.metrics import get_registry
+
+        get_registry().merge(record["snapshot"])
+        get_spans().merge(record.get("spans", ()),
+                          worker=record.get("worker"))
 
     def _merge_parallel_record(self, record: dict) -> None:
         """Fold one worker record into the memo (submission order)."""
+        if record.get("kind") == "telemetry":
+            self._merge_telemetry_record(record)
+            return
         variant = Variant(record["variant"])
         key = (record["algorithm"], record["input"], record["device"],
                variant)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import DeviceError
 from repro.gpu.accesses import MemSpan
+from repro.telemetry.metrics import get_registry
 
 
 @dataclass
@@ -62,6 +63,8 @@ class CacheSim:
         self.line_bytes = line_bytes
         self._sets: list[OrderedDict] = [OrderedDict() for _ in range(self.sets)]
         self.stats = CacheStats()
+        #: counter values as of the last :meth:`publish`
+        self._published: dict[str, int] = {}
 
     def _lines_of(self, span: MemSpan) -> list[tuple[str, int]]:
         first = span.start // self.line_bytes
@@ -95,6 +98,33 @@ class CacheSim:
     def flush(self) -> None:
         for s in self._sets:
             s.clear()
+
+    def publish(self, cache: str = "l1") -> None:
+        """Emit this simulator's counters into the telemetry registry.
+
+        Publishes the *delta* since the previous publish, so callers can
+        publish per launch (or per run) without double counting.  A
+        no-op while telemetry is disabled.
+        """
+        reg = get_registry()
+        if not reg.enabled:
+            return
+        events = reg.counter(
+            "repro_cachesim_events_total",
+            "Set-associative cache simulator events (SIMT level)",
+            ("cache", "event"))
+        rate = reg.gauge(
+            "repro_cachesim_hit_rate",
+            "Cumulative hit rate of one cache simulator instance",
+            ("cache",))
+        for event, total in (("hit", self.stats.hits),
+                             ("miss", self.stats.misses),
+                             ("eviction", self.stats.evictions)):
+            delta = total - self._published.get(event, 0)
+            if delta:
+                events.inc(delta, cache, event)
+            self._published[event] = total
+        rate.set(self.stats.hit_rate, cache)
 
 
 @dataclass

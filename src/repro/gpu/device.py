@@ -154,3 +154,12 @@ def get_device(key: str) -> DeviceSpec:
         if spec.name.lower().replace(" ", "") == norm:
             return spec
     raise DeviceError(f"unknown device {key!r}; known: {sorted(PAPER_GPUS)}")
+
+
+def device_key(spec: DeviceSpec) -> str:
+    """The short table key of a spec (``titanv``, ...), or its display
+    name for ad-hoc specs — used as the telemetry ``device`` label."""
+    for key, known in PAPER_GPUS.items():
+        if known is spec:
+            return key
+    return spec.name

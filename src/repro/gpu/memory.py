@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import MemoryAccessError
 from repro.gpu.accesses import AccessKind, DType, MemSpan
 from repro.gpu.faults import FaultInjector, FaultKind
+from repro.telemetry.metrics import SCOPE_PROCESS, get_registry
 from repro.utils.bitops import join_u64, split_u64, to_signed, to_unsigned
 
 NATIVE_WORD_BYTES = 4
@@ -114,6 +115,25 @@ class GlobalMemory:
     def __init__(self, faults: FaultInjector | None = None) -> None:
         self._arrays: dict[str, tuple[ArrayHandle, np.ndarray]] = {}
         self.faults = faults
+        self._allocated_bytes = 0
+
+    def _publish_allocation(self) -> None:
+        reg = get_registry()
+        if not reg.enabled:
+            return
+        reg.gauge("repro_gpu_allocated_bytes",
+                  "Bytes of simulated global memory currently allocated",
+                  scope=SCOPE_PROCESS).set(self._allocated_bytes)
+        reg.gauge("repro_gpu_allocated_arrays",
+                  "Simulated global arrays currently allocated",
+                  scope=SCOPE_PROCESS).set(len(self._arrays))
+
+    def _count_fault(self, kind: str) -> None:
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("repro_mem_faults_total",
+                        "Injected memory faults that actually fired",
+                        ("kind",)).inc(1, kind)
 
     # ------------------------------------------------------------------
     # Allocation and bulk transfer (host-side, not simulated accesses)
@@ -128,6 +148,8 @@ class GlobalMemory:
         handle = ArrayHandle(name, dtype, length)
         store = np.zeros(handle.total_bytes, dtype=np.uint8)
         self._arrays[name] = (handle, store)
+        self._allocated_bytes += handle.total_bytes
+        self._publish_allocation()
         if fill != 0:
             self.fill(handle, fill)
         return handle
@@ -145,7 +167,9 @@ class GlobalMemory:
         """Release an allocation."""
         if name not in self._arrays:
             raise MemoryAccessError(f"array {name!r} not allocated")
+        self._allocated_bytes -= self._arrays[name][0].total_bytes
         del self._arrays[name]
+        self._publish_allocation()
 
     def handle(self, name: str) -> ArrayHandle:
         try:
@@ -219,7 +243,10 @@ class GlobalMemory:
         store = self._check(span)
         value = int.from_bytes(store[span.start:span.end].tobytes(), "little")
         if self.faults is not None and kind is not None:
-            value = self.faults.load_fault(span, value, kind)
+            faulted = self.faults.load_fault(span, value, kind)
+            if faulted != value:
+                self._count_fault("stale_load")
+            value = faulted
         return value
 
     def span_write(self, span: MemSpan, value: int,
@@ -234,9 +261,11 @@ class GlobalMemory:
         if self.faults is not None and kind is not None:
             fault = self.faults.store_fault(span, kind)
             if fault is FaultKind.DROPPED_WRITE:
+                self._count_fault("dropped_write")
                 return
             if (fault is FaultKind.TORN_WRITE
                     and span.nbytes > NATIVE_WORD_BYTES):
+                self._count_fault("torn_write")
                 span = split_native_words(span)[0]
                 value = value & ((1 << (span.nbytes * 8)) - 1)
         store = self._check(span)

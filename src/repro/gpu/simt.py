@@ -45,6 +45,8 @@ from repro.gpu.memory import (
     GlobalMemory,
     split_native_words,
 )
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import get_spans
 from repro.utils.bitops import to_signed, to_unsigned
 
 MAX_ATOMIC_BYTES = 8
@@ -101,6 +103,10 @@ class LaunchStats:
     register_hits: int = 0
     barriers: int = 0
     steps: int = 0
+    #: warp-lockstep steps where some live lane of the chosen warp was
+    #: blocked (done early, at a barrier, or fault-filtered) while its
+    #: peers advanced — the executor's branch-divergence measure
+    divergent_steps: int = 0
 
 
 class ThreadCtx:
@@ -335,7 +341,63 @@ class SimtExecutor:
         instance, reachable in the kernel via ``ctx.shared(name)``; the
         instances are freed when the launch completes.  ECL-APSP's
         tiled Floyd-Warshall is the suite's heavy user of this memory.
+
+        With telemetry enabled, every launch opens a ``simt.launch``
+        span and publishes its :class:`LaunchStats` (steps retired,
+        per-kind loads/stores, register hits, barriers, divergence)
+        into the metrics registry; with it disabled (the default) the
+        execution is untouched.
         """
+        spans = get_spans()
+        if not spans.enabled and not get_registry().enabled:
+            return self._launch_impl(kernel, num_threads, *args,
+                                     block_dim=block_dim, shared=shared)
+        with spans.span("simt.launch",
+                        kernel=getattr(kernel, "__name__", "kernel"),
+                        threads=num_threads) as sp:
+            stats = self._launch_impl(kernel, num_threads, *args,
+                                      block_dim=block_dim, shared=shared)
+            sp.set(steps=stats.steps)
+            self._publish_launch(kernel, stats)
+            return stats
+
+    def _publish_launch(self, kernel: Callable, stats: LaunchStats) -> None:
+        """Fold one launch's counters into the telemetry registry."""
+        reg = get_registry()
+        if not reg.enabled:
+            return
+        name = getattr(kernel, "__name__", "kernel")
+        reg.counter("repro_simt_launches_total",
+                    "Kernel launches executed by the SIMT interpreter",
+                    ("kernel",)).inc(1, name)
+        reg.counter("repro_simt_steps_total",
+                    "Scheduler micro-steps retired (instructions)",
+                    ("kernel",)).inc(stats.steps, name)
+        reg.counter("repro_simt_divergent_steps_total",
+                    "Warp-lockstep steps with partially blocked warps",
+                    ("kernel",)).inc(stats.divergent_steps, name)
+        reg.counter("repro_simt_register_hits_total",
+                    "Plain loads served from the register-caching model",
+                    ("kernel",)).inc(stats.register_hits, name)
+        reg.counter("repro_simt_barriers_total",
+                    "Block barriers crossed",
+                    ("kernel",)).inc(stats.barriers, name)
+        accesses = reg.counter(
+            "repro_simt_accesses_total",
+            "Memory micro-operations by access kind",
+            ("kernel", "kind", "op"))
+        for kind in AccessKind:
+            if stats.loads[kind]:
+                accesses.inc(stats.loads[kind], name, kind.value, "load")
+            if stats.stores[kind]:
+                accesses.inc(stats.stores[kind], name, kind.value, "store")
+        if stats.rmws:
+            accesses.inc(stats.rmws, name, AccessKind.ATOMIC.value, "rmw")
+
+    def _launch_impl(self, kernel: Callable, num_threads: int, *args,
+                     block_dim: int = 32,
+                     shared: dict[str, tuple[int, DType]] | None = None,
+                     ) -> LaunchStats:
         if num_threads <= 0:
             raise KernelError(f"num_threads must be positive, got {num_threads}")
         if block_dim <= 0:
@@ -408,6 +470,12 @@ class SimtExecutor:
                 wid = self.scheduler.choose(warps)
                 lanes = [tid for tid in runnable
                          if tid // self.warp_size == wid]
+                live = sum(
+                    1 for t in threads[wid * self.warp_size:
+                                       (wid + 1) * self.warp_size]
+                    if not t.done)
+                if len(lanes) < live:
+                    stats.divergent_steps += 1
                 for tid in lanes:
                     thread = threads[tid]
                     if thread.done or thread.at_barrier:

@@ -83,6 +83,15 @@ class TimingBreakdown:
     compute_cycles: float = 0.0
     launch_overhead_ms: float = 0.0
     total_ms: float = 0.0
+    #: modelled cache behavior of the run's access streams — the
+    #: quantities Section VI.A's profiling argument turns on.  Plain
+    #: accesses are the only L1 clients (atomics and volatiles bypass
+    #: L1 and are served at L2), so ``l1_hit_rate`` is the L1 hit rate
+    #: *of the plain stream* and ``atomic_l2_hit_rate`` is where the
+    #: bypassing atomic stream lands.
+    l1_hit_rate: float = 0.0
+    l2_hit_rate: float = 0.0
+    atomic_l2_hit_rate: float = 0.0
 
 
 class TimingModel:
@@ -110,6 +119,8 @@ class TimingModel:
                    + (1 - l1_rate) * (l2_rate * dev.l2_hit_cycles
                                       + (1 - l2_rate) * dev.dram_cycles))
             out.plain_cycles = plain * per
+            out.l1_hit_rate = l1_rate
+            out.l2_hit_rate = l2_rate
 
         volatile = stats.volatile_loads + stats.volatile_stores
         if volatile > 0:
@@ -121,6 +132,7 @@ class TimingModel:
         atomics = stats.atomic_loads + stats.atomic_stores + stats.atomic_rmws
         if atomics > 0:
             l2_rate = self.caches.l2.hit_rate(stats.footprint_bytes, atomics)
+            out.atomic_l2_hit_rate = l2_rate
             l2_cost = (l2_rate * dev.l2_hit_cycles
                        + (1 - l2_rate) * dev.dram_cycles)
             writes = stats.atomic_stores + stats.atomic_rmws

@@ -31,8 +31,10 @@ from repro.core.transform import AccessPlan, plan_for, site_kind
 from repro.core.variants import Variant
 from repro.errors import StudyError
 from repro.gpu.accesses import AccessKind, MemoryOrder
-from repro.gpu.device import DeviceSpec
+from repro.gpu.device import DeviceSpec, device_key
 from repro.gpu.timing import AccessStats, TimingModel
+from repro.telemetry.metrics import SCOPE_PROCESS, get_registry
+from repro.telemetry.spans import get_spans
 from repro.perf.trace import (
     ANY_STALENESS,
     Trace,
@@ -246,7 +248,9 @@ def record_trace(algorithm, graph, variant: Variant, seed: int,
     if plan is None:
         plan = algorithm_plan(algorithm)
     recorder = Recorder(plan, variant, staleness_rounds=staleness_rounds)
-    output = algorithm.perf_runner(graph, recorder, seed)
+    with get_spans().span("perf.record", algorithm=algorithm.key,
+                          variant=variant.value, seed=seed):
+        output = algorithm.perf_runner(graph, recorder, seed)
     return Trace(
         algorithm=algorithm.key,
         variant=variant,
@@ -319,9 +323,11 @@ def run_algorithm(algorithm, graph, device: DeviceSpec, variant: Variant,
                              plan=plan)
         runtime = replay_trace(trace, device)
         runtime = faults.perf_finish(trace.output, runtime)
-        return _perf_run(algorithm, variant, device, trace, runtime)
+        return _perf_run(algorithm, variant, device, trace, runtime,
+                         input_name=graph.name, source="fault")
 
     trace = None
+    source = "record"
     if trace_cache is not None:
         graph_fp = graph.fingerprint()
         plan_fp = plan_fingerprint(plan)
@@ -334,18 +340,88 @@ def run_algorithm(algorithm, graph, device: DeviceSpec, variant: Variant,
                 trace_key(algorithm.key, graph_fp, variant, seed,
                           ANY_STALENESS, plan_fp),
                 need_output=need_output)
+        if trace is not None:
+            source = "replay"
     if trace is None:
         trace = record_trace(algorithm, graph, variant, seed, staleness,
                              plan=plan)
         if trace_cache is not None:
             trace_cache.store(trace)
     return _perf_run(algorithm, variant, device, trace,
-                     replay_trace(trace, device))
+                     replay_trace(trace, device),
+                     input_name=graph.name, source=source)
+
+
+#: cell-granularity labels of every sim-scope run metric — one pool
+#: task owns each labelset, which is what keeps float accumulation
+#: order (and therefore merged parallel registries) identical to serial
+CELL_LABELS = ("algorithm", "input", "device", "variant")
+
+
+def _publish_run(run: PerfRun, input_name: str, source: str) -> None:
+    """Emit the per-run metric family set for one priced run."""
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    labels = (run.algorithm, input_name, device_key(run.device),
+              run.variant.value)
+    reg.counter("repro_perf_runs_total",
+                "Performance-level runs priced", CELL_LABELS
+                ).inc(1, *labels)
+    reg.counter("repro_perf_rounds_total",
+                "Host-side kernel rounds executed", CELL_LABELS
+                ).inc(run.rounds, *labels)
+    reg.histogram("repro_runtime_ms",
+                  "Priced runtime of one repetition (ms)", CELL_LABELS
+                  ).observe(run.runtime_ms, *labels)
+    s = run.stats
+    acc = reg.counter("repro_accesses_total",
+                      "Shared-memory accesses by class and operation",
+                      CELL_LABELS + ("kind", "op"))
+    for kind, op, n in (
+        ("plain", "load", s.plain_loads),
+        ("plain", "store", s.plain_stores),
+        ("volatile", "load", s.volatile_loads),
+        ("volatile", "store", s.volatile_stores),
+        ("atomic", "load", s.atomic_loads),
+        ("atomic", "store", s.atomic_stores),
+        ("atomic", "rmw", s.atomic_rmws),
+    ):
+        if n:
+            acc.inc(n, *labels, kind, op)
+    if s.contended_atomics:
+        reg.counter("repro_contended_atomics_total",
+                    "Same-address atomic store/RMW collisions", CELL_LABELS
+                    ).inc(s.contended_atomics, *labels)
+    # the Section VI.A mechanism: atomics and volatiles bypass L1 and
+    # are served at L2, so racy->atomic conversion drains the L1
+    bypass = (s.atomic_loads + s.atomic_stores + s.atomic_rmws
+              + s.volatile_loads + s.volatile_stores)
+    if bypass:
+        reg.counter("repro_atomic_l1_bypass_total",
+                    "Accesses bypassing L1 (atomics + volatiles served "
+                    "at L2)", CELL_LABELS).inc(bypass, *labels)
+    bd = TimingModel(run.device).estimate(s)
+    reg.gauge("repro_l1_hit_rate",
+              "L1 hit rate of plain accesses (analytic cache model)",
+              CELL_LABELS).set(bd.l1_hit_rate, *labels)
+    reg.gauge("repro_l2_hit_rate",
+              "L2 hit rate of plain-access L1 misses", CELL_LABELS
+              ).set(bd.l2_hit_rate, *labels)
+    reg.gauge("repro_atomic_l2_hit_rate",
+              "L2 hit rate of L1-bypassing (atomic/volatile) accesses",
+              CELL_LABELS).set(bd.atomic_l2_hit_rate, *labels)
+    # record vs replay is an operational property of this process's
+    # trace cache (shared on disk), not of the simulated execution
+    reg.counter("repro_perf_trace_source_total",
+                "How each run's trace was obtained", ("source",),
+                scope=SCOPE_PROCESS).inc(1, source)
 
 
 def _perf_run(algorithm, variant: Variant, device: DeviceSpec,
-              trace: Trace, runtime: float) -> PerfRun:
-    return PerfRun(
+              trace: Trace, runtime: float, *,
+              input_name: str = "", source: str = "record") -> PerfRun:
+    run = PerfRun(
         algorithm=algorithm.key,
         variant=variant,
         device=device,
@@ -354,6 +430,8 @@ def _perf_run(algorithm, variant: Variant, device: DeviceSpec,
         runtime_ms=runtime,
         rounds=trace.rounds,
     )
+    _publish_run(run, input_name, source)
+    return run
 
 
 def algorithm_plan(algorithm) -> AccessPlan:

@@ -19,24 +19,35 @@ from dataclasses import dataclass, field
 from repro.core.transform import plan_for
 from repro.core.variants import AlgorithmInfo, Variant
 from repro.gpu.accesses import AccessKind
-from repro.gpu.device import DeviceSpec
+from repro.gpu.device import DeviceSpec, device_key
 from repro.gpu.timing import AccessStats, TimingModel
 from repro.perf.engine import Recorder, algorithm_plan
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.spans import get_spans
 from repro.utils.tables import format_table
+
+
+def _whole(n: float) -> int:
+    """An access count as an int; site counts are numbers of accesses,
+    so a fractional value is an instrumentation bug, not data."""
+    i = int(n)
+    if i != n:
+        raise ValueError(f"non-integral access count {n!r}")
+    return i
 
 
 @dataclass
 class SiteTraffic:
-    """Traffic through one access site."""
+    """Traffic through one access site (whole accesses, so ints)."""
 
     site: str
     kind: AccessKind
-    loads: float = 0.0
-    stores: float = 0.0
-    rmws: float = 0.0
+    loads: int = 0
+    stores: int = 0
+    rmws: int = 0
 
     @property
-    def total(self) -> float:
+    def total(self) -> int:
         return self.loads + self.stores + self.rmws
 
 
@@ -54,15 +65,15 @@ class ProfilingRecorder(Recorder):
 
     def load(self, site, indices=None, count=None) -> None:
         super().load(site, indices, count)
-        self._traffic(site).loads += self._count(indices, count)
+        self._traffic(site).loads += _whole(self._count(indices, count))
 
     def store(self, site, indices=None, count=None) -> None:
         super().store(site, indices, count)
-        self._traffic(site).stores += self._count(indices, count)
+        self._traffic(site).stores += _whole(self._count(indices, count))
 
     def rmw(self, site, indices=None, count=None) -> None:
         super().rmw(site, indices, count)
-        self._traffic(site).rmws += self._count(indices, count)
+        self._traffic(site).rmws += _whole(self._count(indices, count))
 
 
 @dataclass
@@ -89,12 +100,48 @@ class RunProfile:
 
 def profile_run(algorithm: AlgorithmInfo, graph, device: DeviceSpec,
                 variant: Variant, seed: int = 0) -> RunProfile:
-    """Run one configuration with per-site tracking."""
-    recorder = ProfilingRecorder(algorithm_plan(algorithm), variant, device)
-    algorithm.perf_runner(graph, recorder, seed)
-    runtime = TimingModel(device).estimate_ms(recorder.stats)
-    return RunProfile(algorithm.key, variant, device, recorder.sites,
-                      recorder.stats, runtime)
+    """Run one configuration with per-site tracking.
+
+    When telemetry is enabled the profile is additionally published as
+    ``repro_site_accesses_total{algorithm, variant, site, kind, op}``
+    (plus L1 hit-rate gauges); return value and tables are unchanged.
+    """
+    with get_spans().span("perf.profile", algorithm=algorithm.key,
+                          variant=variant.value):
+        recorder = ProfilingRecorder(algorithm_plan(algorithm), variant,
+                                     device)
+        algorithm.perf_runner(graph, recorder, seed)
+        runtime = TimingModel(device).estimate_ms(recorder.stats)
+    profile = RunProfile(algorithm.key, variant, device, recorder.sites,
+                         recorder.stats, runtime)
+    _publish_profile(profile)
+    return profile
+
+
+def _publish_profile(profile: RunProfile) -> None:
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    labels = ("algorithm", "variant", "site", "kind", "op")
+    fam = reg.counter("repro_site_accesses_total",
+                      "Per-site shared-memory accesses (profiler)", labels)
+    for name in sorted(profile.sites):
+        t = profile.sites[name]
+        base = (profile.algorithm, profile.variant.value, name,
+                t.kind.value)
+        for op, n in (("load", t.loads), ("store", t.stores),
+                      ("rmw", t.rmws)):
+            if n:
+                fam.inc(n, *base, op)
+    cell = ("algorithm", "variant", "device")
+    vals = (profile.algorithm, profile.variant.value,
+            device_key(profile.device))
+    reg.gauge("repro_profile_l1_traffic_share",
+              "Fraction of shared-data accesses on the L1 (plain) path",
+              cell).set(profile.l1_traffic_share, *vals)
+    reg.gauge("repro_profile_runtime_ms",
+              "Modelled runtime of the profiled run (ms)", cell
+              ).set(profile.runtime_ms, *vals)
 
 
 def compare_profiles(base: RunProfile, free: RunProfile) -> str:

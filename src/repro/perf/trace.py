@@ -49,6 +49,7 @@ from pathlib import Path
 
 from repro.core.variants import Variant
 from repro.gpu.timing import AccessStats
+from repro.telemetry.metrics import SCOPE_PROCESS, get_registry
 from repro.utils.atomicio import atomic_write_text
 
 TRACE_FORMAT = 1
@@ -196,6 +197,25 @@ class TraceCache:
     def __len__(self) -> int:
         return len(self._memory)
 
+    def _count_event(self, event: str) -> None:
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("repro_trace_cache_events_total",
+                        "Trace cache lookups and stores by outcome",
+                        ("event",), scope=SCOPE_PROCESS).inc(1, event)
+
+    def _publish_disk(self) -> None:
+        reg = get_registry()
+        if not reg.enabled or self.disk_dir is None:
+            return
+        entries, nbytes = self.disk_usage()
+        reg.gauge("repro_trace_cache_disk_entries",
+                  "Traces in the on-disk cache layer",
+                  scope=SCOPE_PROCESS).set(entries)
+        reg.gauge("repro_trace_cache_disk_bytes",
+                  "Bytes held by the on-disk trace cache layer",
+                  scope=SCOPE_PROCESS).set(nbytes)
+
     # ------------------------------------------------------------------
     def lookup(self, key: tuple, need_output: bool = False) -> Trace | None:
         """A cached trace for ``key``, or ``None``.
@@ -208,24 +228,93 @@ class TraceCache:
         if trace is not None:
             if trace.output is not None or not need_output:
                 self.memory_hits += 1
+                self._count_event("memory_hit")
                 return trace
+            # cached but output-stripped: the caller must re-record
+            self._count_event("re_record_miss")
             return None
         if need_output or self.disk_dir is None:
+            self._count_event("miss")
             return None
         trace = self._read_disk(key)
         if trace is not None:
             self.disk_hits += 1
+            self._count_event("disk_hit")
             self._memory[key] = trace
+        else:
+            self._count_event("miss")
         return trace
 
     def store(self, trace: Trace) -> None:
         """Insert a freshly recorded trace into both layers."""
         self.recorded += 1
+        self._count_event("record")
         key = trace.key()
         self._memory[key] = (trace if self.retain_outputs
                              else trace.without_output())
         if self.disk_dir is not None:
             self._write_disk(key, trace)
+            self._publish_disk()
+
+    # ------------------------------------------------------------------
+    # Disk layer maintenance
+    # ------------------------------------------------------------------
+    def _disk_files(self) -> list[Path]:
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return []
+        return sorted(self.disk_dir.glob("trace-*.json"))
+
+    def disk_usage(self) -> tuple[int, int]:
+        """(entry count, total bytes) of the on-disk layer."""
+        entries = 0
+        nbytes = 0
+        for path in self._disk_files():
+            try:
+                nbytes += path.stat().st_size
+            except OSError:
+                continue  # concurrently pruned by another process
+            entries += 1
+        return entries, nbytes
+
+    def prune(self, max_bytes: int) -> tuple[int, int]:
+        """Evict oldest-mtime traces until the disk layer fits
+        ``max_bytes``; returns (files removed, bytes freed).
+
+        The on-disk layer otherwise grows without bound — every new
+        (algorithm, graph, variant, seed, staleness, plan) combination
+        adds a file and nothing ever removes one.  Oldest-first by
+        mtime approximates LRU: :meth:`_write_disk` timestamps
+        recordings and re-recorded traces overwrite (refreshing) their
+        file.  The in-memory layer is untouched.  Safe to run while
+        other processes read the cache: a concurrently deleted file is
+        simply treated as a miss by them.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        stamped = []
+        total = 0
+        for path in self._disk_files():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            stamped.append((st.st_mtime, path, st.st_size))
+            total += st.st_size
+        stamped.sort()
+        removed = 0
+        freed = 0
+        for _, path, size in stamped:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+        self._publish_disk()
+        return removed, freed
 
     # ------------------------------------------------------------------
     def _path(self, key: tuple) -> Path:

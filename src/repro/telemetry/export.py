@@ -1,0 +1,409 @@
+"""Telemetry exporters: JSONL, Prometheus text format, console tables.
+
+Three renderings of one registry:
+
+* **JSONL** — one JSON object per line, self-describing, the format the
+  CLI's ``--telemetry out.jsonl`` writes and ``repro metrics
+  summarize`` reads back.  Line 1 is a header record; metric lines
+  carry the family metadata inline so a consumer can process the file
+  streaming, without buffering the whole registry.
+* **Prometheus text format** (``text/plain; version=0.0.4``) — ``#
+  HELP``/``# TYPE`` comments, escaped label values, and the cumulative
+  ``_bucket{le=...}``/``_sum``/``_count`` expansion for histograms, so
+  the output scrapes cleanly into any Prometheus-compatible stack.
+* **console** — an aligned markdown table (the house format of the
+  benchmark harness) for eyeballing a run.
+
+The validators (:func:`validate_jsonl_lines`,
+:func:`validate_prometheus_text`) are used by the exporter golden tests
+and by ``tools/validate_telemetry.py`` in CI; they live here so the
+schema and its checker cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.telemetry.metrics import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    SNAPSHOT_FORMAT,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import SpanRecorder
+
+__all__ = [
+    "metric_lines",
+    "span_lines",
+    "to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+    "to_prometheus",
+    "to_console",
+    "validate_jsonl_lines",
+    "validate_prometheus_text",
+    "summarize",
+]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _num(value: float) -> float | int:
+    """Ints stay ints in JSON (access counts are discrete events)."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def metric_lines(registry) -> list[dict]:
+    """One dict per (family, labelset) sample."""
+    lines: list[dict] = []
+    for fam in registry.families():
+        for labels, value in fam.samples():
+            record: dict = {
+                "type": "metric",
+                "name": fam.name,
+                "kind": fam.kind,
+                "scope": fam.scope,
+                "labels": dict(zip(fam.labelnames, labels)),
+            }
+            if fam.help:
+                record["help"] = fam.help
+            if fam.kind == HISTOGRAM:
+                record["buckets"] = list(fam.buckets)
+                record["counts"] = list(value.counts)
+                record["sum"] = _num(value.sum)
+                record["count"] = value.count
+            else:
+                record["value"] = _num(value)
+            lines.append(record)
+    return lines
+
+
+def span_lines(spans) -> list[dict]:
+    return [dict(sp, type="span") for sp in spans.snapshot()]
+
+
+def to_jsonl(registry, spans=None) -> str:
+    """The full JSONL document (header + metrics + spans)."""
+    records: list[dict] = [{"type": "header", "format": SNAPSHOT_FORMAT,
+                            "producer": "repro.telemetry"}]
+    records.extend(metric_lines(registry))
+    if spans is not None:
+        records.extend(span_lines(spans))
+    return "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n"
+
+
+def write_jsonl(path: str | Path, registry, spans=None) -> None:
+    from repro.utils.atomicio import atomic_write_text
+
+    atomic_write_text(path, to_jsonl(registry, spans))
+
+
+def read_jsonl(path: str | Path) -> tuple[list[dict], list[dict]]:
+    """Parse a telemetry JSONL file into (metric records, span records).
+
+    Raises ``ValueError`` on schema violations (the CI validator's
+    failure mode).
+    """
+    metrics: list[dict] = []
+    spans: list[dict] = []
+    text = Path(path).read_text()
+    validate_jsonl_lines(text.splitlines())
+    for line in text.splitlines():
+        record = json.loads(line)
+        if record["type"] == "metric":
+            metrics.append(record)
+        elif record["type"] == "span":
+            spans.append(record)
+    return metrics, spans
+
+
+def validate_jsonl_lines(lines: list[str]) -> int:
+    """Schema-check a telemetry JSONL document; returns records seen.
+
+    Checks: a leading header with a known format version, every line
+    valid JSON with a known ``type``, metric lines carrying the fields
+    their kind requires, histogram bucket arrays consistent, and span
+    lines with id/name/parent linkage fields present.
+    """
+    lines = [ln for ln in lines if ln.strip()]
+    if not lines:
+        raise ValueError("empty telemetry file")
+    header = json.loads(lines[0])
+    if header.get("type") != "header":
+        raise ValueError("first record must be the header")
+    if header.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"unsupported telemetry format {header.get('format')!r}")
+    for i, line in enumerate(lines[1:], start=2):
+        record = json.loads(line)
+        rtype = record.get("type")
+        if rtype == "metric":
+            _validate_metric_record(record, i)
+        elif rtype == "span":
+            _validate_span_record(record, i)
+        elif rtype == "header":
+            raise ValueError(f"line {i}: duplicate header")
+        else:
+            raise ValueError(f"line {i}: unknown record type {rtype!r}")
+    return len(lines)
+
+
+def _validate_metric_record(record: dict, lineno: int) -> None:
+    for field in ("name", "kind", "scope", "labels"):
+        if field not in record:
+            raise ValueError(f"line {lineno}: metric missing {field!r}")
+    kind = record["kind"]
+    if kind in (COUNTER, GAUGE):
+        if not isinstance(record.get("value"), (int, float)):
+            raise ValueError(
+                f"line {lineno}: {kind} needs a numeric 'value'")
+    elif kind == HISTOGRAM:
+        buckets = record.get("buckets")
+        counts = record.get("counts")
+        if not isinstance(buckets, list) or not isinstance(counts, list):
+            raise ValueError(
+                f"line {lineno}: histogram needs 'buckets' and 'counts'")
+        if len(counts) != len(buckets) + 1:
+            raise ValueError(
+                f"line {lineno}: histogram needs len(buckets)+1 counts")
+        if sum(counts) != record.get("count"):
+            raise ValueError(
+                f"line {lineno}: histogram counts do not sum to 'count'")
+    else:
+        raise ValueError(f"line {lineno}: unknown metric kind {kind!r}")
+    if not isinstance(record["labels"], dict):
+        raise ValueError(f"line {lineno}: labels must be an object")
+
+
+def _validate_span_record(record: dict, lineno: int) -> None:
+    for field in ("id", "name"):
+        if field not in record:
+            raise ValueError(f"line {lineno}: span missing {field!r}")
+    if "parent" not in record:
+        raise ValueError(f"line {lineno}: span missing 'parent' linkage")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format 0.0.4
+# ----------------------------------------------------------------------
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _labels_text(names: tuple[str, ...], values: tuple[str, ...],
+                 extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    pairs += [f'{n}="{_escape_label(v)}"' for n, v in extra]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def to_prometheus(registry) -> str:
+    """Render the registry in Prometheus exposition format 0.0.4."""
+    out: list[str] = []
+    for fam in registry.families():
+        if fam.help:
+            out.append(f"# HELP {fam.name} {_escape_help(fam.help)}")
+        out.append(f"# TYPE {fam.name} {fam.kind}")
+        for labels, value in fam.samples():
+            if fam.kind == HISTOGRAM:
+                cumulative = 0
+                for bound, count in zip(fam.buckets, value.counts):
+                    cumulative += count
+                    lt = _labels_text(fam.labelnames, labels,
+                                      (("le", _format_value(float(bound))),))
+                    out.append(f"{fam.name}_bucket{lt} {cumulative}")
+                cumulative += value.counts[-1]
+                lt = _labels_text(fam.labelnames, labels, (("le", "+Inf"),))
+                out.append(f"{fam.name}_bucket{lt} {cumulative}")
+                base = _labels_text(fam.labelnames, labels)
+                out.append(f"{fam.name}_sum{base} "
+                           f"{_format_value(value.sum)}")
+                out.append(f"{fam.name}_count{base} {value.count}")
+            else:
+                lt = _labels_text(fam.labelnames, labels)
+                out.append(f"{fam.name}{lt} {_format_value(value)}")
+    return "\n".join(out) + "\n" if out else ""
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Parse-check Prometheus text output; returns sample lines seen.
+
+    A minimal strict parser for what :func:`to_prometheus` can emit:
+    HELP/TYPE comments, metric lines ``name{labels} value``, balanced
+    quoting, numeric values, and histogram bucket monotonicity.
+    """
+    samples = 0
+    typed: dict[str, str] = {}
+    bucket_track: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 and line.startswith("# HELP "):
+                raise ValueError(f"line {lineno}: malformed HELP")
+            if line.startswith("# TYPE "):
+                if len(parts) != 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary",
+                        "untyped"):
+                    raise ValueError(f"line {lineno}: malformed TYPE")
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unknown comment form")
+        name, labels, value = _parse_sample_line(line, lineno)
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in typed:
+                base = name[:-len(suffix)]
+        if base not in typed:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} without a TYPE line")
+        if name.endswith("_bucket") and typed.get(base) == "histogram":
+            series = name + json.dumps(
+                {k: v for k, v in labels.items() if k != "le"},
+                sort_keys=True)
+            prev = bucket_track.get(series, -math.inf)
+            if value < prev:
+                raise ValueError(
+                    f"line {lineno}: histogram buckets not cumulative")
+            bucket_track[series] = value
+        samples += 1
+    if samples == 0:
+        raise ValueError("no samples in prometheus output")
+    return samples
+
+
+def _parse_sample_line(line: str, lineno: int
+                       ) -> tuple[str, dict[str, str], float]:
+    name = line
+    labels: dict[str, str] = {}
+    rest = line
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        body, closed, rest = rest.partition("}")
+        if not closed:
+            raise ValueError(f"line {lineno}: unbalanced braces")
+        for pair in _split_label_pairs(body, lineno):
+            key, eq, raw = pair.partition("=")
+            if not eq or not (raw.startswith('"') and raw.endswith('"')):
+                raise ValueError(f"line {lineno}: malformed label {pair!r}")
+            labels[key] = raw[1:-1]
+        rest = rest.strip()
+    else:
+        name, _, rest = line.partition(" ")
+    name = name.strip()
+    if not name.replace("_", "").replace(":", "").isalnum():
+        raise ValueError(f"line {lineno}: invalid metric name {name!r}")
+    value_text = rest.strip()
+    try:
+        value = float(value_text.replace("+Inf", "inf"))
+    except ValueError:
+        raise ValueError(
+            f"line {lineno}: non-numeric value {value_text!r}") from None
+    return name, labels, value
+
+
+def _split_label_pairs(body: str, lineno: int) -> list[str]:
+    pairs: list[str] = []
+    depth_quote = False
+    current = ""
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == '"' and (i == 0 or body[i - 1] != "\\"):
+            depth_quote = not depth_quote
+        if ch == "," and not depth_quote:
+            if current:
+                pairs.append(current)
+            current = ""
+        else:
+            current += ch
+        i += 1
+    if depth_quote:
+        raise ValueError(f"line {lineno}: unterminated label quote")
+    if current:
+        pairs.append(current)
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Console
+# ----------------------------------------------------------------------
+def to_console(registry) -> str:
+    """The registry as an aligned markdown table."""
+    from repro.utils.tables import format_table
+
+    rows = []
+    for fam in registry.families():
+        for labels, value in fam.samples():
+            label_text = ",".join(
+                f"{n}={v}" for n, v in zip(fam.labelnames, labels))
+            if fam.kind == HISTOGRAM:
+                shown = (f"n={value.count} sum={_num(value.sum)} "
+                         f"mean={value.sum / max(1, value.count):.4g}")
+            else:
+                shown = str(_num(value))
+            rows.append([fam.name, fam.kind, fam.scope, label_text, shown])
+    return format_table(["Metric", "Kind", "Scope", "Labels", "Value"],
+                        rows)
+
+
+def summarize(metrics: list[dict], spans: list[dict]) -> str:
+    """Human summary of a parsed JSONL export (``repro metrics
+    summarize``): every metric sample, then a per-name span rollup."""
+    from repro.utils.tables import format_table
+
+    rows = []
+    for m in sorted(metrics, key=lambda m: (m["name"],
+                                            sorted(m["labels"].items()))):
+        label_text = ",".join(f"{k}={v}"
+                              for k, v in sorted(m["labels"].items()))
+        if m["kind"] == HISTOGRAM:
+            shown = (f"n={m['count']} sum={m['sum']} "
+                     f"mean={m['sum'] / max(1, m['count']):.4g}")
+        else:
+            shown = str(m["value"])
+        rows.append([m["name"], m["kind"], m["scope"], label_text, shown])
+    out = [format_table(["Metric", "Kind", "Scope", "Labels", "Value"],
+                        rows)]
+    if spans:
+        rollup: dict[str, list[float]] = {}
+        sim: dict[str, float] = {}
+        for sp in spans:
+            rollup.setdefault(sp["name"], []).append(
+                float(sp.get("duration_s") or 0.0))
+            if sp.get("sim_ms") is not None:
+                sim[sp["name"]] = sim.get(sp["name"], 0.0) + sp["sim_ms"]
+        span_rows = [
+            [name, len(durs), f"{sum(durs):.4f}",
+             f"{sim[name]:.4f}" if name in sim else "-"]
+            for name, durs in sorted(rollup.items())
+        ]
+        out.append("")
+        out.append(format_table(
+            ["Span", "Count", "Wall s", "Sim ms"], span_rows))
+    return "\n".join(out)

@@ -134,3 +134,60 @@ class TestSweepCommand:
         assert "cells executed this run: 0" in out
         assert "resumed 8 results" in out
         assert "coverage: 4/4 cells completed" in out
+
+
+class TestTelemetryCommands:
+    def test_sweep_telemetry_jsonl_export(self, tmp_path, capsys):
+        from repro.telemetry.export import read_jsonl, validate_jsonl_lines
+        from repro.telemetry.metrics import get_registry
+
+        out = tmp_path / "tel.jsonl"
+        rc = main(["sweep", "--inputs", "internet", "--reps", "1",
+                   "--telemetry", str(out)])
+        assert rc == 0
+        assert f"telemetry (jsonl) written to {out}" in \
+            capsys.readouterr().out
+        # the session is scoped to the command: no global leak
+        assert not get_registry().enabled
+        validate_jsonl_lines(out.read_text().splitlines())
+        metrics, spans = read_jsonl(out)
+        names = {rec["name"] for rec in metrics}
+        assert "repro_l1_hit_rate" in names
+        assert "repro_cells_total" in names
+        assert any(s["name"] == "study.sweep" for s in spans)
+
+    def test_sweep_telemetry_prom_export(self, tmp_path, capsys):
+        from repro.telemetry.export import validate_prometheus_text
+
+        out = tmp_path / "tel.prom"
+        rc = main(["sweep", "--inputs", "internet", "--reps", "1",
+                   "--telemetry", str(out),
+                   "--metrics-format", "prom"])
+        assert rc == 0
+        text = out.read_text()
+        assert validate_prometheus_text(text) > 0
+        assert "# TYPE repro_accesses_total counter" in text
+
+    def test_metrics_summarize(self, tmp_path, capsys):
+        out = tmp_path / "tel.jsonl"
+        assert main(["sweep", "--inputs", "internet", "--reps", "1",
+                     "--telemetry", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "summarize", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "repro_l1_hit_rate" in text
+        assert "sweep.cell" in text
+
+    def test_trace_prune(self, tmp_path, capsys):
+        from repro.core.study import Study
+
+        cache_dir = tmp_path / "tc"
+        study = Study(reps=1, trace_cache=str(cache_dir))
+        study.speedup("cc", "internet", "titanv")
+        assert list(cache_dir.glob("trace-*.json"))
+        rc = main(["trace", "prune", "--dir", str(cache_dir),
+                   "--max-bytes", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "freed" in out and "0 entries" in out
+        assert not list(cache_dir.glob("trace-*.json"))

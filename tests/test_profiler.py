@@ -64,6 +64,24 @@ class TestProfiler:
         base, free = cc_profiles
         assert base.runtime_ms < free.runtime_ms  # CC slows down
 
+    def test_site_counts_are_whole_integers(self, cc_profiles):
+        """Access counts are numbers of accesses — always ints."""
+        base, free = cc_profiles
+        for profile in (base, free):
+            for traffic in profile.sites.values():
+                assert type(traffic.loads) is int
+                assert type(traffic.stores) is int
+                assert type(traffic.rmws) is int
+                assert type(traffic.total) is int
+
+    def test_whole_rejects_fractional_counts(self):
+        from repro.perf.profiler import _whole
+
+        assert _whole(3.0) == 3
+        assert _whole(7) == 7
+        with pytest.raises(ValueError, match="non-integral"):
+            _whole(2.5)
+
 
 class TestPartialConversion:
     def _plan(self):

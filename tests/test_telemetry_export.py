@@ -1,0 +1,180 @@
+"""Exporter tests: JSONL and Prometheus golden files, validators,
+round-trips, and the console/summary renderings."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import export
+from repro.telemetry.metrics import SCOPE_PROCESS, MetricsRegistry
+from repro.telemetry.spans import SpanRecorder
+
+DATA_DIR = Path(__file__).parent / "data"
+
+
+def build_registry() -> MetricsRegistry:
+    """A small deterministic registry covering all three kinds."""
+    reg = MetricsRegistry()
+    acc = reg.counter("repro_accesses_total",
+                      "Shared-memory accesses by class",
+                      ("algorithm", "kind"))
+    acc.inc(17326, "cc", "plain")
+    acc.inc(1522, "cc", "atomic")
+    reg.gauge("repro_l1_hit_rate", "L1 hit rate of plain accesses",
+              ("algorithm", "variant")).set(0.9915, "cc", "baseline")
+    reg.gauge("repro_l1_hit_rate", "L1 hit rate of plain accesses",
+              ("algorithm", "variant")).set(0.9372, "cc", "racefree")
+    h = reg.histogram("repro_runtime_ms", "Priced runtime (ms)",
+                      ("algorithm",), buckets=(0.5, 1.0, 5.0))
+    for value in (0.25, 0.75, 0.75, 3.0, 9.0):
+        h.observe(value, "cc")
+    reg.counter("repro_trace_cache_events_total", "Trace cache events",
+                ("event",), scope=SCOPE_PROCESS).inc(4, "memory_hit")
+    # a label value that needs escaping in the Prometheus rendering
+    reg.gauge("repro_escapes", "Label escaping probe", ("path",)
+              ).set(1, 'a"b\\c\nd')
+    return reg
+
+
+def build_spans() -> SpanRecorder:
+    """A two-level span tree on an injected deterministic clock."""
+    state = [0.0]
+
+    def clock() -> float:
+        state[0] += 0.125
+        return state[0]
+
+    rec = SpanRecorder(clock=clock)
+    with rec.span("study.sweep", device="titanv") as sweep:
+        with rec.span("sweep.cell", algorithm="cc",
+                      input="internet") as cell:
+            cell.set_sim_ms(1.5)
+            cell.set(outcome="ok")
+        sweep.set(cells=1)
+    return rec
+
+
+# ----------------------------------------------------------------------
+# Golden files
+# ----------------------------------------------------------------------
+def test_jsonl_matches_golden():
+    text = export.to_jsonl(build_registry(), build_spans())
+    golden = (DATA_DIR / "telemetry_golden.jsonl").read_text()
+    assert text == golden
+
+
+def test_prometheus_matches_golden():
+    text = export.to_prometheus(build_registry())
+    golden = (DATA_DIR / "telemetry_golden.prom").read_text()
+    assert text == golden
+
+
+def test_goldens_validate():
+    jsonl = (DATA_DIR / "telemetry_golden.jsonl").read_text()
+    assert export.validate_jsonl_lines(jsonl.splitlines()) > 0
+    prom = (DATA_DIR / "telemetry_golden.prom").read_text()
+    assert export.validate_prometheus_text(prom) > 0
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip and validation errors
+# ----------------------------------------------------------------------
+def test_write_read_roundtrip(tmp_path):
+    path = tmp_path / "out.jsonl"
+    export.write_jsonl(path, build_registry(), build_spans())
+    metrics, spans = export.read_jsonl(path)
+    names = {rec["name"] for rec in metrics}
+    assert "repro_accesses_total" in names
+    assert "repro_runtime_ms" in names
+    assert [s["name"] for s in spans] == ["sweep.cell", "study.sweep"]
+    assert spans[0]["sim_ms"] == 1.5
+
+
+def test_jsonl_requires_header_first():
+    line = json.dumps({"type": "metric", "name": "x", "kind": "counter",
+                       "labels": {}, "value": 1})
+    with pytest.raises(ValueError, match="header"):
+        export.validate_jsonl_lines([line])
+
+
+def test_jsonl_rejects_unknown_type():
+    lines = export.to_jsonl(build_registry()).splitlines()
+    bad = json.dumps({"type": "mystery"})
+    with pytest.raises(ValueError, match="type"):
+        export.validate_jsonl_lines(lines + [bad])
+
+
+def test_jsonl_rejects_histogram_count_mismatch():
+    lines = export.to_jsonl(build_registry()).splitlines()
+    for i, line in enumerate(lines):
+        rec = json.loads(line)
+        if rec.get("kind") == "histogram":
+            rec["count"] += 1
+            lines[i] = json.dumps(rec, sort_keys=True)
+            break
+    with pytest.raises(ValueError):
+        export.validate_jsonl_lines(lines)
+
+
+def test_jsonl_rejects_garbage():
+    with pytest.raises(ValueError):
+        export.validate_jsonl_lines(["not json at all"])
+
+
+# ----------------------------------------------------------------------
+# Prometheus rendering details
+# ----------------------------------------------------------------------
+def test_prometheus_histogram_is_cumulative():
+    text = export.to_prometheus(build_registry())
+    lines = [l for l in text.splitlines()
+             if l.startswith("repro_runtime_ms_bucket")]
+    counts = [float(l.rsplit(" ", 1)[1]) for l in lines]
+    assert counts == sorted(counts)
+    assert 'le="+Inf"' in lines[-1]
+    assert counts[-1] == 5
+    assert "repro_runtime_ms_sum" in text
+    assert 'repro_runtime_ms_count{algorithm="cc"} 5' in text
+
+
+def test_prometheus_label_escaping_roundtrips():
+    text = export.to_prometheus(build_registry())
+    assert '\\"' in text and "\\\\" in text and "\\n" in text
+    # the strict parser must accept its own escaping
+    export.validate_prometheus_text(text)
+
+
+def test_prometheus_validator_rejects_bucket_regression():
+    good = export.to_prometheus(build_registry())
+    bad = good.replace(
+        'repro_runtime_ms_bucket{algorithm="cc",le="+Inf"} 5',
+        'repro_runtime_ms_bucket{algorithm="cc",le="+Inf"} 1')
+    with pytest.raises(ValueError):
+        export.validate_prometheus_text(bad)
+
+
+def test_prometheus_validator_rejects_untyped_sample():
+    with pytest.raises(ValueError):
+        export.validate_prometheus_text("mystery_metric 1\n")
+
+
+# ----------------------------------------------------------------------
+# Console + summarize
+# ----------------------------------------------------------------------
+def test_console_table_lists_every_family():
+    text = export.to_console(build_registry())
+    for name in ("repro_accesses_total", "repro_l1_hit_rate",
+                 "repro_runtime_ms", "repro_trace_cache_events_total"):
+        assert name in text
+
+
+def test_summarize_rolls_up_spans(tmp_path):
+    path = tmp_path / "t.jsonl"
+    export.write_jsonl(path, build_registry(), build_spans())
+    metrics, spans = export.read_jsonl(path)
+    text = export.summarize(metrics, spans)
+    assert "study.sweep" in text
+    assert "sweep.cell" in text
+    assert "repro_l1_hit_rate" in text

@@ -1,0 +1,299 @@
+"""Unit tests for the metrics registry and span recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import metrics as m
+from repro.telemetry.metrics import (
+    NULL_FAMILY,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    get_registry,
+    telemetry_enabled,
+)
+from repro.telemetry.spans import NULL_SPANS, SpanRecorder, get_spans
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry():
+    yield
+    telemetry.disable()
+
+
+# ----------------------------------------------------------------------
+# Disabled (default) path
+# ----------------------------------------------------------------------
+def test_disabled_by_default():
+    assert get_registry() is NULL_REGISTRY
+    assert get_spans() is NULL_SPANS
+    assert not telemetry_enabled()
+
+
+def test_null_registry_is_a_true_noop():
+    reg = get_registry()
+    fam = reg.counter("anything", "help", ("a",))
+    assert fam is NULL_FAMILY
+    # all operations return without allocating any sample state
+    fam.inc(5, "x")
+    fam.set(1.0, "x")
+    fam.observe(2.0, "x")
+    assert fam.labels("x") is NULL_FAMILY
+    assert reg.families() == []
+    assert len(reg) == 0
+    assert reg.snapshot() == {"format": m.SNAPSHOT_FORMAT, "families": []}
+
+
+def test_null_span_recorder_is_a_noop():
+    with get_spans().span("anything", a=1) as sp:
+        sp.set(x=2).set_sim_ms(3.0)
+    assert get_spans().snapshot() == []
+
+
+def test_enable_disable_roundtrip():
+    reg, spans = telemetry.enable()
+    assert telemetry_enabled()
+    assert get_registry() is reg
+    assert get_spans() is spans
+    telemetry.disable()
+    assert get_registry() is NULL_REGISTRY
+
+
+def test_session_restores_previous_sinks():
+    assert not telemetry_enabled()
+    with telemetry.session() as (reg, spans):
+        assert get_registry() is reg
+        reg.counter("c").inc()
+    assert get_registry() is NULL_REGISTRY
+
+
+# ----------------------------------------------------------------------
+# Counters / gauges / histograms
+# ----------------------------------------------------------------------
+def test_counter_accumulates_per_labelset():
+    reg = MetricsRegistry()
+    fam = reg.counter("hits", "h", ("kind",))
+    fam.inc(1, "a")
+    fam.inc(2, "a")
+    fam.inc(5, "b")
+    assert fam.value("a") == 3
+    assert fam.value("b") == 5
+    assert fam.value("never") == 0
+
+
+def test_counter_rejects_decrease():
+    fam = MetricsRegistry().counter("c")
+    with pytest.raises(ValueError, match="cannot decrease"):
+        fam.inc(-1)
+
+
+def test_label_arity_checked():
+    fam = MetricsRegistry().counter("c", "h", ("a", "b"))
+    with pytest.raises(ValueError, match="label value"):
+        fam.inc(1, "only-one")
+
+
+def test_gauge_last_write_wins():
+    fam = MetricsRegistry().gauge("g", "h", ("k",))
+    fam.set(1.0, "x")
+    fam.set(0.25, "x")
+    assert fam.value("x") == 0.25
+
+
+def test_histogram_buckets_and_sum():
+    fam = MetricsRegistry().histogram("h", "h", buckets=(1.0, 10.0))
+    for v in (0.5, 1.0, 5.0, 50.0):
+        fam.observe(v)
+    hist = fam.hist()
+    # bisect_left: 1.0 lands in the le=1.0 bucket (first), 5.0 in
+    # le=10.0, 50.0 in +Inf
+    assert hist.counts == [2, 1, 1]
+    assert hist.sum == 56.5
+    assert hist.count == 4
+
+
+def test_bound_labels_handle():
+    fam = MetricsRegistry().counter("c", "h", ("k",))
+    bound = fam.labels("x")
+    bound.inc(3)
+    bound.inc()
+    assert fam.value("x") == 4
+
+
+def test_kind_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.counter("name")
+    with pytest.raises(ValueError, match="re-declared"):
+        reg.gauge("name")
+    with pytest.raises(ValueError, match="re-declared"):
+        reg.counter("name", labelnames=("extra",))
+
+
+def test_wrong_operation_for_kind():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("c").set(1.0)
+    with pytest.raises(ValueError):
+        reg.gauge("g").observe(1.0)
+    with pytest.raises(ValueError):
+        reg.histogram("h").inc(1)
+
+
+def test_redeclare_same_family_is_fetch():
+    reg = MetricsRegistry()
+    a = reg.counter("c", "h", ("k",))
+    b = reg.counter("c", "h", ("k",))
+    assert a is b
+
+
+# ----------------------------------------------------------------------
+# snapshot / merge
+# ----------------------------------------------------------------------
+def _filled_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("runs", "r", ("algo",)).inc(2, "cc")
+    reg.gauge("rate", "g", ("algo",)).set(0.5, "cc")
+    h = reg.histogram("ms", "h", ("algo",), buckets=(1.0, 5.0))
+    h.observe(0.5, "cc")
+    h.observe(9.0, "cc")
+    reg.counter("ops", "p", ("event",),
+                scope=m.SCOPE_PROCESS).inc(7, "hit")
+    return reg
+
+
+def test_snapshot_merge_roundtrip():
+    snap = _filled_registry().snapshot()
+    merged = MetricsRegistry()
+    merged.merge(snap)
+    assert merged.snapshot() == snap
+
+
+def test_snapshot_scope_filter():
+    reg = _filled_registry()
+    sim = reg.snapshot(scope=m.SCOPE_SIM)
+    names = [f["name"] for f in sim["families"]]
+    assert "ops" not in names
+    assert set(names) == {"runs", "rate", "ms"}
+
+
+def test_merge_accumulates_counters_and_histograms():
+    snap = _filled_registry().snapshot()
+    reg = MetricsRegistry()
+    reg.merge(snap)
+    reg.merge(snap)
+    assert reg.get("runs").value("cc") == 4
+    assert reg.get("ops").value("hit") == 14
+    hist = reg.get("ms").hist("cc")
+    assert hist.count == 4
+    assert hist.counts == [2, 0, 2]
+    # gauges: last write wins
+    assert reg.get("rate").value("cc") == 0.5
+
+
+def test_merge_order_determinism_for_integer_counters():
+    """Whole-number counter merges commute — the property the
+    parallel==serial sim-scope guarantee rests on."""
+    a = MetricsRegistry()
+    a.counter("c", "h", ("k",)).inc(3, "x")
+    b = MetricsRegistry()
+    b.counter("c", "h", ("k",)).inc(11, "x")
+    ab = MetricsRegistry()
+    ab.merge(a.snapshot())
+    ab.merge(b.snapshot())
+    ba = MetricsRegistry()
+    ba.merge(b.snapshot())
+    ba.merge(a.snapshot())
+    assert ab.snapshot() == ba.snapshot()
+
+
+def test_merge_associativity():
+    parts = []
+    for i in range(3):
+        reg = MetricsRegistry()
+        reg.counter("c", "h", ("k",)).inc(i + 1, "x")
+        reg.histogram("h", "h", ("k",), buckets=(1.0,)).observe(i, "x")
+        parts.append(reg.snapshot())
+    left = MetricsRegistry()
+    left.merge(parts[0])
+    left.merge(parts[1])
+    left.merge(parts[2])
+    mid = MetricsRegistry()
+    mid.merge(parts[1])
+    mid.merge(parts[2])
+    right = MetricsRegistry()
+    right.merge(parts[0])
+    right.merge(mid.snapshot())
+    assert left.snapshot() == right.snapshot()
+
+
+def test_merge_rejects_unknown_format():
+    with pytest.raises(ValueError, match="snapshot format"):
+        MetricsRegistry().merge({"format": 999, "families": []})
+
+
+def test_merge_rejects_bucket_mismatch():
+    reg = MetricsRegistry()
+    reg.histogram("h", "h", buckets=(1.0, 2.0)).observe(0.5)
+    snap = reg.snapshot()
+    snap["families"][0]["samples"][0]["counts"] = [1, 0]  # wrong length
+    other = MetricsRegistry()
+    with pytest.raises(ValueError, match="bucket count"):
+        other.merge(snap)
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+def _fake_clock():
+    state = [0.0]
+
+    def clock() -> float:
+        state[0] += 0.5
+        return state[0]
+
+    return clock
+
+
+def test_span_nesting_and_stable_ids():
+    rec = SpanRecorder(clock=_fake_clock())
+    with rec.span("outer", device="titanv") as outer:
+        with rec.span("inner") as inner:
+            inner.set_sim_ms(2.0)
+        with rec.span("inner"):
+            pass
+    rec2 = SpanRecorder(clock=_fake_clock())
+    with rec2.span("outer", device="titanv"):
+        with rec2.span("inner") as sp:
+            sp.set_sim_ms(2.0)
+        with rec2.span("inner"):
+            pass
+    assert [s.span_id for s in rec.finished] == \
+        [s.span_id for s in rec2.finished]
+    inner1, inner2, out = rec.finished
+    assert out.name == "outer" and out.parent_id is None
+    assert inner1.parent_id == out.span_id
+    # two same-named siblings get distinct sequence-derived ids
+    assert inner1.span_id != inner2.span_id
+    assert inner1.sim_ms == 2.0
+    assert out.attrs == {"device": "titanv"}
+    assert out.duration_s is not None and out.duration_s > 0
+
+
+def test_span_stack_unwinds_on_exception():
+    rec = SpanRecorder(clock=_fake_clock())
+    with pytest.raises(RuntimeError):
+        with rec.span("outer"):
+            with rec.span("inner"):
+                raise RuntimeError("boom")
+    assert rec.current is None
+    assert [s.name for s in rec.finished] == ["inner", "outer"]
+
+
+def test_span_merge_tags_worker():
+    rec = SpanRecorder(clock=_fake_clock())
+    with rec.span("work"):
+        pass
+    parent = SpanRecorder(clock=_fake_clock())
+    parent.merge(rec.snapshot(), worker="1234")
+    assert parent.finished[0].attrs["worker"] == "1234"

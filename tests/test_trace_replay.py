@@ -168,6 +168,71 @@ class TestTraceCache:
         assert len(cache) == 0
 
 
+class TestPrune:
+    def _fill(self, tmp_path, n: int) -> TraceCache:
+        """Record n distinct traces into a disk-backed cache with
+        strictly increasing mtimes (oldest = lowest seed)."""
+        cache = TraceCache(disk_dir=tmp_path)
+        algo = get_algorithm("cc")
+        graph = _graph_for(algo)
+        spec = get_device("titanv")
+        for seed in range(n):
+            run_algorithm(algo, graph, spec, Variant.BASELINE,
+                          seed=seed, trace_cache=cache)
+        files = sorted(tmp_path.glob("trace-*.json"))
+        assert len(files) == n
+        for i, path in enumerate(files):
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        return cache
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = self._fill(tmp_path, 4)
+        files = sorted(tmp_path.glob("trace-*.json"),
+                       key=lambda p: p.stat().st_mtime)
+        entries, nbytes = cache.disk_usage()
+        assert entries == 4
+        keep = sum(p.stat().st_size for p in files[2:])
+        removed, freed = cache.prune(keep)
+        assert removed == 2
+        assert freed == nbytes - keep
+        survivors = set(tmp_path.glob("trace-*.json"))
+        assert survivors == set(files[2:])
+
+    def test_prune_zero_clears_the_layer(self, tmp_path):
+        cache = self._fill(tmp_path, 2)
+        removed, _freed = cache.prune(0)
+        assert removed == 2
+        assert cache.disk_usage() == (0, 0)
+
+    def test_prune_noop_when_under_budget(self, tmp_path):
+        cache = self._fill(tmp_path, 2)
+        assert cache.prune(10**9) == (0, 0)
+        assert cache.disk_usage()[0] == 2
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            TraceCache(disk_dir=tmp_path).prune(-1)
+
+    def test_prune_keeps_memory_layer(self, tmp_path):
+        cache = self._fill(tmp_path, 2)
+        cache.prune(0)
+        assert len(cache) == 2  # memory traces survive disk eviction
+
+    def test_prune_updates_disk_gauges(self, tmp_path):
+        from repro import telemetry
+
+        cache = self._fill(tmp_path, 3)
+        try:
+            registry, _spans = telemetry.enable()
+            cache.prune(0)
+            assert registry.get(
+                "repro_trace_cache_disk_entries").value() == 0
+            assert registry.get(
+                "repro_trace_cache_disk_bytes").value() == 0
+        finally:
+            telemetry.disable()
+
+
 class TestStableNoise:
     def test_crc_not_string_hash(self):
         # the exact value is part of the persisted-results contract now

@@ -1,0 +1,67 @@
+"""Validate exported telemetry artifacts (the CI smoke gate).
+
+Checks a telemetry JSONL export — and optionally a Prometheus
+text-format export — against the schema rules in
+:mod:`repro.telemetry.export`:
+
+* JSONL: header record first, known record types only, metric records
+  carrying the fields their kind requires, histogram bucket counts
+  consistent, span records well-formed.
+* Prometheus: parseable ``text/plain; version=0.0.4`` with matching
+  TYPE declarations and monotone cumulative buckets.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_telemetry.py out.jsonl \
+        [--prom out.prom] [--require-metric NAME ...]
+
+Exit status 0 when everything validates, 1 with a diagnostic on the
+first violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.telemetry.export import (
+        validate_jsonl_lines,
+        validate_prometheus_text,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("jsonl", help="telemetry JSONL export to check")
+    parser.add_argument("--prom", default=None,
+                        help="Prometheus text export to check as well")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless the JSONL contains this metric "
+                             "family (repeatable)")
+    args = parser.parse_args(argv)
+
+    try:
+        lines = Path(args.jsonl).read_text().splitlines()
+        n_records = validate_jsonl_lines(lines)
+        names = {json.loads(line).get("name") for line in lines[1:] if line}
+        missing = [m for m in args.require_metric if m not in names]
+        if missing:
+            print(f"error: {args.jsonl} lacks required metric "
+                  f"families: {', '.join(missing)}", file=sys.stderr)
+            return 1
+        print(f"{args.jsonl}: {n_records} records OK")
+        if args.prom:
+            n_samples = validate_prometheus_text(
+                Path(args.prom).read_text())
+            print(f"{args.prom}: {n_samples} samples OK")
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
