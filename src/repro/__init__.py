@@ -32,6 +32,17 @@ Resilient sweeps (fault injection, isolation, checkpoint/resume)::
                            faults=FaultPlan.parse("tear=0.3,abort=0.1"))
     result = study.sweep("titanv", ["cc", "mis"], ["internet"])
 
+Host-fault chaos (see docs/robustness.md, "Host faults")::
+
+    from repro import HostFaultPlan
+    from repro.core import hostfaults
+    plan = HostFaultPlan.parse("kill=1.0,torn=0.4",
+                               targets=("trace-*.json",),
+                               disrupt_generations=1)
+    with hostfaults.installed(plan):
+        ResilientStudy(reps=3, checkpoint="sweep.json").sweep(
+            "titanv", ["cc", "mis"], ["internet"], jobs=4)
+
 Telemetry (off by default; see docs/observability.md)::
 
     from repro import telemetry
@@ -46,6 +57,7 @@ from repro.core.resilience import (
     ResilientStudy,
     SweepResult,
 )
+from repro.core.hostfaults import HostFaultKind, HostFaultPlan
 from repro.core.study import RunResult, SpeedupCell, Study
 from repro.core.transform import AccessPlan, AccessSite, remove_races
 from repro.core.variants import Variant, get_algorithm, list_algorithms
@@ -63,6 +75,8 @@ __all__ = [
     "CellFailure",
     "SweepResult",
     "FaultPlan",
+    "HostFaultKind",
+    "HostFaultPlan",
     "TraceCache",
     "RunResult",
     "SpeedupCell",

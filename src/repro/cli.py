@@ -23,6 +23,13 @@ Commands
 * ``metrics`` — post-process an exported telemetry JSONL file
   (``metrics summarize``).
 * ``trace``   — manage the on-disk trace cache (``trace prune``).
+* ``chaos``   — run mini-sweeps under injected *host* faults (torn
+  writes, full disks, SIGKILLed/stalled workers, corrupted
+  checkpoints) and assert byte-identical recovery.
+
+Exit codes: 0 success, 1 command-specific failure (e.g. a chaos
+scenario diverged), 2 operational error, 3 sweep interrupted by
+SIGINT/SIGTERM after a consistent checkpoint write.
 """
 
 from __future__ import annotations
@@ -39,7 +46,7 @@ from repro.core.report import (
 )
 from repro.core.resilience import CellBudget, ResilientStudy
 from repro.core.variants import get_algorithm, list_algorithms
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepInterrupted
 from repro.gpu.device import DEVICE_ORDER, PAPER_GPUS
 from repro.gpu.faults import FaultPlan
 from repro.graphs.suite import load_suite_graph, suite_names
@@ -253,6 +260,17 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Host-fault chaos suite: inject, recover, diff against baseline."""
+    from repro.core.chaos import run_chaos
+
+    report = run_chaos(device=args.device, inputs=args.inputs,
+                       reps=args.reps, jobs=args.jobs, seed=args.seed,
+                       quick=args.quick, workdir=args.workdir)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_metrics(args) -> int:
     """Post-process an exported telemetry JSONL file."""
     from repro.telemetry.export import read_jsonl, summarize
@@ -427,6 +445,26 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["jsonl", "prom", "console"],
                        help="telemetry export format (default: jsonl)")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="inject host faults into mini-sweeps, assert recovery")
+    chaos.add_argument("--quick", action="store_true",
+                       help="CI-sized grid (one input, one repetition)")
+    chaos.add_argument("--device", default="titanv")
+    chaos.add_argument("--inputs", type=lambda s: s.split(","),
+                       default=None,
+                       help="comma-separated input names (default: a "
+                            "small built-in grid)")
+    chaos.add_argument("--reps", type=int, default=2)
+    chaos.add_argument("--jobs", type=int, default=4,
+                       help="pool width for the worker kill/stall "
+                            "scenarios")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="host fault plan seed (replays exactly)")
+    chaos.add_argument("--workdir", default=None,
+                       help="keep scenario artifacts here instead of a "
+                            "temp directory")
+
     metrics = sub.add_parser(
         "metrics", help="post-process exported telemetry")
     msub = metrics.add_subparsers(dest="metrics_command", required=True)
@@ -484,9 +522,15 @@ def main(argv: list[str] | None = None) -> int:
         "check": _cmd_check,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
+        "chaos": _cmd_chaos,
     }
     try:
         return handlers[args.command](args)
+    except SweepInterrupted as exc:
+        # a deliberate operator stop, not a failure: the checkpoint is
+        # consistent, so the distinct code lets wrappers resume
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 3
     except ReproError as exc:
         # one-line diagnostic, not a traceback: a bad input name, a
         # deadlocked kernel, or a corrupt checkpoint is an operational

@@ -13,11 +13,17 @@
   means (Fig. 6), and property correlations (Table IX).
 * :mod:`repro.core.resilience` — the resilient sweep layer: per-cell
   fault isolation, budgets, retries, and checkpoint/resume.
+* :mod:`repro.core.hostfaults` — deterministic injection of *host*
+  failures (torn writes, full disks, killed/stalled workers).
+* :mod:`repro.core.chaos` — the harness asserting byte-identical
+  recovery from each injected host failure.
 """
 
 from repro.core.variants import Variant, AlgorithmInfo, get_algorithm, list_algorithms
 from repro.core.transform import AccessSite, AccessPlan, remove_races
 from repro.core.study import Study, RunResult, SpeedupCell
+from repro.core.hostfaults import HostFaultKind, HostFaultPlan, HostFaultSpec
+from repro.core.chaos import ChaosReport, ChaosScenario, run_chaos
 from repro.core.resilience import (
     CellBudget,
     CellFailure,
@@ -48,6 +54,12 @@ __all__ = [
     "CellFailure",
     "SweepResult",
     "run_guarded",
+    "HostFaultKind",
+    "HostFaultPlan",
+    "HostFaultSpec",
+    "ChaosReport",
+    "ChaosScenario",
+    "run_chaos",
     "speedup_table",
     "resilient_speedup_table",
     "geomean_summary",

@@ -1,0 +1,293 @@
+"""Chaos harness: prove the sweep stack survives host failures.
+
+Each :class:`ChaosScenario` runs a *real* mini-sweep (the same
+:class:`~repro.core.resilience.ResilientStudy` + pool-executor path the
+paper tables use) under one injected host failure mode from
+:mod:`repro.core.hostfaults`, then asserts the two invariants the
+robustness layer promises:
+
+1. **Full coverage** — every (algorithm, input, variant) cell completes
+   with no recorded failures, despite torn trace files, full disks,
+   SIGKILLed workers, stalled workers, or a corrupted checkpoint
+   generation.
+2. **Byte-identical recovery** — ``save_results`` output equals the
+   uninjected serial baseline byte for byte.  Recovery must not merely
+   finish; it must change *nothing* about the science.
+
+The scenario list covers every :class:`~repro.core.hostfaults.
+HostFaultKind` (the harness refuses to report success otherwise) and
+ends with a combined flagship run — worker kills + torn trace writes +
+an externally corrupted checkpoint generation, resumed to completion —
+which is the acceptance bar for the whole robustness layer.
+
+Run it via ``python -m repro chaos`` (``--quick`` for the CI-sized
+variant) or :func:`run_chaos` directly; ``tools/validate_chaos.py``
+wraps the flagship invariant for CI.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core import hostfaults
+from repro.core.hostfaults import HostFaultKind, HostFaultPlan
+from repro.core.resilience import ResilientStudy
+from repro.errors import StudyError
+
+#: mini-sweep grid: small suite inputs, two racy algorithms — large
+#: enough to need the pool and the trace cache, small enough for CI
+ALGOS = ("cc", "mis")
+INPUTS = ("internet", "USA-road-d.NY")
+DEVICE = "titanv"
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One injected host failure mode plus the sweep shape that
+    exercises it."""
+
+    name: str
+    description: str
+    spec: str                          # HostFaultPlan.parse() text
+    targets: tuple[str, ...] = ()
+    stall_seconds: float = 0.0
+    disrupt_generations: int | None = None
+    jobs: int = 1
+    task_deadline_s: float | None = None
+    #: record traces to disk with the plan installed, then re-read them
+    #: from a second study (the quarantine/degrade detection path)
+    two_phase_traces: bool = False
+    #: after a completed checkpointed sweep, externally corrupt the
+    #: current checkpoint generation and resume from it
+    corrupt_checkpoint: bool = False
+
+    def kinds(self) -> set[HostFaultKind]:
+        return {s.kind for s in HostFaultPlan.parse(self.spec).specs}
+
+
+@dataclass
+class ChaosOutcome:
+    """Result of one scenario run."""
+
+    scenario: str
+    ok: bool
+    identical: bool
+    coverage: tuple[int, int]
+    detail: str
+
+    def describe(self) -> str:
+        done, total = self.coverage
+        status = "ok" if self.ok else "FAIL"
+        ident = "identical" if self.identical else "DIVERGED"
+        return (f"{status:4s} {self.scenario:20s} coverage {done}/{total} "
+                f"bytes {ident}  {self.detail}")
+
+
+@dataclass
+class ChaosReport:
+    """All scenario outcomes of one :func:`run_chaos` invocation."""
+
+    outcomes: list[ChaosOutcome]
+    kinds_covered: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    def render(self) -> str:
+        lines = [o.describe() for o in self.outcomes]
+        lines.append(f"fault kinds covered: {', '.join(self.kinds_covered)}")
+        lines.append("chaos: all scenarios recovered byte-identically"
+                     if self.ok else "chaos: FAILURES above")
+        return "\n".join(lines)
+
+
+def scenario_suite(jobs: int = 4) -> list[ChaosScenario]:
+    """The standard scenario list; covers every host fault kind."""
+    return [
+        ChaosScenario(
+            name="torn-trace",
+            description="every trace-cache write is truncated mid-write",
+            spec="torn=1.0", targets=("trace-*.json",),
+            two_phase_traces=True),
+        ChaosScenario(
+            name="bitflip-trace",
+            description="one bit of every stored trace payload flips",
+            spec="bitflip=1.0", targets=("trace-*.json",),
+            two_phase_traces=True),
+        ChaosScenario(
+            name="enospc-degrade",
+            description="the trace disk is full; cache degrades to "
+                        "memory-only",
+            spec="enospc=1.0", targets=("trace-*.json",),
+            two_phase_traces=True),
+        ChaosScenario(
+            name="eio-degrade",
+            description="the trace disk is dying; writes fail with EIO",
+            spec="eio=1.0", targets=("trace-*.json",),
+            two_phase_traces=True),
+        ChaosScenario(
+            name="worker-kill",
+            description="every first-generation pool worker is SIGKILLed",
+            spec="kill=1.0", disrupt_generations=1, jobs=jobs),
+        ChaosScenario(
+            name="worker-stall",
+            description="first-generation workers hang past the task "
+                        "deadline",
+            spec="stall=1.0", stall_seconds=20.0, disrupt_generations=1,
+            jobs=max(2, min(jobs, 2)), task_deadline_s=1.0),
+        ChaosScenario(
+            name="checkpoint-fallback",
+            description="the current checkpoint generation is corrupted "
+                        "after the sweep; resume falls back to .prev",
+            spec="torn=0.0", corrupt_checkpoint=True),
+        ChaosScenario(
+            name="combined",
+            description="worker kills + torn trace writes + a corrupted "
+                        "checkpoint generation, resumed to completion",
+            spec="kill=1.0,torn=0.4", targets=("trace-*.json",),
+            disrupt_generations=1, jobs=jobs, corrupt_checkpoint=True),
+    ]
+
+
+def _study(reps: int, checkpoint: Path | None,
+           trace_dir: Path | None,
+           task_deadline_s: float | None) -> ResilientStudy:
+    study = ResilientStudy(
+        reps=reps, checkpoint=checkpoint,
+        trace_cache=trace_dir if trace_dir is not None else False)
+    if task_deadline_s is not None:
+        study.pool_task_deadline_s = task_deadline_s
+    return study
+
+
+def _sweep_bytes(study: ResilientStudy, out: Path, device: str,
+                 algorithms: list[str], inputs: list[str],
+                 jobs: int) -> tuple[bytes, tuple[int, int], int]:
+    """Run one sweep, persist its results, and return
+    (saved bytes, coverage, failure count)."""
+    result = study.sweep(device, algorithms, inputs, jobs=jobs)
+    study.save_results(out)
+    return out.read_bytes(), result.coverage, len(result.failures)
+
+
+def _corrupt_file(path: Path) -> None:
+    """Externally damage one on-disk generation (torn to half size)."""
+    data = path.read_bytes()
+    path.write_bytes(data[: max(1, len(data) // 2)])
+
+
+def run_scenario(scenario: ChaosScenario, baseline: bytes,
+                 workdir: Path, device: str, algorithms: list[str],
+                 inputs: list[str], reps: int,
+                 seed: int) -> ChaosOutcome:
+    """Execute one scenario and check both chaos invariants."""
+    root = workdir / scenario.name
+    root.mkdir(parents=True, exist_ok=True)
+    ckpt = root / "sweep.ckpt"
+    trace_dir = (root / "traces") if scenario.targets else None
+    plan = HostFaultPlan.parse(
+        scenario.spec, seed=seed, targets=scenario.targets,
+        stall_seconds=scenario.stall_seconds,
+        disrupt_generations=scenario.disrupt_generations)
+    notes: list[str] = []
+
+    with hostfaults.installed(plan):
+        study = _study(reps, ckpt, trace_dir, scenario.task_deadline_s)
+        data, coverage, failures = _sweep_bytes(
+            study, root / "results.json", device, algorithms, inputs,
+            scenario.jobs)
+        if scenario.two_phase_traces:
+            # phase 2: a fresh study re-reads the (faulted) trace disk —
+            # the path where torn/flipped payloads are quarantined and a
+            # failing disk trips degraded mode
+            second = _study(reps, None, trace_dir,
+                            scenario.task_deadline_s)
+            data, coverage, failures = _sweep_bytes(
+                second, root / "results.json", device, algorithms,
+                inputs, scenario.jobs)
+            cache = second.trace_cache
+            if cache.quarantined:
+                notes.append(f"quarantined={cache.quarantined}")
+            if cache.degraded:
+                notes.append(f"degraded after {cache.disk_errors} "
+                             "disk errors")
+        if scenario.corrupt_checkpoint:
+            # phase 2: damage the current checkpoint generation, then
+            # resume — the load must fall back to .prev and the sweep
+            # must finish the (at most one) cell the rotation lost
+            _corrupt_file(ckpt)
+            resumed = _study(reps, ckpt, trace_dir,
+                             scenario.task_deadline_s)
+            n_res, n_fail = resumed.load_checkpoint()
+            data, coverage, failures = _sweep_bytes(
+                resumed, root / "results.json", device, algorithms,
+                inputs, scenario.jobs)
+            notes.append(f"fallbacks={resumed.checkpoint_fallbacks} "
+                         f"resumed={n_res}+{n_fail} "
+                         f"reran={resumed.cells_executed}")
+            if resumed.checkpoint_fallbacks < 1:
+                notes.append("EXPECTED a .prev fallback")
+
+    identical = data == baseline
+    done, total = coverage
+    ok = (identical and failures == 0 and done == total
+          and not any(n.startswith("EXPECTED") for n in notes))
+    detail = "; ".join([scenario.description] + notes)
+    return ChaosOutcome(scenario=scenario.name, ok=ok,
+                        identical=identical, coverage=coverage,
+                        detail=detail)
+
+
+def run_chaos(device: str = DEVICE, inputs: list[str] | None = None,
+              reps: int = 2, jobs: int = 4, seed: int = 0,
+              quick: bool = False,
+              workdir: str | Path | None = None) -> ChaosReport:
+    """Run the full chaos suite and return a :class:`ChaosReport`.
+
+    ``quick`` shrinks the grid (one input, one repetition) for CI; the
+    scenario list — and therefore the fault kinds exercised — is the
+    same in both modes.  The harness self-checks that the suite covers
+    every :class:`~repro.core.hostfaults.HostFaultKind` so a future
+    kind cannot silently ship untested.
+    """
+    algorithms = list(ALGOS)
+    if inputs is None:
+        inputs = list(INPUTS[:1] if quick else INPUTS)
+    if quick:
+        reps = 1
+    workdir = Path(workdir) if workdir is not None else Path(
+        tempfile.mkdtemp(prefix="repro-chaos-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    scenarios = scenario_suite(jobs=jobs)
+    covered = set()
+    for s in scenarios:
+        covered |= s.kinds()
+    missing = set(HostFaultKind) - covered
+    if missing:
+        raise StudyError(
+            "chaos suite does not cover host fault kind(s): "
+            + ", ".join(sorted(k.value for k in missing)))
+
+    # the truth the injected runs must reproduce byte for byte: an
+    # uninjected, serial, cache-less sweep
+    base_study = _study(reps, None, None, None)
+    baseline, coverage, failures = _sweep_bytes(
+        base_study, workdir / "baseline.json", device, algorithms,
+        inputs, jobs=1)
+    if failures or coverage[0] != coverage[1]:
+        raise StudyError(
+            "chaos baseline sweep failed without any injection — fix "
+            "the sweep before measuring its resilience")
+
+    outcomes = [
+        run_scenario(s, baseline, workdir, device, algorithms, inputs,
+                     reps, seed)
+        for s in scenarios
+    ]
+    return ChaosReport(
+        outcomes=outcomes,
+        kinds_covered=tuple(sorted(k.value for k in covered)))

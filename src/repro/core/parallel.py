@@ -27,15 +27,64 @@ environment variable (unset = 1 = serial, no pool is ever created).
 
 from __future__ import annotations
 
+import concurrent.futures
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.variants import Variant
-from repro.errors import StudyError
+from repro.errors import StudyError, WorkerTaskError
 
 JOBS_ENV = "REPRO_JOBS"
+
+RESPAWN_ENV = "REPRO_POOL_RESPAWNS"
+"""How many times :func:`execute_tasks` may rebuild a broken pool
+before giving up (default 3).  Each SIGKILLed or stalled-past-deadline
+worker generation consumes one unit."""
+
+DEADLINE_ENV = "REPRO_TASK_DEADLINE_S"
+"""Optional per-task wall-clock deadline (seconds) for pool workers; a
+task that does not return in time has its worker generation torn down
+and is resubmitted.  Unset means wait forever (stalls hang, as before).
+"""
+
+
+def _resolve_respawns(respawn_budget: int | None) -> int:
+    if respawn_budget is None:
+        raw = os.environ.get(RESPAWN_ENV, "").strip()
+        if not raw:
+            return 3
+        try:
+            respawn_budget = int(raw)
+        except ValueError:
+            raise StudyError(
+                f"{RESPAWN_ENV} must be an integer, got {raw!r}"
+            ) from None
+    respawn_budget = int(respawn_budget)
+    if respawn_budget < 0:
+        raise StudyError(
+            f"respawn budget must be >= 0, got {respawn_budget}")
+    return respawn_budget
+
+
+def _resolve_deadline(task_deadline_s: float | None) -> float | None:
+    if task_deadline_s is None:
+        raw = os.environ.get(DEADLINE_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            task_deadline_s = float(raw)
+        except ValueError:
+            raise StudyError(
+                f"{DEADLINE_ENV} must be a number, got {raw!r}"
+            ) from None
+    task_deadline_s = float(task_deadline_s)
+    if task_deadline_s <= 0:
+        raise StudyError(
+            f"task deadline must be > 0, got {task_deadline_s}")
+    return task_deadline_s
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -79,6 +128,10 @@ class WorkerConfig:
     #: when true, workers run with telemetry enabled and ship their
     #: metric/span snapshots back as per-task ``telemetry`` records
     telemetry: bool = False
+    #: optional :class:`~repro.core.hostfaults.HostFaultPlan`; workers
+    #: re-install it so injected storage faults and worker
+    #: kills/stalls follow the parent's deterministic plan
+    hostfaults: object | None = None
 
 
 @dataclass(frozen=True)
@@ -99,10 +152,22 @@ _WORKER_STUDY = None
 
 def _init_worker(config: WorkerConfig) -> None:
     global _WORKER_STUDY
+    import contextlib
+    import signal
+
     from repro import telemetry
     from repro.core.resilience import ResilientStudy
     from repro.core.study import Study
     from repro.perf.trace import TraceCache
+
+    # a forked worker inherits the parent's graceful-interrupt handler;
+    # in a worker that handler would turn pool teardown SIGTERMs into
+    # spurious SweepInterrupted tracebacks — interruption policy
+    # belongs to the parent, so restore the defaults here
+    with contextlib.suppress(OSError, ValueError):
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    with contextlib.suppress(OSError, ValueError):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
 
     # a forked worker inherits the parent's registry object — reset to
     # a fresh one (or to disabled) so shipped snapshots are pure deltas
@@ -111,6 +176,15 @@ def _init_worker(config: WorkerConfig) -> None:
         telemetry.enable()
     else:
         telemetry.disable()
+    # (re-)install the host-fault plan: under a spawn context the
+    # worker starts clean, under fork it inherits the parent's hook —
+    # either way the config is the single source of truth
+    from repro.core import hostfaults
+
+    if config.hostfaults is not None:
+        hostfaults.install(config.hostfaults)
+    else:
+        hostfaults.uninstall()
     # workers never validate against the parent's retained outputs, so
     # they keep memory lean; the disk layer (when configured) is the
     # channel that shares recordings between workers and sweeps
@@ -127,10 +201,28 @@ def _init_worker(config: WorkerConfig) -> None:
                               validate=config.validate, trace_cache=cache)
 
 
-def _run_task(task: CellTask) -> list[dict]:
-    """Execute one task in the worker; returns one record per variant."""
+def _task_key(task: CellTask) -> tuple[str, str, str]:
+    """The (algorithm, input name, device) identity of a task —
+    stable across generations, used for fault draws and error
+    wrapping."""
+    name = getattr(task.graph_or_name, "name", task.graph_or_name)
+    return task.algorithm, str(name), task.device
+
+
+def _run_task(task: CellTask, generation: int = 0) -> list[dict]:
+    """Execute one task in the worker; returns one record per variant.
+
+    ``generation`` is the pool generation submitting the task; an
+    installed host-fault plan may kill or stall this worker here
+    (deterministically, keyed on the task identity and generation)
+    before any cell work happens — which is exactly the window where
+    :func:`execute_tasks` must detect the loss and resubmit.
+    """
+    from repro.core import hostfaults
     from repro.core.resilience import CellFailure, ResilientStudy
 
+    hostfaults.maybe_disrupt(hostfaults.active_plan(), _task_key(task),
+                             generation)
     study = _WORKER_STUDY
     if study is None:  # pragma: no cover - initializer always ran
         raise StudyError("worker pool used before initialization")
@@ -192,32 +284,164 @@ def _append_telemetry_record(records: list[dict]) -> None:
     spans.clear()
 
 
+def _kill_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcibly end a pool's worker processes (stalled-worker path).
+
+    ``shutdown`` cannot interrupt a worker that is asleep mid-task, so
+    the deadline path has to reach for the processes themselves.  Uses
+    the executor's private process table defensively — if a future
+    stdlib renames it, the kill becomes a no-op and shutdown still
+    reaps the workers when they eventually wake."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        with_kill = getattr(proc, "kill", None)
+        if with_kill is not None:
+            try:
+                with_kill()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+
+def _count_respawn() -> None:
+    from repro.telemetry.metrics import SCOPE_PROCESS, get_registry
+
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("repro_host_pool_respawns_total",
+                    "Worker pools rebuilt after a worker died or "
+                    "stalled past its deadline",
+                    scope=SCOPE_PROCESS).inc(1)
+
+
 def execute_tasks(config: WorkerConfig, tasks: list[CellTask], jobs: int,
-                  merge: Callable[[dict], None]) -> None:
+                  merge: Callable[[dict], None],
+                  respawn_budget: int | None = None,
+                  task_deadline_s: float | None = None) -> None:
     """Run ``tasks`` on ``jobs`` workers, merging records serially.
 
     Every task is submitted up front (workers stay saturated), but
     ``merge`` is invoked strictly in submission order — the order the
-    serial sweep would have produced — one record per variant.  A
-    worker exception cancels the remaining tasks and propagates.
+    serial sweep would have produced — one record per variant.
+
+    Worker death is survived, not propagated: when a worker is killed
+    (OOM killer, SIGKILL, a segfaulting extension) the
+    ``BrokenProcessPool`` takes down the whole pool, so this executor
+    harvests every task that *did* finish, rebuilds the pool, and
+    resubmits only the unfinished tasks — up to ``respawn_budget``
+    rebuilds (default 3, or ``REPRO_POOL_RESPAWNS``).  With
+    ``task_deadline_s`` set (or ``REPRO_TASK_DEADLINE_S``), a task
+    that does not return in time is treated the same way: its worker
+    generation is torn down (stalled workers are killed directly — a
+    sleeping process ignores pool shutdown) and the task resubmitted.
+
+    Completed-task records are stashed per task index and flushed only
+    in index order, so recovery never reorders the merge: the memo —
+    and therefore ``save_results`` output and checkpoints — stays
+    byte-identical to the serial path even across pool rebuilds.
+
+    A task that *raises* in a worker (as opposed to dying) is a harness
+    bug, not a host fault: it propagates as
+    :class:`~repro.errors.WorkerTaskError` naming the (algorithm,
+    input, device) cell, and cancels the rest of the sweep.
     """
     import multiprocessing as mp
 
     if not tasks:
         return
+    budget = _resolve_respawns(respawn_budget)
+    deadline = _resolve_deadline(task_deadline_s)
     # fork inherits warm module state (algorithm registry, suite graph
     # cache) where available; fall back to the platform default
     methods = mp.get_all_start_methods()
     ctx = mp.get_context("fork" if "fork" in methods else None)
-    workers = min(jobs, len(tasks))
-    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
-                             initializer=_init_worker,
-                             initargs=(config,)) as pool:
+
+    staged: dict[int, list[dict]] = {}
+    flushed = [0]
+
+    def flush() -> None:
+        while flushed[0] < len(tasks) and flushed[0] in staged:
+            for record in staged.pop(flushed[0]):
+                merge(record)
+            flushed[0] += 1
+
+    pending: list[tuple[int, CellTask]] = list(enumerate(tasks))
+    generation = 0
+    respawns = 0
+    while pending:
+        workers = min(jobs, len(pending))
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
+                                   initializer=_init_worker,
+                                   initargs=(config,))
+        broke = False
+        submitted: list[tuple[int, CellTask, object]] = []
         try:
-            futures = [pool.submit(_run_task, t) for t in tasks]
-            for future in futures:
-                for record in future.result():
-                    merge(record)
+            try:
+                for idx, task in pending:
+                    submitted.append(
+                        (idx, task,
+                         pool.submit(_run_task, task, generation)))
+            except BrokenProcessPool:
+                # a worker died while tasks were still being enqueued
+                broke = True
+            for idx, task, future in submitted:
+                if broke:
+                    break
+                if idx in staged:  # pragma: no cover - defensive
+                    continue
+                try:
+                    staged[idx] = future.result(timeout=deadline)
+                except BrokenProcessPool:
+                    broke = True
+                    break
+                except concurrent.futures.TimeoutError as exc:
+                    if not (future.done() and future.exception() is exc):
+                        # the deadline expired while the worker kept
+                        # sleeping — a stalled worker, not a result
+                        broke = True
+                        _kill_workers(pool)
+                        break
+                    algorithm, name, device = _task_key(task)
+                    raise WorkerTaskError(
+                        f"cell task {algorithm}/{name}/{device} failed "
+                        f"in a pool worker: {exc!r}") from exc
+                except BaseException as exc:
+                    if future.done() and future.exception() is exc:
+                        algorithm, name, device = _task_key(task)
+                        raise WorkerTaskError(
+                            f"cell task {algorithm}/{name}/{device} "
+                            f"failed in a pool worker: {exc!r}"
+                        ) from exc
+                    # not the worker's doing (e.g. SweepInterrupted
+                    # raised by a signal handler while waiting) —
+                    # propagate untouched
+                    raise
+                flush()
+            if broke:
+                # the pool died mid-generation, but futures that had
+                # already finished still hold their results — harvest
+                # them so completed work is never re-executed
+                for idx, task, future in submitted:
+                    if (idx not in staged and future.done()
+                            and not future.cancelled()
+                            and future.exception() is None):
+                        staged[idx] = future.result()
+                flush()
         except BaseException:
             pool.shutdown(wait=False, cancel_futures=True)
             raise
+        pool.shutdown(wait=not broke, cancel_futures=True)
+        pending = [(idx, task) for idx, task in pending
+                   if idx not in staged]
+        if not pending:
+            break
+        respawns += 1
+        if respawns > budget:
+            raise StudyError(
+                f"worker pool respawn budget exhausted ({budget} "
+                f"rebuild(s)) with {len(pending)} task(s) unfinished — "
+                "workers are dying faster than the sweep can make "
+                f"progress (first stuck cell: "
+                f"{'/'.join(_task_key(pending[0][1]))})")
+        _count_respawn()
+        generation += 1
+    flush()

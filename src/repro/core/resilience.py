@@ -28,8 +28,13 @@ rails cost nothing until something goes wrong.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import signal
+import threading
 import time
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -41,18 +46,38 @@ from repro.errors import (
     DeadlockError,
     ReproError,
     StudyError,
+    SweepInterrupted,
     TransientKernelFault,
     ValidationError,
 )
 from repro.gpu.device import get_device
 from repro.gpu.faults import FaultPlan
 from repro.perf.engine import PerfRun, run_algorithm
-from repro.telemetry.metrics import get_registry
+from repro.telemetry.metrics import SCOPE_PROCESS, get_registry
 from repro.telemetry.spans import get_spans
 from repro.utils.atomicio import atomic_write_text
 
-CHECKPOINT_FORMAT = 2
-"""On-disk checkpoint format version (results + failures)."""
+CHECKPOINT_FORMAT = 3
+"""On-disk checkpoint format version (results + failures).
+
+Format 3 adds a CRC32 content checksum (``crc``); format-2 files (no
+checksum) still load.  Anything else is treated as a damaged
+generation and falls back to the rotated ``.prev`` file."""
+
+_LOADABLE_FORMATS = (2, CHECKPOINT_FORMAT)
+
+
+def checkpoint_crc(payload: dict) -> int:
+    """CRC32 over the checkpoint's record content (canonical JSON of
+    the results and failures lists), independent of file formatting."""
+    body = [payload.get("results", []), payload.get("failures", [])]
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode())
+
+
+class _CheckpointDamaged(StudyError):
+    """Internal: one checkpoint *generation* is unreadable (torn,
+    bit-flipped, or wrong format) — distinct from a configuration
+    mismatch, which must not silently fall back."""
 
 
 @dataclass(frozen=True)
@@ -146,6 +171,11 @@ def run_guarded(
         attempts += 1
         try:
             return fn(attempt), None
+        except SweepInterrupted:
+            # raised by the graceful-interrupt signal handler, which
+            # can fire at any bytecode — an operator stop, never a
+            # recordable cell failure
+            raise
         except TransientKernelFault as exc:
             last_message = str(exc)
             if attempt < retries and backoff_s > 0.0:
@@ -234,6 +264,14 @@ class ResilientStudy(Study):
         #: checkpoint-loaded cells do not count) — the observable that
         #: resume tests assert on
         self.cells_executed = 0
+        #: times :meth:`load_checkpoint` had to fall back to the
+        #: rotated ``.prev`` generation
+        self.checkpoint_fallbacks = 0
+        #: malformed records skipped (salvaged around) during load
+        self.checkpoint_salvaged = 0
+        #: autosave attempts that failed with an OSError (the sweep
+        #: keeps running; checkpointing is an optimization)
+        self.checkpoint_write_errors = 0
 
     # ------------------------------------------------------------------
     # Cell execution
@@ -386,17 +424,59 @@ class ResilientStudy(Study):
         bit-identical to the serial path.
         """
         jobs = jobs if jobs is not None else self.jobs
-        with get_spans().span("study.sweep", device=device, jobs=jobs,
-                              cells=len(algorithms) * len(inputs),
-                              resilient=True):
-            if jobs > 1:
-                self._parallel_prefetch(device, algorithms, inputs, jobs)
-            cells = [
-                self.speedup_cell(a, name, device)
-                for name in inputs
-                for a in algorithms
-            ]
+        with self._graceful_interrupt():
+            with get_spans().span("study.sweep", device=device, jobs=jobs,
+                                  cells=len(algorithms) * len(inputs),
+                                  resilient=True):
+                if jobs > 1:
+                    self._parallel_prefetch(device, algorithms, inputs,
+                                            jobs)
+                cells = [
+                    self.speedup_cell(a, name, device)
+                    for name in inputs
+                    for a in algorithms
+                ]
         return SweepResult(device_key=device, cells=cells)
+
+    @contextlib.contextmanager
+    def _graceful_interrupt(self):
+        """Convert SIGINT/SIGTERM during a sweep into a clean stop.
+
+        The signal raises :class:`~repro.errors.SweepInterrupted` at
+        the next bytecode boundary; every completed cell has already
+        been checkpointed by ``_autosave``, and one final checkpoint
+        write (with the default handlers restored, so a second signal
+        kills hard) guarantees the file reflects the last finished
+        cell.  The CLI maps the exception to exit code 3.  Outside the
+        main thread — or on platforms without these signals — the sweep
+        runs unguarded, unchanged.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+
+        def _handler(signum, frame):
+            name = signal.Signals(signum).name
+            raise SweepInterrupted(
+                f"sweep interrupted by {name}; checkpoint is consistent "
+                "as of the last completed cell — rerun with --resume")
+
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(OSError, ValueError):
+                previous[sig] = signal.signal(sig, _handler)
+        try:
+            yield
+        except SweepInterrupted:
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+            with contextlib.suppress(OSError):
+                self._autosave()
+            raise
+        finally:
+            for sig, old in previous.items():
+                with contextlib.suppress(OSError, ValueError):
+                    signal.signal(sig, old)
 
     # ------------------------------------------------------------------
     # Parallel execution hooks (see repro.core.parallel)
@@ -410,6 +490,7 @@ class ResilientStudy(Study):
         trace_dir = (str(self.trace_cache.disk_dir)
                      if self.trace_cache is not None
                      and self.trace_cache.disk_dir is not None else None)
+        from repro.core import hostfaults
         from repro.telemetry.metrics import telemetry_enabled
 
         return WorkerConfig(resilient=True, reps=self.reps,
@@ -417,7 +498,8 @@ class ResilientStudy(Study):
                             retries=self.retries, backoff_s=self.backoff_s,
                             budget=self.budget, faults=self.faults,
                             trace_dir=trace_dir,
-                            telemetry=telemetry_enabled())
+                            telemetry=telemetry_enabled(),
+                            hostfaults=hostfaults.active_plan())
 
     def _merge_parallel_record(self, record: dict) -> None:
         if record.get("kind") == "telemetry":
@@ -452,15 +534,43 @@ class ResilientStudy(Study):
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
+    @staticmethod
+    def _prev_path(path: Path) -> Path:
+        """The rotated previous-generation file next to ``path``."""
+        return path.with_name(path.name + ".prev")
+
+    def _count_host(self, name: str, help: str) -> None:
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(name, help, scope=SCOPE_PROCESS).inc(1)
+
     def _autosave(self) -> None:
-        if self.checkpoint is not None:
+        """Checkpoint after a cell, surviving checkpoint-write failure.
+
+        A full scratch disk must not kill a sweep whose actual results
+        live in memory: the error is counted
+        (``repro_host_checkpoint_write_errors_total``) and the sweep
+        continues — the next cell retries the write.
+        """
+        if self.checkpoint is None:
+            return
+        try:
             self.save_checkpoint(self.checkpoint)
+        except OSError:
+            self.checkpoint_write_errors += 1
+            self._count_host(
+                "repro_host_checkpoint_write_errors_total",
+                "Checkpoint autosaves that failed with an OSError")
 
     def save_checkpoint(self, path: str | Path | None = None) -> None:
         """Atomically persist all results *and* failures.
 
-        Called after every cell when a checkpoint path is configured;
-        a crash between cells loses at most the in-flight cell.
+        Called after every cell when a checkpoint path is configured; a
+        crash between cells loses at most the in-flight cell.  The
+        payload carries a CRC32 content checksum, and the previous
+        generation — *verified* before rotation, so a torn current file
+        never displaces a good one — is kept as ``<name>.prev`` for
+        :meth:`load_checkpoint` to fall back to.
         """
         path = Path(path) if path is not None else self.checkpoint
         if path is None:
@@ -484,7 +594,113 @@ class ResilientStudy(Study):
                 for f in self._failures.values()
             ],
         }
+        payload["crc"] = checkpoint_crc(payload)
+        self._rotate_generation(path)
         atomic_write_text(path, json.dumps(payload, indent=1))
+
+    def _rotate_generation(self, path: Path) -> None:
+        """Keep the last *good* generation as ``.prev``.
+
+        Only a generation that still parses and passes its checksum is
+        rotated; a corrupt current file (torn by an earlier injected or
+        real fault) is left in place so it cannot clobber the last good
+        ``.prev``.
+        """
+        if not path.exists():
+            return
+        try:
+            self._read_generation(path)
+        except StudyError:
+            return
+        with contextlib.suppress(OSError):
+            os.replace(path, self._prev_path(path))
+
+    def _read_generation(self, path: Path) -> dict:
+        """Parse + integrity-check one checkpoint generation.
+
+        Raises :class:`_CheckpointDamaged` for anything recovery should
+        fall back from (unreadable, torn, checksum mismatch, unknown
+        format) and plain :class:`StudyError` for a reps/scale
+        configuration mismatch, which must surface, not be papered
+        over by the ``.prev`` generation.
+        """
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise _CheckpointDamaged(
+                f"corrupt or partial checkpoint {path}: {exc}") from exc
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise _CheckpointDamaged(
+                f"corrupt or partial checkpoint {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "results" not in payload:
+            raise _CheckpointDamaged(
+                f"{path} is not a study checkpoint file")
+        if payload.get("format") not in _LOADABLE_FORMATS:
+            raise _CheckpointDamaged(
+                f"checkpoint {path} has unsupported format "
+                f"{payload.get('format')!r} (loadable: "
+                f"{_LOADABLE_FORMATS})")
+        if "crc" in payload and payload["crc"] != checkpoint_crc(payload):
+            raise _CheckpointDamaged(
+                f"checkpoint {path} failed its content checksum "
+                "(bit rot or partial overwrite)")
+        if (payload.get("reps") != self.reps
+                or payload.get("scale") != self.scale):
+            raise StudyError(
+                "saved results were produced with a different reps/scale "
+                f"({payload.get('reps')}/{payload.get('scale')} vs "
+                f"{self.reps}/{self.scale})")
+        return payload
+
+    def _salvage_payload(self, payload: dict) -> tuple[int, int]:
+        """Stage every parseable record, skip damaged ones, commit once.
+
+        All-or-nothing against *exceptions*: the memo and failure map
+        are only touched after the whole payload has been staged into
+        locals, so a malformed record can never leave the study
+        half-loaded.  Damaged records are skipped (and counted as
+        ``checkpoint_salvaged``) rather than discarding the generation.
+        """
+        staged_results: dict[tuple, RunResult] = {}
+        staged_failures: dict[tuple, CellFailure] = {}
+        skipped = 0
+        for rec in payload.get("results", []):
+            try:
+                variant = Variant(rec["variant"])
+                key = (rec["algorithm"], rec["input"], rec["device"],
+                       variant)
+                staged_results[key] = RunResult(
+                    rec["algorithm"], rec["input"], rec["device"],
+                    variant, [float(x) for x in rec["runtimes_ms"]],
+                    last_run=None)
+            except (KeyError, TypeError, ValueError):
+                skipped += 1
+        for rec in payload.get("failures", []):
+            try:
+                variant = Variant(rec["variant"])
+                key = (rec["algorithm"], rec["input"], rec["device"],
+                       variant)
+                staged_failures[key] = CellFailure(
+                    algorithm=rec["algorithm"], input_name=rec["input"],
+                    device_key=rec["device"], variant=rec["variant"],
+                    reason=rec["reason"], message=rec.get("message", ""),
+                    attempts=int(rec.get("attempts", 1)),
+                    elapsed_s=float(rec.get("elapsed_s", 0.0)))
+            except (KeyError, TypeError, ValueError):
+                skipped += 1
+        if skipped:
+            self.checkpoint_salvaged += skipped
+            reg = get_registry()
+            if reg.enabled:
+                reg.counter("repro_host_checkpoint_salvaged_total",
+                            "Malformed checkpoint records skipped during "
+                            "a salvage load", scope=SCOPE_PROCESS
+                            ).inc(skipped)
+        self._results.update(staged_results)
+        self._failures.update(staged_failures)
+        return len(staged_results), len(staged_failures)
 
     def load_checkpoint(self, path: str | Path | None = None
                         ) -> tuple[int, int]:
@@ -493,29 +709,35 @@ class ResilientStudy(Study):
         Loaded cells are memoized, so a subsequent :meth:`sweep`
         executes only the missing ones (``cells_executed`` counts just
         those).  Previously failed cells stay failed — delete their
-        records from the file to re-attempt them.  Corrupt or
-        protocol-mismatched files raise
-        :class:`~repro.errors.StudyError`.
+        records from the file to re-attempt them.
+
+        Recovery ladder: a damaged current generation (torn, checksum
+        mismatch, unknown format) falls back to the rotated ``.prev``
+        generation (counted in ``checkpoint_fallbacks`` and
+        ``repro_host_checkpoint_fallbacks_total``); within a readable
+        generation, malformed records are skipped and the rest
+        salvaged, with the commit staged so the study is never left
+        half-loaded.  Only when *every* generation is unreadable — or
+        the file was written with a different reps/scale — does this
+        raise :class:`~repro.errors.StudyError`.
         """
         path = Path(path) if path is not None else self.checkpoint
         if path is None:
             raise StudyError("no checkpoint path configured")
-        n_results = self.load_results(path)
-        payload = self._load_payload(path)
-        n_failures = 0
-        try:
-            for rec in payload.get("failures", []):
-                variant = Variant(rec["variant"])
-                key = (rec["algorithm"], rec["input"], rec["device"], variant)
-                self._failures[key] = CellFailure(
-                    algorithm=rec["algorithm"], input_name=rec["input"],
-                    device_key=rec["device"], variant=rec["variant"],
-                    reason=rec["reason"], message=rec.get("message", ""),
-                    attempts=int(rec.get("attempts", 1)),
-                    elapsed_s=float(rec.get("elapsed_s", 0.0)))
-                n_failures += 1
-        except (KeyError, TypeError, ValueError) as exc:
-            raise StudyError(
-                f"malformed failure record in checkpoint {path}: {exc!r}"
-            ) from exc
-        return n_results, n_failures
+        damage: _CheckpointDamaged | None = None
+        for fallback, candidate in enumerate(
+                (path, self._prev_path(path))):
+            try:
+                payload = self._read_generation(candidate)
+            except _CheckpointDamaged as exc:
+                damage = damage or exc
+                continue
+            if fallback:
+                self.checkpoint_fallbacks += 1
+                self._count_host(
+                    "repro_host_checkpoint_fallbacks_total",
+                    "Checkpoint loads served by the rotated .prev "
+                    "generation after the current one was damaged")
+            return self._salvage_payload(payload)
+        assert damage is not None
+        raise damage

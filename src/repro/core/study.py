@@ -99,6 +99,14 @@ class Study:
         reads ``REPRO_JOBS``, 1 means serial.
     """
 
+    #: pool-worker respawn budget for parallel sweeps (None reads
+    #: ``REPRO_POOL_RESPAWNS``, default 3) — see
+    #: :func:`repro.core.parallel.execute_tasks`
+    pool_respawn_budget: int | None = None
+    #: per-task wall-clock deadline in seconds for pool workers (None
+    #: reads ``REPRO_TASK_DEADLINE_S``; unset means wait forever)
+    pool_task_deadline_s: float | None = None
+
     def __init__(self, reps: int = 9, scale: float = 1.0,
                  validate: bool = False,
                  trace_cache: TraceCache | str | Path | bool | None = None,
@@ -262,12 +270,14 @@ class Study:
         trace_dir = (str(self.trace_cache.disk_dir)
                      if self.trace_cache is not None
                      and self.trace_cache.disk_dir is not None else None)
+        from repro.core import hostfaults
         from repro.telemetry.metrics import telemetry_enabled
 
         return WorkerConfig(resilient=False, reps=self.reps,
                             scale=self.scale, validate=self.validate,
                             trace_dir=trace_dir,
-                            telemetry=telemetry_enabled())
+                            telemetry=telemetry_enabled(),
+                            hostfaults=hostfaults.active_plan())
 
     def _merge_telemetry_record(self, record: dict) -> None:
         """Fold one worker's shipped metric/span deltas into the
@@ -319,7 +329,9 @@ class Study:
                     tasks.append(CellTask(a, graph_or_name, device,
                                           pending))
         execute_tasks(self._worker_config(), tasks, jobs,
-                      self._merge_parallel_record)
+                      self._merge_parallel_record,
+                      respawn_budget=self.pool_respawn_budget,
+                      task_deadline_s=self.pool_task_deadline_s)
 
     # ------------------------------------------------------------------
     # Result persistence (the artifact's ./results/ raw-runtime logs)
@@ -372,22 +384,25 @@ class Study:
         configurations loaded.  Loaded entries carry no ``last_run``
         (outputs are not persisted), so ``validate`` does not apply.
         Raises :class:`~repro.errors.StudyError` (not a bare JSON error)
-        on corrupt or truncated files."""
+        on corrupt or truncated files.  All-or-nothing: records are
+        staged into a local map and committed to the memo only after
+        every one has parsed, so a malformed record midway through the
+        file cannot leave the study half-loaded."""
         payload = self._load_payload(path)
-        count = 0
+        staged: dict[tuple, RunResult] = {}
         try:
             for rec in payload["results"]:
                 variant = Variant(rec["variant"])
                 key = (rec["algorithm"], rec["input"], rec["device"], variant)
-                self._results[key] = RunResult(
+                staged[key] = RunResult(
                     rec["algorithm"], rec["input"], rec["device"], variant,
                     [float(x) for x in rec["runtimes_ms"]], last_run=None)
-                count += 1
         except (KeyError, TypeError, ValueError) as exc:
             raise StudyError(
                 f"malformed record in results file {path}: {exc!r}"
             ) from exc
-        return count
+        self._results.update(staged)
+        return len(staged)
 
     # ------------------------------------------------------------------
     def _validate(self, algo: AlgorithmInfo, graph: CSRGraph,

@@ -72,3 +72,19 @@ class ExplorationError(ReproError):
 
 class StudyError(ReproError):
     """Raised for inconsistent experiment configurations."""
+
+
+class WorkerTaskError(StudyError):
+    """Raised when a sweep cell task fails inside a pool worker.
+
+    Wraps the worker's exception with the (algorithm, input, device)
+    task key, so a parallel sweep failure names the cell that caused it
+    instead of surfacing an anonymous traceback."""
+
+
+class SweepInterrupted(ReproError):
+    """Raised when SIGINT/SIGTERM interrupts a resilient sweep.
+
+    By the time this propagates the final checkpoint write has
+    completed, so a later ``--resume`` continues from the last finished
+    cell.  The CLI maps it to a distinct exit code (3)."""

@@ -41,8 +41,10 @@ Layers
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import os
 import zlib
 from dataclasses import dataclass, fields
 from pathlib import Path
@@ -52,8 +54,14 @@ from repro.gpu.timing import AccessStats
 from repro.telemetry.metrics import SCOPE_PROCESS, get_registry
 from repro.utils.atomicio import atomic_write_text
 
-TRACE_FORMAT = 1
-"""On-disk trace format version; bump to invalidate persisted traces."""
+TRACE_FORMAT = 2
+"""On-disk trace format version; bump to invalidate persisted traces.
+Format 2 adds a CRC32 content checksum (``crc``) over the payload so
+bit-flipped or hand-edited files are quarantined instead of trusted."""
+
+DEGRADE_AFTER = 3
+"""Consecutive disk-write errors before the cache degrades to
+memory-only operation."""
 
 ANY_STALENESS = -1
 """Wildcard staleness class for recordings that never consumed the
@@ -158,6 +166,15 @@ def stable_config_hash(algorithm: str, variant: Variant) -> int:
     return zlib.crc32(f"{algorithm}:{variant.value}".encode())
 
 
+def payload_crc(payload: dict) -> int:
+    """CRC32 of a disk payload's content, excluding the ``crc`` field.
+
+    Canonical (sorted-keys) JSON, so the digest is independent of the
+    key order the file happens to use."""
+    body = {k: v for k, v in payload.items() if k != "crc"}
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode())
+
+
 def _stats_to_dict(stats: AccessStats) -> dict:
     return {f.name: getattr(stats, f.name) for f in fields(stats)}
 
@@ -193,6 +210,15 @@ class TraceCache:
         self.recorded = 0
         self.memory_hits = 0
         self.disk_hits = 0
+        #: corrupt disk files moved aside (self-healing storage)
+        self.quarantined = 0
+        #: total disk-write failures observed (ENOSPC, EIO, ...)
+        self.disk_errors = 0
+        #: true once the disk layer has been abandoned after
+        #: ``DEGRADE_AFTER`` consecutive write errors; sticky for the
+        #: cache's lifetime — recreate the cache to retry the disk
+        self.degraded = False
+        self._consecutive_disk_errors = 0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -233,7 +259,7 @@ class TraceCache:
             # cached but output-stripped: the caller must re-record
             self._count_event("re_record_miss")
             return None
-        if need_output or self.disk_dir is None:
+        if need_output or self.disk_dir is None or self.degraded:
             self._count_event("miss")
             return None
         trace = self._read_disk(key)
@@ -246,14 +272,39 @@ class TraceCache:
         return trace
 
     def store(self, trace: Trace) -> None:
-        """Insert a freshly recorded trace into both layers."""
+        """Insert a freshly recorded trace into both layers.
+
+        A disk-write failure never loses the trace (the memory layer
+        already has it); after ``DEGRADE_AFTER`` consecutive failures
+        the cache stops touching the disk entirely (memory-only
+        degraded mode) instead of paying a doomed syscall per record.
+        """
         self.recorded += 1
         self._count_event("record")
         key = trace.key()
         self._memory[key] = (trace if self.retain_outputs
                              else trace.without_output())
-        if self.disk_dir is not None:
+        if self.disk_dir is None or self.degraded:
+            return
+        try:
             self._write_disk(key, trace)
+        except OSError:
+            self.disk_errors += 1
+            self._consecutive_disk_errors += 1
+            reg = get_registry()
+            if reg.enabled:
+                reg.counter("repro_host_disk_errors_total",
+                            "Trace-cache disk writes that failed",
+                            scope=SCOPE_PROCESS).inc(1)
+            if self._consecutive_disk_errors >= DEGRADE_AFTER:
+                self.degraded = True
+                if reg.enabled:
+                    reg.gauge("repro_host_degraded_mode",
+                              "1 while the trace cache runs memory-only "
+                              "after repeated disk errors",
+                              scope=SCOPE_PROCESS).set(1)
+        else:
+            self._consecutive_disk_errors = 0
             self._publish_disk()
 
     # ------------------------------------------------------------------
@@ -334,17 +385,44 @@ class TraceCache:
             "stats": _stats_to_dict(trace.stats),
             "output_fp": trace.output_fp,
         }
+        payload["crc"] = payload_crc(payload)
         atomic_write_text(self._path(key), json.dumps(payload))
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt disk file aside and count it.
+
+        The ``.corrupt`` name falls outside the ``trace-*.json`` glob,
+        so quarantined files stop being read, counted, or pruned — but
+        stay on disk for post-mortem inspection.  The slot becomes a
+        plain miss and the next recording heals it.
+        """
+        with contextlib.suppress(OSError):
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        self.quarantined += 1
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("repro_host_corrupt_quarantined_total",
+                        "Corrupt trace-cache files moved aside, by cause",
+                        ("cause",), scope=SCOPE_PROCESS).inc(1, reason)
 
     def _read_disk(self, key: tuple) -> Trace | None:
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None  # missing or torn file: treat as a miss
+            text = path.read_text()
+        except OSError:
+            return None  # missing (or unreadable) file: treat as a miss
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            self._quarantine(path, "torn")
+            return None
         if not isinstance(payload, dict):
+            self._quarantine(path, "shape")
             return None
         if payload.get("format") != TRACE_FORMAT:
+            return None  # older build's file: a miss, re-recorded over
+        if payload.get("crc") != payload_crc(payload):
+            self._quarantine(path, "checksum")
             return None
         recovered = (payload.get("algorithm"), payload.get("graph_fp"),
                      payload.get("variant"), payload.get("seed"),

@@ -2,9 +2,19 @@
 
 A sweep checkpoint is only useful if a crash *while writing it* cannot
 destroy the work it records.  :func:`atomic_write_text` writes to a
-temporary file in the destination directory, fsyncs, and renames into
-place — on POSIX the rename is atomic, so readers observe either the
-old complete file or the new complete file, never a torn one.
+temporary file in the destination directory, fsyncs, renames into
+place, and fsyncs the parent directory — on POSIX the rename is atomic,
+so readers observe either the old complete file or the new complete
+file, never a torn one, and the directory fsync makes the *rename
+itself* survive power loss (without it, a crash after ``os.replace``
+can roll the directory entry back to the old file or to nothing).
+
+This module is also the host-fault injection point: when
+:mod:`repro.core.hostfaults` has a plan installed, ``_WRITE_HOOK``
+filters every payload (truncating it, flipping a bit, or raising
+``ENOSPC``/``EIO``) before it reaches the temp file.  With no hook
+installed — the default — the write path is byte-identical to an
+uninjected tree.
 """
 
 from __future__ import annotations
@@ -13,12 +23,45 @@ import contextlib
 import os
 import tempfile
 from pathlib import Path
+from typing import Callable
+
+#: optional host-fault write filter, installed by
+#: :func:`repro.core.hostfaults.install`; takes (path, text) and
+#: returns the (possibly mangled) text or raises :class:`OSError`
+_WRITE_HOOK: Callable[[Path, str], str] | None = None
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory's entry table so a completed rename is durable.
+
+    Best-effort: platforms (or filesystems) that cannot fsync a
+    directory fd simply skip the extra guarantee — the rename is still
+    atomic, just not power-loss durable.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def atomic_write_text(path: str | Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    Durable against power loss: the payload is fsynced before the
+    rename and the parent directory is fsynced after it.  May raise
+    :class:`OSError` (genuine disk errors, or injected ``enospc`` /
+    ``eio`` host faults); on any failure the temp file is removed and
+    the old ``path`` content is untouched.
+    """
     path = Path(path)
     directory = path.parent if str(path.parent) else Path(".")
+    if _WRITE_HOOK is not None:
+        text = _WRITE_HOOK(path, text)
     fd, tmp_name = tempfile.mkstemp(
         dir=directory, prefix=path.name + ".", suffix=".tmp"
     )
@@ -32,3 +75,4 @@ def atomic_write_text(path: str | Path, text: str) -> None:
         with contextlib.suppress(OSError):
             os.unlink(tmp_name)
         raise
+    _fsync_dir(directory)
