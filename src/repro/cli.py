@@ -271,6 +271,50 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the sweep engine as a hardened async job server."""
+    from repro.core import hostfaults
+    from repro.service.server import ServiceConfig, serve_forever
+
+    faults = (FaultPlan.parse(args.inject, seed=args.fault_seed)
+              if args.inject else None)
+    config = ServiceConfig(
+        host=args.host, port=args.port, reps=args.reps, scale=args.scale,
+        validate=args.validate, retries=args.retries,
+        backoff_s=args.backoff, max_steps=args.max_steps, jobs=args.jobs,
+        trace_dir=args.trace_cache or None, checkpoint=args.checkpoint,
+        faults=faults, max_pending_cells=args.max_pending_cells,
+        per_tenant_cells=args.per_tenant_cells,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        saturation_threshold=args.saturation,
+        default_deadline_s=args.default_deadline,
+        drain_deadline_s=args.drain_deadline)
+
+    host_plan = None
+    if args.inject_host:
+        targets = tuple(t for t in (args.host_targets or "").split(",")
+                        if t)
+        host_plan = hostfaults.HostFaultPlan.parse(
+            args.inject_host, seed=args.host_seed, targets=targets,
+            disrupt_generations=args.disrupt_generations)
+
+    def _serve() -> int:
+        if host_plan is not None:
+            with hostfaults.installed(host_plan):
+                return serve_forever(config)
+        return serve_forever(config)
+
+    if args.telemetry:
+        from repro import telemetry
+
+        with telemetry.session():
+            code = _serve()
+            _export_telemetry(args.telemetry, args.metrics_format)
+            return code
+    return _serve()
+
+
 def _cmd_metrics(args) -> int:
     """Post-process an exported telemetry JSONL file."""
     from repro.telemetry.export import read_jsonl, summarize
@@ -422,7 +466,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--retries", type=int, default=0,
                        help="extra attempts after a transient kernel fault")
     sweep.add_argument("--backoff", type=float, default=0.0,
-                       help="base retry backoff in seconds (doubles/attempt)")
+                       help="base retry backoff in seconds (exponential "
+                            "with full jitter, deadline-capped)")
     sweep.add_argument("--max-steps", type=int, default=None,
                        help="SIMT micro-step budget per kernel launch")
     sweep.add_argument("--max-seconds", type=float, default=None,
@@ -464,6 +509,71 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workdir", default=None,
                        help="keep scenario artifacts here instead of a "
                             "temp directory")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep engine as a hardened async job server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8421,
+                       help="TCP port (0 picks a free one; the bound "
+                            "address is printed at startup)")
+    serve.add_argument("--reps", type=int, default=3)
+    serve.add_argument("--scale", type=float, default=1.0,
+                       help="workload scale factor for every cell")
+    serve.add_argument("--validate", action="store_true",
+                       help="validate outputs for every served cell")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="per-cell retries on transient kernel faults")
+    serve.add_argument("--backoff", type=float, default=0.05,
+                       help="base retry backoff in seconds (exponential "
+                            "with full jitter, deadline-capped)")
+    serve.add_argument("--max-steps", type=int, default=None,
+                       help="per-kernel step budget (livelock guard)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker pool width per cell (>1 exercises "
+                            "the worker-death-tolerant pool)")
+    serve.add_argument("--trace-cache", default=None, metavar="DIR",
+                       help="on-disk trace cache directory")
+    serve.add_argument("--checkpoint", default=None,
+                       help="checkpoint path (autosaved per cell, "
+                            "finalized on drain)")
+    serve.add_argument("--inject", default=None, metavar="SPEC",
+                       help="GPU fault plan for every cell, e.g. "
+                            "'flip=0.05'")
+    serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument("--inject-host", default=None, metavar="SPEC",
+                       help="host fault plan installed for the server's "
+                            "lifetime, e.g. 'kill=1.0,torn=0.4'")
+    serve.add_argument("--host-seed", type=int, default=0)
+    serve.add_argument("--host-targets", default=None,
+                       help="comma-separated filename globs the storage "
+                            "host faults apply to")
+    serve.add_argument("--disrupt-generations", type=int, default=None,
+                       help="worker kill/stall only while the pool "
+                            "generation is below this bound")
+    serve.add_argument("--max-pending-cells", type=int, default=256,
+                       help="global admission bound on reserved cells")
+    serve.add_argument("--per-tenant-cells", type=int, default=64,
+                       help="admission bound per tenant")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive failures that open a cell's "
+                            "circuit breaker")
+    serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       help="seconds an open breaker waits before one "
+                            "half-open trial")
+    serve.add_argument("--saturation", type=int, default=8,
+                       help="queued executions at which cached records "
+                            "are served stale instead of queueing more")
+    serve.add_argument("--default-deadline", type=float, default=None,
+                       help="deadline for requests that do not send one")
+    serve.add_argument("--drain-deadline", type=float, default=20.0,
+                       help="seconds a SIGTERM drain waits for in-flight "
+                            "streams before cancelling them")
+    serve.add_argument("--telemetry", default=None, metavar="PATH",
+                       help="enable telemetry; export metrics/spans to "
+                            "PATH after the drain")
+    serve.add_argument("--metrics-format", default="jsonl",
+                       choices=["jsonl", "prom", "console"])
 
     metrics = sub.add_parser(
         "metrics", help="post-process exported telemetry")
@@ -523,6 +633,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -18,7 +18,13 @@ The scenario list covers every :class:`~repro.core.hostfaults.
 HostFaultKind` (the harness refuses to report success otherwise) and
 ends with a combined flagship run — worker kills + torn trace writes +
 an externally corrupted checkpoint generation, resumed to completion —
-which is the acceptance bar for the whole robustness layer.
+which is the acceptance bar for the whole robustness layer.  On top of
+the per-kind scenarios, :func:`run_serve_scenario` drills the
+sweep-as-a-service layer (:mod:`repro.service`): two concurrent clients
+against the job server under worker kills and torn trace writes must
+get results byte-identical to an uninjected offline sweep, and a
+SIGTERM delivered mid-stream must drain within the deadline and leave
+a loadable checkpoint.
 
 Run it via ``python -m repro chaos`` (``--quick`` for the CI-sized
 variant) or :func:`run_chaos` directly; ``tools/validate_chaos.py``
@@ -27,6 +33,7 @@ wraps the flagship invariant for CI.
 
 from __future__ import annotations
 
+import json
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -241,6 +248,204 @@ def run_scenario(scenario: ChaosScenario, baseline: bytes,
                         detail=detail)
 
 
+# ----------------------------------------------------------------------
+# The sweep-as-a-service scenario
+# ----------------------------------------------------------------------
+def _canonical_payload(payload: dict) -> bytes:
+    """Order-independent bytes of a ``save_results`` payload.
+
+    The offline sweep persists records in memo insertion order, the
+    server in request-arrival order; the byte-identity invariant is
+    about the *science* (the runtimes), so both sides are canonicalized
+    to a sorted, key-sorted dump before comparing.
+    """
+    results = sorted(
+        payload.get("results", []),
+        key=lambda r: (r.get("algorithm", ""), r.get("input", ""),
+                       r.get("device", ""), r.get("variant", "")))
+    return json.dumps({"reps": payload.get("reps"),
+                       "scale": payload.get("scale"),
+                       "results": results}, sort_keys=True).encode()
+
+
+def _dechunk(body: bytes) -> bytes:
+    """Undo HTTP chunked transfer encoding."""
+    out = []
+    i = 0
+    while i < len(body):
+        j = body.index(b"\r\n", i)
+        size = int(body[i:j], 16)
+        if size == 0:
+            break
+        out.append(body[j + 2:j + 2 + size])
+        i = j + 2 + size + 2
+    return b"".join(out)
+
+
+def run_serve_scenario(workdir: Path, device: str,
+                       algorithms: list[str], inputs: list[str],
+                       reps: int, seed: int,
+                       jobs: int = 2) -> ChaosOutcome:
+    """Chaos-drill the job server end to end.
+
+    Under worker kills (every first-generation pool worker) plus torn
+    trace writes, two concurrent clients request the same study over
+    real sockets; the scenario asserts that
+
+    * both clients receive every cell with ``status: ok``,
+    * the grid was *executed* exactly once (coalescing + the study
+      memo dedupe across clients),
+    * the server's accumulated raw runtimes are byte-identical (after
+      canonical ordering) to an uninjected, serial, cache-less offline
+      sweep of the same cells,
+    * a SIGTERM delivered while a third client is mid-stream drains
+      within the configured deadline, and
+    * the drain leaves a checkpoint a fresh study can load.
+    """
+    import asyncio
+    import os
+    import signal as _signal
+
+    from repro.service.server import ServiceConfig, SweepService
+
+    root = workdir / "serve"
+    root.mkdir(parents=True, exist_ok=True)
+    ckpt = root / "serve.ckpt"
+    notes: list[str] = []
+    problems: list[str] = []
+    n_cells = len(algorithms) * len(inputs)
+
+    # the truth: an uninjected serial offline sweep of the same cells
+    offline = ResilientStudy(reps=reps)
+    result = offline.sweep(device, algorithms, inputs, jobs=1)
+    if result.failures:
+        raise StudyError("serve scenario offline baseline failed")
+    baseline = _canonical_payload(
+        {"reps": offline.reps, "scale": offline.scale,
+         "results": offline._result_records()})
+
+    plan = HostFaultPlan.parse(
+        "kill=1.0,torn=0.4", seed=seed, targets=("trace-*.json",),
+        disrupt_generations=1)
+    config = ServiceConfig(
+        port=0, reps=reps, retries=0, jobs=jobs,
+        trace_dir=str(root / "traces"), checkpoint=str(ckpt),
+        drain_deadline_s=60.0)
+    body = {"algorithms": list(algorithms), "inputs": list(inputs),
+            "device": device, "deadline_s": 300}
+
+    async def client(host: str, port: int, tenant: str) -> list[dict]:
+        reader, writer = await asyncio.open_connection(host, port)
+        payload = json.dumps(dict(body, tenant=tenant)).encode()
+        writer.write((f"POST /v1/study HTTP/1.1\r\nHost: chaos\r\n"
+                      f"Content-Length: {len(payload)}\r\n\r\n"
+                      ).encode() + payload)
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        head, _, rest = raw.partition(b"\r\n\r\n")
+        if not head.startswith(b"HTTP/1.1 200"):
+            raise StudyError(
+                f"serve scenario: {tenant} got {head.splitlines()[0]!r}")
+        return [json.loads(line)
+                for line in _dechunk(rest).splitlines() if line]
+
+    async def fetch_results(host: str, port: int) -> dict:
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"GET /v1/results HTTP/1.1\r\nHost: chaos\r\n"
+                     b"Content-Length: 0\r\n\r\n")
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        return json.loads(raw.partition(b"\r\n\r\n")[2])
+
+    async def drive() -> tuple[bytes, tuple[int, int]]:
+        service = SweepService(config)
+        await service.start()
+        host, port = service.address
+        loop = asyncio.get_running_loop()
+
+        # two concurrent clients, same cold study: the coalescing path
+        records_a, records_b = await asyncio.gather(
+            client(host, port, "alice"), client(host, port, "bob"))
+        covered = n_cells
+        for tenant, records in (("alice", records_a), ("bob", records_b)):
+            cells = [r for r in records if "cell" in r]
+            good = [r for r in cells if r.get("status") == "ok"]
+            covered = min(covered, len(good))
+            if len(cells) != n_cells or len(good) != n_cells:
+                problems.append(
+                    f"{tenant} got {len(good)} ok of {len(cells)} "
+                    f"cells, wanted {n_cells}")
+        # the pool path executes each cell's two variants as separate
+        # records; two clients must still cost exactly one grid
+        executed = service.executor.study.cells_executed
+        if executed != 2 * n_cells:
+            problems.append(f"executed {executed} variant records for "
+                            f"two clients, expected {2 * n_cells}")
+        notes.append(f"coalesced={service.scheduler.coalesced}")
+
+        server_payload = await fetch_results(host, port)
+
+        # third client mid-stream, then SIGTERM: the drain must let the
+        # stream finish and still beat the deadline
+        third = asyncio.create_task(client(host, port, "carol"))
+        await asyncio.sleep(0.05)
+        drain_started = loop.time()
+        os.kill(os.getpid(), _signal.SIGTERM)
+        try:
+            await asyncio.wait_for(
+                service.wait_drained(),
+                timeout=config.drain_deadline_s + 15.0)
+        except asyncio.TimeoutError:
+            problems.append("drain never completed")
+        drain_s = loop.time() - drain_started
+        if drain_s > config.drain_deadline_s:
+            problems.append(f"drain took {drain_s:.1f}s, over the "
+                            f"{config.drain_deadline_s:.0f}s deadline")
+        notes.append(f"drained in {drain_s:.2f}s")
+        try:
+            records_c = await third
+            ok_c = sum(1 for r in records_c
+                       if "cell" in r and r.get("status") == "ok")
+            notes.append(f"mid-drain client finished {ok_c}/{n_cells}")
+        except (StudyError, ConnectionError, OSError, EOFError) as exc:
+            notes.append(f"mid-drain client cut off ({exc})")
+        return _canonical_payload(server_payload), (covered, n_cells)
+
+    with hostfaults.installed(plan):
+        server_bytes, coverage = asyncio.run(drive())
+
+    if not ckpt.exists():
+        problems.append("drain left no checkpoint")
+    else:
+        loader = ResilientStudy(reps=reps, checkpoint=ckpt)
+        n_res, n_fail = loader.load_checkpoint()
+        notes.append(f"checkpoint loads {n_res} results")
+        if n_res < 2 * n_cells or n_fail:
+            problems.append(
+                f"checkpoint resumed {n_res} results / {n_fail} "
+                f"failures for a {n_cells}-cell grid")
+
+    identical = server_bytes == baseline
+    if not identical:
+        problems.append("server results diverge from offline sweep")
+    detail = "; ".join(
+        ["worker kills + torn trace writes under 2 concurrent "
+         "clients, SIGTERM drain mid-stream"] + notes + problems)
+    return ChaosOutcome(scenario="serve", ok=not problems and identical,
+                        identical=identical, coverage=coverage,
+                        detail=detail)
+
+
 def run_chaos(device: str = DEVICE, inputs: list[str] | None = None,
               reps: int = 2, jobs: int = 4, seed: int = 0,
               quick: bool = False,
@@ -288,6 +493,9 @@ def run_chaos(device: str = DEVICE, inputs: list[str] | None = None,
                      reps, seed)
         for s in scenarios
     ]
+    outcomes.append(run_serve_scenario(
+        workdir, device, algorithms, inputs, reps, seed,
+        jobs=max(2, min(jobs, 4))))
     return ChaosReport(
         outcomes=outcomes,
         kinds_covered=tuple(sorted(k.value for k in covered)))

@@ -56,6 +56,7 @@ from repro.perf.engine import PerfRun, run_algorithm
 from repro.telemetry.metrics import SCOPE_PROCESS, get_registry
 from repro.telemetry.spans import get_spans
 from repro.utils.atomicio import atomic_write_text
+from repro.utils.backoff import BackoffPolicy
 
 CHECKPOINT_FORMAT = 3
 """On-disk checkpoint format version (results + failures).
@@ -136,6 +137,7 @@ def run_guarded(
     backoff_s: float = 0.0,
     budget: CellBudget | None = None,
     sleep: Callable[[float], None] = time.sleep,
+    backoff: BackoffPolicy | None = None,
 ):
     """Run ``fn(attempt)`` under the resilience policy.
 
@@ -143,7 +145,11 @@ def run_guarded(
     on failure.  The policy:
 
     * :class:`TransientKernelFault` — retry up to ``retries`` times
-      with exponential backoff (``backoff_s * 2**attempt``); ``fn``
+      with exponential full-jitter backoff (a
+      :class:`~repro.utils.backoff.BackoffPolicy` built from
+      ``backoff_s``, or ``backoff`` verbatim when given), clamped to
+      the wall-clock budget's remaining time so a retry can never
+      sleep past its own deadline; ``fn``
       receives the attempt index so it can derive fresh schedule seeds.
     * :class:`DeadlockError` — recorded as ``livelock`` (the step
       budget turned an infinite polling loop into this error); no
@@ -157,6 +163,8 @@ def run_guarded(
     Non-:class:`ReproError` exceptions propagate: they indicate bugs in
     the harness, not failures of the simulated hardware.
     """
+    if backoff is None and backoff_s > 0.0:
+        backoff = BackoffPolicy(base_s=backoff_s)
     start = time.monotonic()
     attempts = 0
     last_message = ""
@@ -178,8 +186,15 @@ def run_guarded(
             raise
         except TransientKernelFault as exc:
             last_message = str(exc)
-            if attempt < retries and backoff_s > 0.0:
-                sleep(backoff_s * (2 ** attempt))
+            if attempt < retries and backoff is not None:
+                remaining = None
+                if (budget is not None
+                        and budget.max_seconds is not None):
+                    remaining = (budget.max_seconds
+                                 - (time.monotonic() - start))
+                delay = backoff.delay(attempt, remaining_s=remaining)
+                if delay > 0.0:
+                    sleep(delay)
         except CellTimeoutError as exc:
             return None, GuardedFailure(
                 "timeout", str(exc), attempts, time.monotonic() - start)
@@ -229,7 +244,9 @@ class ResilientStudy(Study):
         Extra attempts per cell after a transient kernel fault, each
         with a fresh schedule-seed family.
     backoff_s:
-        Base of the exponential retry backoff (0 disables sleeping).
+        Base of the exponential full-jitter retry backoff
+        (:class:`~repro.utils.backoff.BackoffPolicy`; 0 disables
+        sleeping).
     budget:
         Per-cell :class:`CellBudget` (wall-clock and SIMT step limits).
     faults:

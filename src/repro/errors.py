@@ -82,6 +82,16 @@ class WorkerTaskError(StudyError):
     instead of surfacing an anonymous traceback."""
 
 
+class ServiceError(ReproError):
+    """Raised for sweep-service configuration or lifecycle errors."""
+
+
+class ProtocolError(ServiceError):
+    """Raised for malformed service requests (bad HTTP framing, invalid
+    JSON, or a study request that fails validation).  The server maps
+    it to a 400-family response instead of dropping the connection."""
+
+
 class SweepInterrupted(ReproError):
     """Raised when SIGINT/SIGTERM interrupts a resilient sweep.
 

@@ -327,34 +327,49 @@ class TraceCache:
             entries += 1
         return entries, nbytes
 
+    def _quarantine_files(self) -> list[Path]:
+        """``*.corrupt`` files parked by :meth:`_quarantine`."""
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return []
+        return sorted(self.disk_dir.glob("trace-*.json.corrupt"))
+
     def prune(self, max_bytes: int) -> tuple[int, int]:
-        """Evict oldest-mtime traces until the disk layer fits
-        ``max_bytes``; returns (files removed, bytes freed).
+        """Evict traces until the disk layer fits ``max_bytes``;
+        returns (files removed, bytes freed).
 
         The on-disk layer otherwise grows without bound — every new
         (algorithm, graph, variant, seed, staleness, plan) combination
-        adds a file and nothing ever removes one.  Oldest-first by
-        mtime approximates LRU: :meth:`_write_disk` timestamps
-        recordings and re-recorded traces overwrite (refreshing) their
-        file.  The in-memory layer is untouched.  Safe to run while
-        other processes read the cache: a concurrently deleted file is
-        simply treated as a miss by them.
+        adds a file and nothing ever removes one.  ``*.corrupt``
+        quarantine files count toward the byte budget too (they occupy
+        the same disk) and are evicted *first*: they serve no lookup
+        and exist only for post-mortems, so they must never crowd out
+        live traces (evictions are counted in
+        ``repro_trace_prune_quarantined``).  Live traces then go
+        oldest-first by mtime, approximating LRU: :meth:`_write_disk`
+        timestamps recordings and re-recorded traces overwrite
+        (refreshing) their file.  The in-memory layer is untouched.
+        Safe to run while other processes read the cache: a
+        concurrently deleted file is simply treated as a miss by them.
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         stamped = []
         total = 0
-        for path in self._disk_files():
-            try:
-                st = path.stat()
-            except OSError:
-                continue
-            stamped.append((st.st_mtime, path, st.st_size))
-            total += st.st_size
+        # quarantined files sort ahead of every live trace (rank 0)
+        for rank, paths in ((0, self._quarantine_files()),
+                            (1, self._disk_files())):
+            for path in paths:
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                stamped.append((rank, st.st_mtime, path, st.st_size))
+                total += st.st_size
         stamped.sort()
         removed = 0
         freed = 0
-        for _, path, size in stamped:
+        quarantined_removed = 0
+        for rank, _, path, size in stamped:
             if total <= max_bytes:
                 break
             try:
@@ -364,6 +379,15 @@ class TraceCache:
             total -= size
             freed += size
             removed += 1
+            if rank == 0:
+                quarantined_removed += 1
+        if quarantined_removed:
+            reg = get_registry()
+            if reg.enabled:
+                reg.counter("repro_trace_prune_quarantined",
+                            "Quarantined (*.corrupt) trace files evicted "
+                            "by prune", scope=SCOPE_PROCESS
+                            ).inc(quarantined_removed)
         self._publish_disk()
         return removed, freed
 
@@ -392,9 +416,10 @@ class TraceCache:
         """Move a corrupt disk file aside and count it.
 
         The ``.corrupt`` name falls outside the ``trace-*.json`` glob,
-        so quarantined files stop being read, counted, or pruned — but
-        stay on disk for post-mortem inspection.  The slot becomes a
-        plain miss and the next recording heals it.
+        so quarantined files stop being read or served — they stay on
+        disk for post-mortem inspection, count toward :meth:`prune`'s
+        byte budget, and are the first thing prune evicts.  The slot
+        becomes a plain miss and the next recording heals it.
         """
         with contextlib.suppress(OSError):
             os.replace(path, path.with_name(path.name + ".corrupt"))

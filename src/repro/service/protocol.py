@@ -1,0 +1,278 @@
+"""Minimal HTTP/1.1 + NDJSON framing over asyncio streams, and the
+study-request schema.
+
+The service deliberately avoids HTTP frameworks (the container bakes in
+only the scientific toolchain), so this module hand-frames the small
+HTTP subset the server needs: request-line + header parsing with hard
+size bounds, fixed-length JSON responses, and chunked-transfer NDJSON
+streaming for per-cell results.  Everything parsed from the network is
+validated against explicit limits before any allocation proportional to
+client input — a malformed or hostile client costs one refused request,
+never unbounded memory.
+
+The study-request schema (:func:`parse_study_request`) validates every
+field against the simulator's registries (known algorithms with races
+to measure, known suite inputs with matching directedness, known
+devices) so a bad request fails with a 400 naming the field instead of
+surfacing mid-sweep as a cell failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+from repro.core.variants import get_algorithm
+from repro.errors import DeviceError, ProtocolError, StudyError
+from repro.gpu.device import get_device
+from repro.graphs.suite import suite_names
+
+MAX_HEADER_BYTES = 16 * 1024
+"""Bound on the request line + headers; longer prologues are rejected."""
+
+MAX_BODY_BYTES = 1024 * 1024
+"""Bound on a request body; larger studies must be split."""
+
+MAX_CELLS_PER_REQUEST = 512
+"""Bound on cells in one study request (admission applies on top)."""
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request: method, path, lower-cased headers, raw body."""
+
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+
+async def read_request(reader, *, max_header_bytes: int = MAX_HEADER_BYTES,
+                       max_body_bytes: int = MAX_BODY_BYTES
+                       ) -> HttpRequest | None:
+    """Read one request from ``reader``; ``None`` on a clean EOF.
+
+    Raises :class:`~repro.errors.ProtocolError` for framing the server
+    cannot (or refuses to) handle: oversized prologues or bodies, a
+    mangled request line, or chunked request bodies (clients must send
+    ``Content-Length``).
+    """
+    try:
+        prologue = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise ProtocolError("connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("request prologue overran the stream "
+                            "buffer limit") from exc
+    if len(prologue) > max_header_bytes:
+        raise ProtocolError(
+            f"request prologue exceeds {max_header_bytes} bytes")
+    try:
+        head, *header_lines = prologue.decode("latin-1").split("\r\n")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise ProtocolError("undecodable request prologue") from exc
+    parts = head.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {head!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError("chunked request bodies are not supported")
+    body = b""
+    raw_length = headers.get("content-length", "0")
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise ProtocolError(
+            f"bad Content-Length {raw_length!r}") from None
+    if length < 0 or length > max_body_bytes:
+        raise ProtocolError(
+            f"Content-Length {length} outside [0, {max_body_bytes}]")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError("connection closed mid-body") from exc
+    # strip any query string; the API carries parameters in JSON bodies
+    path = target.split("?", 1)[0]
+    return HttpRequest(method=method.upper(), path=path, headers=headers,
+                       body=body)
+
+
+def response_bytes(status: int, body: bytes,
+                   content_type: str = "application/json",
+                   extra_headers: tuple[tuple[str, str], ...] = ()
+                   ) -> bytes:
+    """A full fixed-length HTTP/1.1 response (connection: close)."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             "Connection: close"]
+    lines += [f"{name}: {value}" for name, value in extra_headers]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def send_json(writer, status: int, payload: dict,
+                    extra_headers: tuple[tuple[str, str], ...] = ()
+                    ) -> None:
+    """Write one JSON response and flush it."""
+    body = (json.dumps(payload) + "\n").encode()
+    writer.write(response_bytes(status, body,
+                                extra_headers=extra_headers))
+    await writer.drain()
+
+
+async def start_ndjson(writer, status: int = 200) -> None:
+    """Open a chunked NDJSON streaming response."""
+    reason = _REASONS.get(status, "Unknown")
+    writer.write((f"HTTP/1.1 {status} {reason}\r\n"
+                  "Content-Type: application/x-ndjson\r\n"
+                  "Transfer-Encoding: chunked\r\n"
+                  "Connection: close\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+
+
+async def send_ndjson_line(writer, record: dict) -> None:
+    """Stream one NDJSON record as an HTTP chunk and flush it, so the
+    client sees each cell the moment it lands."""
+    data = (json.dumps(record) + "\n").encode()
+    writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+    await writer.drain()
+
+
+async def end_ndjson(writer) -> None:
+    """Terminate the chunked stream."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Study request schema
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellKey:
+    """One (algorithm, input, device) speedup cell — the service's unit
+    of scheduling, coalescing, and breaker state."""
+
+    algorithm: str
+    input_name: str
+    device: str
+
+    def as_dict(self) -> dict:
+        return {"algorithm": self.algorithm, "input": self.input_name,
+                "device": self.device}
+
+    def describe(self) -> str:
+        return f"{self.algorithm}/{self.input_name}/{self.device}"
+
+
+@dataclass(frozen=True)
+class StudyRequest:
+    """One validated client request: who is asking, which cells, and
+    how long they are willing to wait."""
+
+    tenant: str
+    cells: tuple[CellKey, ...]
+    deadline_s: float | None = None
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(message)
+
+
+def parse_study_request(body: bytes,
+                        max_cells: int = MAX_CELLS_PER_REQUEST
+                        ) -> StudyRequest:
+    """Validate a ``POST /v1/study`` body into a :class:`StudyRequest`.
+
+    Expected JSON shape::
+
+        {"algorithms": ["cc", "mis"], "inputs": ["internet"],
+         "device": "titanv", "tenant": "alice", "deadline_s": 30}
+
+    Every name is checked against the simulator registries up front;
+    algorithms must have measurable races (the paper does not define a
+    race-free speedup otherwise) and each input's directedness must
+    match the algorithm family (SCC runs directed inputs, the rest run
+    undirected ones).
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request body is not JSON: {exc}") from None
+    _require(isinstance(payload, dict), "request body must be an object")
+
+    algorithms = payload.get("algorithms")
+    inputs = payload.get("inputs")
+    device = payload.get("device", "titanv")
+    tenant = payload.get("tenant", "anonymous")
+    deadline_s = payload.get("deadline_s")
+
+    _require(isinstance(algorithms, list) and algorithms
+             and all(isinstance(a, str) for a in algorithms),
+             "'algorithms' must be a non-empty list of names")
+    _require(isinstance(inputs, list) and inputs
+             and all(isinstance(i, str) for i in inputs),
+             "'inputs' must be a non-empty list of suite names")
+    _require(isinstance(device, str), "'device' must be a device key")
+    _require(isinstance(tenant, str) and 0 < len(tenant) <= 128,
+             "'tenant' must be a short string")
+    if deadline_s is not None:
+        _require(isinstance(deadline_s, (int, float))
+                 and 0 < float(deadline_s) <= 24 * 3600.0,
+                 "'deadline_s' must be in (0, 86400]")
+        deadline_s = float(deadline_s)
+
+    try:
+        get_device(device)
+    except DeviceError as exc:
+        raise ProtocolError(str(exc)) from None
+
+    directed = set(suite_names(directed=True))
+    undirected = set(suite_names(directed=False))
+    cells = []
+    for name in algorithms:
+        try:
+            algo = get_algorithm(name)
+        except StudyError as exc:
+            raise ProtocolError(str(exc)) from None
+        _require(algo.has_races,
+                 f"algorithm {name!r} has no data races; the paper "
+                 "defines no race-free speedup for it")
+        wanted = directed if algo.directed else undirected
+        for input_name in inputs:
+            if input_name not in wanted:
+                if input_name not in directed | undirected:
+                    raise ProtocolError(
+                        f"unknown suite input {input_name!r}")
+                # directedness mismatch: skip quietly only when the
+                # request mixes families; reject a fully-mismatched pair
+                continue
+            cells.append(CellKey(name, input_name, device))
+    _require(bool(cells),
+             "request matches no runnable cells (check that input "
+             "directedness fits the algorithms)")
+    _require(len(cells) <= max_cells,
+             f"request expands to {len(cells)} cells, over the "
+             f"{max_cells}-cell per-request bound")
+    return StudyRequest(tenant=tenant, cells=tuple(cells),
+                        deadline_s=deadline_s)

@@ -1,0 +1,157 @@
+"""Admission control: a bounded cell queue with per-tenant quotas.
+
+The first rung of the degradation ladder.  Every admitted study
+request reserves its cell count against two budgets — a global bound
+(the server's total appetite for queued + running cells) and a
+per-tenant bound (no single client can starve the rest) — and releases
+the reservation when its response stream finishes.  A request that
+does not fit is rejected *immediately* with a 429-style
+:class:`Admission` carrying a ``Retry-After`` hint, computed from the
+shared :class:`~repro.utils.backoff.BackoffPolicy` so repeatedly
+rejected tenants are pushed back exponentially (with full jitter, so a
+rejected herd does not return in lockstep).
+
+Nothing here queues anything: admission is a pure counting gate, which
+is what makes the memory bound hard — the server's queue depth can
+never exceed ``max_pending_cells`` regardless of client behavior.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.telemetry.metrics import SCOPE_PROCESS, get_registry
+from repro.utils.backoff import BackoffPolicy
+
+DEFAULT_RETRY_BACKOFF = BackoffPolicy(base_s=1.0, cap_s=60.0)
+
+
+@dataclass(frozen=True)
+class Admission:
+    """Outcome of one admission decision."""
+
+    ok: bool
+    reason: str = ""
+    retry_after_s: float = 0.0
+
+    @property
+    def retry_after_header(self) -> str:
+        """``Retry-After`` wants integral seconds; round up, min 1."""
+        return str(max(1, math.ceil(self.retry_after_s)))
+
+
+class AdmissionController:
+    """Counting gate over in-flight cells, global and per tenant.
+
+    Parameters
+    ----------
+    max_pending_cells:
+        Global bound on reserved (queued + running) cells.
+    per_tenant_cells:
+        Bound per tenant name.
+    backoff:
+        Policy behind the ``Retry-After`` hint; attempt index is the
+        tenant's consecutive-rejection count, so a tenant hammering a
+        full server is told to back off progressively further.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, max_pending_cells: int = 256,
+                 per_tenant_cells: int = 64,
+                 backoff: BackoffPolicy = DEFAULT_RETRY_BACKOFF,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_pending_cells < 1:
+            raise ValueError(
+                f"max_pending_cells must be >= 1, got {max_pending_cells}")
+        if per_tenant_cells < 1:
+            raise ValueError(
+                f"per_tenant_cells must be >= 1, got {per_tenant_cells}")
+        self.max_pending_cells = max_pending_cells
+        self.per_tenant_cells = per_tenant_cells
+        self.backoff = backoff
+        self._clock = clock
+        self._pending = 0
+        self._per_tenant: dict[str, int] = {}
+        self._rejections: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_cells(self) -> int:
+        return self._pending
+
+    def tenant_cells(self, tenant: str) -> int:
+        return self._per_tenant.get(tenant, 0)
+
+    def _publish(self) -> None:
+        reg = get_registry()
+        if not reg.enabled:
+            return
+        reg.gauge("repro_service_pending_cells",
+                  "Cells currently reserved by admitted requests",
+                  scope=SCOPE_PROCESS).set(self._pending)
+
+    def _count(self, outcome: str) -> None:
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("repro_service_admissions_total",
+                        "Admission decisions, by outcome", ("outcome",),
+                        scope=SCOPE_PROCESS).inc(1, outcome)
+
+    # ------------------------------------------------------------------
+    def try_admit(self, tenant: str, n_cells: int) -> Admission:
+        """Reserve ``n_cells`` for ``tenant``, or reject with a hint.
+
+        A rejection reserves nothing; an admission must be paired with
+        exactly one :meth:`release` when the request finishes (stream
+        closed, errored, or drained).
+        """
+        if n_cells < 1:
+            return Admission(ok=False, reason="empty request")
+        if n_cells > self.per_tenant_cells:
+            # can never fit; retrying won't help, but tell the client
+            # the structural reason rather than a transient one
+            self._count("oversized")
+            return Admission(
+                ok=False,
+                reason=(f"request of {n_cells} cells exceeds the "
+                        f"per-tenant quota of {self.per_tenant_cells}"),
+                retry_after_s=self.backoff.nominal(0))
+        used = self._per_tenant.get(tenant, 0)
+        if used + n_cells > self.per_tenant_cells:
+            return self._reject(
+                tenant,
+                f"tenant {tenant!r} is using {used} of "
+                f"{self.per_tenant_cells} cells")
+        if self._pending + n_cells > self.max_pending_cells:
+            return self._reject(
+                tenant,
+                f"server is at {self._pending} of "
+                f"{self.max_pending_cells} pending cells")
+        self._pending += n_cells
+        self._per_tenant[tenant] = used + n_cells
+        self._rejections.pop(tenant, None)
+        self._count("admitted")
+        self._publish()
+        return Admission(ok=True)
+
+    def _reject(self, tenant: str, reason: str) -> Admission:
+        attempt = self._rejections.get(tenant, 0)
+        self._rejections[tenant] = attempt + 1
+        retry_after = self.backoff.delay(attempt, salt=tenant)
+        self._count("rejected")
+        return Admission(ok=False, reason=reason,
+                         retry_after_s=retry_after)
+
+    def release(self, tenant: str, n_cells: int) -> None:
+        """Return a reservation made by :meth:`try_admit`."""
+        self._pending = max(0, self._pending - n_cells)
+        used = self._per_tenant.get(tenant, 0) - n_cells
+        if used > 0:
+            self._per_tenant[tenant] = used
+        else:
+            self._per_tenant.pop(tenant, None)
+        self._publish()

@@ -1,0 +1,360 @@
+"""The asyncio HTTP server: routing, lifecycle, and graceful drain.
+
+:class:`SweepService` wires the pieces together — admission gate in
+front, coalescing scheduler behind, one study executor at the bottom —
+and owns process lifecycle: ``SIGTERM``/``SIGINT`` trigger a graceful
+drain (stop admitting, finish or cancel in-flight cells within the
+drain deadline, write a final checkpoint, exit), and ``/healthz`` /
+``/readyz`` expose liveness and readiness, mirrored into
+:mod:`repro.telemetry` gauges when telemetry is enabled.
+
+Routes::
+
+    GET  /healthz     liveness (200 while the process runs)
+    GET  /readyz      readiness (503 while draining; reports degraded)
+    GET  /metrics     Prometheus exposition of the telemetry registry
+    GET  /v1/results  everything computed so far (save_results payload)
+    POST /v1/study    stream per-cell NDJSON records for a study
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import socket
+import time
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError, ServiceError
+from repro.perf.trace import TraceCache
+from repro.service.protocol import (
+    HttpRequest,
+    end_ndjson,
+    parse_study_request,
+    read_request,
+    send_json,
+    send_ndjson_line,
+    start_ndjson,
+)
+from repro.service.quota import AdmissionController
+from repro.service.scheduler import CellScheduler, StudyExecutor
+from repro.service.breaker import CircuitBreaker
+from repro.telemetry.export import to_prometheus
+from repro.telemetry.metrics import SCOPE_PROCESS, get_registry
+
+DRAIN_RETRY_AFTER = "5"
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` can tune, with production-ish
+    defaults sized for the simulator's workloads."""
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    # study knobs (mirror the sweep CLI)
+    reps: int = 3
+    scale: float = 1.0
+    validate: bool = False
+    retries: int = 1
+    backoff_s: float = 0.05
+    max_steps: int | None = None
+    jobs: int = 1
+    trace_dir: str | None = None
+    checkpoint: str | None = None
+    faults: object | None = None  # FaultPlan, injected by the CLI
+    # robustness ladder knobs
+    max_pending_cells: int = 256
+    per_tenant_cells: int = 64
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
+    saturation_threshold: int = 8
+    default_deadline_s: float | None = None
+    drain_deadline_s: float = 20.0
+
+
+class SweepService:
+    """One listening sweep server (see module docstring)."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        trace_cache = (TraceCache(disk_dir=config.trace_dir)
+                       if config.trace_dir else None)
+        self.executor = StudyExecutor(
+            reps=config.reps, scale=config.scale, validate=config.validate,
+            retries=config.retries, backoff_s=config.backoff_s,
+            max_steps=config.max_steps, faults=config.faults,
+            trace_cache=trace_cache, checkpoint=config.checkpoint,
+            jobs=config.jobs)
+        self.scheduler = CellScheduler(
+            self.executor,
+            CircuitBreaker(threshold=config.breaker_threshold,
+                           cooldown_s=config.breaker_cooldown_s),
+            saturation_threshold=config.saturation_threshold)
+        self.admission = AdmissionController(
+            max_pending_cells=config.max_pending_cells,
+            per_tenant_cells=config.per_tenant_cells)
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._drain_task: asyncio.Task | None = None
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually bound (host, port) — resolves ``port=0``."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("service is not listening")
+        name = self._server.sockets[0].getsockname()
+        return name[0], name[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            family=socket.AF_INET)
+        self._install_signal_handlers()
+        self._publish_gauges()
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_drain)
+            except (NotImplementedError, ValueError, RuntimeError):
+                # non-main thread or unsupported platform: callers can
+                # still drain programmatically
+                pass
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (idempotent; signal-handler safe)."""
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain())
+
+    async def _drain(self) -> None:
+        """Stop admissions, let in-flight work land, checkpoint, exit.
+
+        In-flight connections get up to ``drain_deadline_s`` to finish
+        streaming; stragglers are cancelled (their subscribers drop and
+        queued cells are abandoned), and whatever cells completed are
+        in the checkpoint for a future server or ``--resume`` sweep.
+        """
+        self._draining = True
+        self._publish_gauges()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [t for t in self._connections if not t.done()]
+        if pending:
+            _done, still = await asyncio.wait(
+                pending, timeout=self.config.drain_deadline_s)
+            for task in still:
+                task.cancel()
+            if still:
+                await asyncio.gather(*still, return_exceptions=True)
+        await self.scheduler.drain()
+        self.executor.checkpoint_now()
+        self.executor.shutdown()
+        self._remove_signal_handlers()
+        self._publish_gauges()
+        self._drained.set()
+
+    def _remove_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.remove_signal_handler(sig)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    async def aclose(self) -> None:
+        """Drain programmatically (tests; no signal involved)."""
+        self.request_drain()
+        await self.wait_drained()
+
+    def _publish_gauges(self) -> None:
+        reg = get_registry()
+        if not reg.enabled:
+            return
+        reg.gauge("repro_service_ready",
+                  "1 while the service accepts new studies",
+                  scope=SCOPE_PROCESS).set(0.0 if self._draining else 1.0)
+        reg.gauge("repro_service_draining",
+                  "1 once a graceful drain has begun",
+                  scope=SCOPE_PROCESS).set(1.0 if self._draining else 0.0)
+        reg.gauge("repro_service_active_requests",
+                  "Open client connections",
+                  scope=SCOPE_PROCESS).set(float(len(self._connections)))
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        self._publish_gauges()
+        try:
+            try:
+                request = await asyncio.wait_for(read_request(reader),
+                                                 timeout=30.0)
+            except asyncio.TimeoutError:
+                await send_json(writer, 408,
+                                {"error": "timed out reading request"})
+                return
+            except ProtocolError as exc:
+                await send_json(writer, 400, {"error": str(exc)})
+                return
+            if request is None:
+                return
+            await self._route(request, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; subscribers were dropped in-route
+        finally:
+            self._publish_gauges()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _route(self, request: HttpRequest,
+                     writer: asyncio.StreamWriter) -> None:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            await send_json(writer, 200, self._health_payload())
+        elif route == ("GET", "/readyz"):
+            ready = not self._draining
+            await send_json(writer, 200 if ready else 503,
+                            self._ready_payload(ready))
+        elif route == ("GET", "/metrics"):
+            body = to_prometheus(get_registry()).encode()
+            writer.write(_plain_response(200, body))
+            await writer.drain()
+        elif route == ("GET", "/v1/results"):
+            await send_json(writer, 200, self.executor.results_payload())
+        elif route == ("POST", "/v1/study"):
+            await self._handle_study(request, writer)
+        elif request.path in ("/healthz", "/readyz", "/metrics",
+                              "/v1/results", "/v1/study"):
+            await send_json(writer, 405,
+                            {"error": f"{request.method} not allowed "
+                                      f"on {request.path}"})
+        else:
+            await send_json(writer, 404,
+                            {"error": f"no route {request.path}"})
+
+    def _health_payload(self) -> dict:
+        return {"status": "ok",
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "draining": self._draining}
+
+    def _ready_payload(self, ready: bool) -> dict:
+        return {"ready": ready,
+                "draining": self._draining,
+                "degraded": self.scheduler.degraded_mode(),
+                "pending_cells": self.admission.pending_cells,
+                "queued_executions": self.executor.queued,
+                "inflight_cells": self.scheduler.inflight_cells(),
+                "open_breakers": [
+                    getattr(k, "describe", lambda: str(k))()
+                    for k in self.scheduler.breaker.open_keys()],
+                "coalesced": self.scheduler.coalesced,
+                "stale_served": self.scheduler.stale_served}
+
+    # ------------------------------------------------------------------
+    # The study route
+    # ------------------------------------------------------------------
+    async def _handle_study(self, request: HttpRequest,
+                            writer: asyncio.StreamWriter) -> None:
+        if self._draining:
+            await send_json(
+                writer, 503, {"error": "service is draining"},
+                extra_headers=(("Retry-After", DRAIN_RETRY_AFTER),))
+            return
+        try:
+            study = parse_study_request(request.body)
+        except ProtocolError as exc:
+            await send_json(writer, 400, {"error": str(exc)})
+            return
+        admission = self.admission.try_admit(study.tenant,
+                                             len(study.cells))
+        if not admission.ok:
+            await send_json(
+                writer, 429,
+                {"error": admission.reason,
+                 "retry_after_s": admission.retry_after_s},
+                extra_headers=(("Retry-After",
+                                admission.retry_after_header),))
+            return
+        deadline_s = (study.deadline_s
+                      if study.deadline_s is not None
+                      else self.config.default_deadline_s)
+        tasks = [asyncio.create_task(
+                     self.scheduler.request_cell(key, deadline_s))
+                 for key in study.cells]
+        ok = failed = 0
+        started = time.monotonic()
+        try:
+            await start_ndjson(writer)
+            for fut in asyncio.as_completed(tasks):
+                record = await fut
+                if record.get("status") == "ok":
+                    ok += 1
+                else:
+                    failed += 1
+                await send_ndjson_line(writer, record)
+            await send_ndjson_line(writer, {
+                "summary": {"cells": len(study.cells), "ok": ok,
+                            "failed": failed, "tenant": study.tenant,
+                            "elapsed_s": round(
+                                time.monotonic() - started, 3)}})
+            await end_ndjson(writer)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            # client disconnected or the drain deadline cancelled us:
+            # abandon our seats so unstarted cells are not computed
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            raise
+        finally:
+            self.admission.release(study.tenant, len(study.cells))
+
+
+def _plain_response(status: int, body: bytes) -> bytes:
+    from repro.service.protocol import response_bytes
+    return response_bytes(status, body,
+                          content_type="text/plain; version=0.0.4")
+
+
+# ----------------------------------------------------------------------
+# Entry point used by ``repro serve``
+# ----------------------------------------------------------------------
+async def _serve_main(config: ServiceConfig) -> None:
+    service = SweepService(config)
+    await service.start()
+    host, port = service.address
+    print(f"repro service listening on http://{host}:{port}", flush=True)
+    await service.wait_drained()
+    print("repro service drained cleanly", flush=True)
+
+
+def serve_forever(config: ServiceConfig) -> int:
+    """Run the service until a SIGTERM/SIGINT drain completes."""
+    asyncio.run(_serve_main(config))
+    return 0

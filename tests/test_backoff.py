@@ -1,0 +1,78 @@
+"""Unit tests for repro.utils.backoff (exponential + full jitter)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.backoff import BackoffPolicy, full_jitter_delay
+
+
+class TestNominal:
+    def test_exponential_growth(self):
+        policy = BackoffPolicy(base_s=0.5, jitter=False)
+        assert [policy.nominal(a) for a in range(4)] == [
+            0.5, 1.0, 2.0, 4.0]
+
+    def test_cap_applies(self):
+        policy = BackoffPolicy(base_s=1.0, cap_s=3.0, jitter=False)
+        assert [policy.nominal(a) for a in range(4)] == [
+            1.0, 2.0, 3.0, 3.0]
+
+    def test_custom_multiplier(self):
+        policy = BackoffPolicy(base_s=1.0, multiplier=3.0, jitter=False)
+        assert policy.nominal(2) == 9.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=1.0, multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=1.0, cap_s=-2.0)
+
+
+class TestJitter:
+    def test_delay_within_full_jitter_bounds(self):
+        policy = BackoffPolicy(base_s=1.0, seed=7)
+        for attempt in range(5):
+            delay = policy.delay(attempt)
+            assert 0.0 <= delay < policy.nominal(attempt)
+
+    def test_deterministic_per_seed_and_salt(self):
+        a = BackoffPolicy(base_s=1.0, seed=7)
+        b = BackoffPolicy(base_s=1.0, seed=7)
+        assert [a.delay(i) for i in range(4)] == [
+            b.delay(i) for i in range(4)]
+        assert a.delay(2, salt="x") != pytest.approx(
+            a.delay(2, salt="y"))
+
+    def test_different_seeds_differ(self):
+        a = BackoffPolicy(base_s=1.0, seed=1)
+        b = BackoffPolicy(base_s=1.0, seed=2)
+        assert [a.delay(i) for i in range(6)] != [
+            b.delay(i) for i in range(6)]
+
+    def test_no_jitter_returns_nominal(self):
+        policy = BackoffPolicy(base_s=0.25, jitter=False)
+        assert policy.delay(3) == policy.nominal(3) == 2.0
+
+
+class TestDeadlineClamp:
+    def test_remaining_time_caps_the_delay(self):
+        policy = BackoffPolicy(base_s=100.0, jitter=False)
+        assert policy.delay(0, remaining_s=0.25) == 0.25
+
+    def test_exhausted_deadline_means_no_sleep(self):
+        policy = BackoffPolicy(base_s=1.0, jitter=False)
+        assert policy.delay(0, remaining_s=0.0) == 0.0
+        assert policy.delay(0, remaining_s=-5.0) == 0.0
+
+    def test_none_remaining_is_unbounded(self):
+        policy = BackoffPolicy(base_s=4.0, jitter=False)
+        assert policy.delay(0, remaining_s=None) == 4.0
+
+
+def test_full_jitter_delay_convenience():
+    delay = full_jitter_delay(0.5, attempt=2, seed=3)
+    assert 0.0 <= delay < 2.0
+    assert delay == full_jitter_delay(0.5, attempt=2, seed=3)

@@ -61,7 +61,7 @@ class TestRunGuarded:
         assert failure.attempts == 3
         assert "still dead" in failure.message
 
-    def test_backoff_doubles_per_attempt(self):
+    def test_backoff_grows_with_full_jitter(self):
         sleeps = []
 
         def always(attempt):
@@ -69,7 +69,43 @@ class TestRunGuarded:
 
         run_guarded(always, retries=2, backoff_s=0.5,
                     sleep=sleeps.append)
-        assert sleeps == [0.5, 1.0]  # no sleep after the final attempt
+        # no sleep after the final attempt; each delay is a full-jitter
+        # draw from [0, base * 2**attempt)
+        assert len(sleeps) == 2
+        assert 0.0 <= sleeps[0] < 0.5
+        assert 0.0 <= sleeps[1] < 1.0
+        # the jitter stream is deterministic: a rerun sleeps identically
+        repeat = []
+        run_guarded(always, retries=2, backoff_s=0.5,
+                    sleep=repeat.append)
+        assert repeat == sleeps
+
+    def test_explicit_backoff_policy_without_jitter(self):
+        from repro.utils.backoff import BackoffPolicy
+
+        sleeps = []
+
+        def always(attempt):
+            raise TransientKernelFault("x")
+
+        run_guarded(always, retries=2,
+                    backoff=BackoffPolicy(base_s=0.5, jitter=False),
+                    sleep=sleeps.append)
+        assert sleeps == [0.5, 1.0]  # the legacy fixed shape
+
+    def test_backoff_never_sleeps_past_the_deadline(self):
+        from repro.utils.backoff import BackoffPolicy
+
+        sleeps = []
+
+        def always(attempt):
+            raise TransientKernelFault("x")
+
+        run_guarded(always, retries=3,
+                    backoff=BackoffPolicy(base_s=100.0, jitter=False),
+                    budget=CellBudget(max_seconds=0.05),
+                    sleep=sleeps.append)
+        assert sleeps and all(s <= 0.05 for s in sleeps)
 
     def test_livelock_recorded_not_raised(self):
         def spin(attempt):

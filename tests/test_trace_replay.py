@@ -218,6 +218,48 @@ class TestPrune:
         cache.prune(0)
         assert len(cache) == 2  # memory traces survive disk eviction
 
+    def test_prune_evicts_quarantine_first(self, tmp_path):
+        # a quarantined file with the *newest* mtime still goes before
+        # any live trace: it serves no lookups and must never crowd
+        # them out of the byte budget
+        cache = self._fill(tmp_path, 3)
+        live = sorted(tmp_path.glob("trace-*.json"))
+        corrupt = tmp_path / "trace-feedface.json.corrupt"
+        corrupt.write_bytes(b"x" * 64)
+        os.utime(corrupt, (2_000_000, 2_000_000))
+        budget = sum(p.stat().st_size for p in live)
+        removed, freed = cache.prune(budget)
+        assert (removed, freed) == (1, 64)
+        assert not corrupt.exists()
+        assert set(tmp_path.glob("trace-*.json")) == set(live)
+
+    def test_prune_counts_quarantine_toward_budget(self, tmp_path):
+        # budget smaller than quarantine + live: the corrupt file goes
+        # first, then live traces oldest-first until the layer fits
+        cache = self._fill(tmp_path, 2)
+        live = sorted(tmp_path.glob("trace-*.json"),
+                      key=lambda p: p.stat().st_mtime)
+        corrupt = tmp_path / "trace-feedface.json.corrupt"
+        corrupt.write_bytes(b"x" * 64)
+        keep = sum(p.stat().st_size for p in live[1:])
+        removed, _freed = cache.prune(keep)
+        assert removed == 2  # the corrupt file + the oldest live trace
+        assert not corrupt.exists()
+        assert set(tmp_path.glob("trace-*.json")) == set(live[1:])
+
+    def test_prune_quarantine_counter(self, tmp_path):
+        from repro import telemetry
+
+        cache = TraceCache(disk_dir=tmp_path)
+        (tmp_path / "trace-0badc0de.json.corrupt").write_bytes(b"y" * 8)
+        try:
+            registry, _spans = telemetry.enable()
+            cache.prune(0)
+            assert registry.get(
+                "repro_trace_prune_quarantined").value() == 1
+        finally:
+            telemetry.disable()
+
     def test_prune_updates_disk_gauges(self, tmp_path):
         from repro import telemetry
 
