@@ -1,0 +1,74 @@
+"""Automated race repair, end to end: localize -> fix -> verify -> rank.
+
+The paper removes data races *by hand* (Section IV) and prices the
+result (Tables IV-VII).  This demo runs ``repro.repair`` on two
+targets and narrates each pipeline stage:
+
+1. **cc** — the label-jumping connected-components kernel.  The
+   pipeline localizes the jump read/write races, filters the
+   already-atomic hook and thread-private sites, promotes the suspects
+   to relaxed atomics, proves the result race-free and
+   output-equivalent with the DPOR explorer, and shows the ranked fix
+   table: the minimal promotion prices exactly like the hand-written
+   race-free variant while the seq-cst version visibly overpays.
+2. **twophase** — a micro-kernel where promotion is the *wrong* fix
+   (atomics serialize the accesses but still read the wrong phase);
+   only the barrier insertion verifies, demonstrating that acceptance
+   is semantic, not syntactic.
+
+Run:  python examples/race_repair_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.repair import repair
+
+
+def narrate(report) -> None:
+    print(f"\n=== {report.target} ===")
+    print(f"obligations localized: {len(report.obligations)}")
+    for ob in report.obligations:
+        tag = " (predicted only)" if ob.predicted_only else ""
+        print(f"  {ob.obligation_id}{tag}")
+    filtered = report.prefilter.filtered_sites
+    if filtered:
+        print("pre-filtered as provably race-free: "
+              + ", ".join(f"{s}={report.prefilter.verdicts[s]}"
+                          for s in sorted(filtered)))
+    for verdict in report.candidates:
+        mark = "ACCEPT" if verdict.accepted else f"reject:{verdict.verdict}"
+        print(f"  [{mark}] {verdict.fixset.describe()}")
+    print()
+    from repro.repair.rank import format_table
+    from repro.repair.targets import get_target
+    print(format_table(get_target(report.target), report.ranked,
+                       report.devices))
+
+
+def main() -> None:
+    cc_report = repair("cc", budget="smoke")
+    narrate(cc_report)
+    top = cc_report.top_fix
+    worst = max(abs(r - 1.0) for r in top.vs_racefree.values())
+    print(f"\ntop fix is within {worst:.1%} of the hand-written "
+          "race-free variant on every device — repaired for free")
+
+    tp_report = narrate_twophase()
+    assert tp_report.ok and cc_report.ok
+    print("\nboth targets repaired: every accepted fix is DPOR-verified "
+          "race-free and output-equivalent")
+
+
+def narrate_twophase():
+    report = repair("twophase", budget="smoke")
+    narrate(report)
+    top = report.top_fix.fixset
+    print(f"\nonly the barrier verifies here ({top.describe()}): "
+          "atomic promotion serializes the accesses but still reads "
+          "the wrong phase, and the verifier rejects it on the "
+          "invariant, not on races")
+    return report
+
+
+if __name__ == "__main__":
+    main()

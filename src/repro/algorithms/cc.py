@@ -109,13 +109,15 @@ def run_perf(graph, recorder, seed: int = 0) -> dict:
 def _find(ctx: ThreadCtx, label: ArrayHandle, x: int,
           read_kind: AccessKind, write_kind: AccessKind):
     """Union-find find with (racy in the baseline) path compression."""
-    parent = yield ctx.load(label, x, read_kind)
+    parent = yield ctx.load(label, x, read_kind, site="cc.label.jump_read")
     while parent != x:
-        grand = yield ctx.load(label, parent, read_kind)
+        grand = yield ctx.load(label, parent, read_kind,
+                               site="cc.label.jump_read")
         if grand == parent:
             return parent
         # pointer jumping: monotonic shortcut, unprotected in baseline
-        yield ctx.store(label, x, grand, write_kind)
+        yield ctx.store(label, x, grand, write_kind,
+                        site="cc.label.jump_write")
         x = parent
         parent = grand
     return x
@@ -140,7 +142,8 @@ def make_cc_kernel(variant: Variant):
             ru = yield from _find(ctx, label, u, jump_read, jump_write)
             while rv != ru:
                 lo, hi = (ru, rv) if ru < rv else (rv, ru)
-                old = yield ctx.atomic_cas(label, hi, hi, lo)
+                old = yield ctx.atomic_cas(label, hi, hi, lo,
+                                           site="cc.label.hook")
                 if old == hi:
                     yield ctx.store(changed, 0, 1, AccessKind.ATOMIC)
                     break
@@ -161,7 +164,8 @@ def make_flatten_kernel(variant: Variant):
         if v >= label.length:
             return
         root = yield from _find(ctx, label, v, jump_read, jump_write)
-        yield ctx.store(label, v, root, jump_write)
+        yield ctx.store(label, v, root, jump_write,
+                        site="cc.label.jump_write")
 
     return flatten_kernel
 

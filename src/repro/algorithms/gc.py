@@ -143,33 +143,37 @@ def make_gc_kernel(variant: Variant):
         v = ctx.tid
         if v >= color.length:
             return
-        mine = yield ctx.load(color, v, color_read)
+        mine = yield ctx.load(color, v, color_read, site="gc.color.read")
         if mine != UNCOLORED:
             return
         beg = yield ctx.load(offsets, v)
         end = yield ctx.load(offsets, v + 1)
-        my_prio = yield ctx.load(prio, v)
-        my_poss = yield ctx.load(posscol, v, poss_read)
+        my_prio = yield ctx.load(prio, v, site="gc.prio.read")
+        my_poss = yield ctx.load(posscol, v, poss_read,
+                                 site="gc.posscol.read")
         blockers = []
         for e in range(beg, end):
             u = yield ctx.load(indices, e)
-            uc = yield ctx.load(color, u, color_read)
+            uc = yield ctx.load(color, u, color_read, site="gc.color.read")
             if uc != UNCOLORED:
                 my_poss &= ~(1 << uc)
             else:
-                up = yield ctx.load(prio, u)
+                up = yield ctx.load(prio, u, site="gc.prio.read")
                 if up > my_prio:
                     blockers.append(u)
-        yield ctx.store(posscol, v, my_poss, poss_write)
+        yield ctx.store(posscol, v, my_poss, poss_write,
+                        site="gc.posscol.write")
         candidate = _min_bit(my_poss)
         if blockers:
             # shortcut 1: safe if every higher-priority uncolored
             # neighbor can only take colors above our candidate
             for u in blockers:
-                u_poss = yield ctx.load(posscol, u, poss_read)
+                u_poss = yield ctx.load(posscol, u, poss_read,
+                                        site="gc.posscol.read")
                 if _min_bit(u_poss) <= candidate:
                     return  # still blocked
-        yield ctx.store(color, v, candidate, color_write)
+        yield ctx.store(color, v, candidate, color_write,
+                        site="gc.color.write")
         yield ctx.store(changed, 0, 1, AccessKind.ATOMIC)
 
     return gc_kernel

@@ -90,9 +90,12 @@ def run_perf(graph, recorder, seed: int = 0,
 
     if stale_fraction is None:
         stale_fraction = BASELINE_STALE_FRACTION
-    if recorder.variant is Variant.RACE_FREE or stale_fraction == 0.0:
-        # atomics are immediately visible: the staleness constant is
-        # never consumed, so this trace serves every device
+    poll_kind = site_kind(recorder.plan, recorder.variant, "mis.nstat.poll")
+    if poll_kind is AccessKind.ATOMIC or stale_fraction == 0.0:
+        # atomic polls are immediately visible: the staleness constant
+        # is never consumed, so this trace serves every device.  Keyed
+        # on the *effective* site kind, not the variant, so candidate
+        # repair plans that promote the poll site price correctly.
         view = DelayedView(status, delay=0)
     else:
         view = DelayedView(status, delay=recorder.visibility_delay(),
@@ -147,23 +150,31 @@ def make_mis_kernel(variant: Variant):
         atomic_read_char,
     )
 
+    # kind-driven (not variant-driven) so repair overrides engage the
+    # hand-written atomic paths: promoting a byte site to ATOMIC *means*
+    # the Fig. 3b/4b word-widened helpers
     poll_kind = site_kind(ACCESS_PLAN, variant, "mis.nstat.poll")
     write_kind = site_kind(ACCESS_PLAN, variant, "mis.nstat.write")
-    racefree = variant is Variant.RACE_FREE
 
     def read_stat(ctx, nstat, v):
-        if racefree:
-            value = yield from atomic_read_char(ctx, nstat, v)
+        if poll_kind is AccessKind.ATOMIC:
+            value = yield from atomic_read_char(ctx, nstat, v,
+                                                site="mis.nstat.poll")
         else:
-            value = yield ctx.load(nstat, v, poll_kind)
+            value = yield ctx.load(nstat, v, poll_kind,
+                                   site="mis.nstat.poll")
         return value
 
     def write_stat(ctx, nstat, v, bits):
-        if racefree:
-            yield from atomic_or_char(ctx, nstat, v, bits)
+        if write_kind is AccessKind.ATOMIC:
+            yield from atomic_or_char(ctx, nstat, v, bits,
+                                      site="mis.nstat.write")
         else:
-            old = yield ctx.load(nstat, v, poll_kind)
-            yield ctx.store(nstat, v, old | bits, write_kind)
+            # the read half of the composed RMW is a poll-site access,
+            # so it follows the poll site's effective kind
+            old = yield from read_stat(ctx, nstat, v)
+            yield ctx.store(nstat, v, old | bits, write_kind,
+                            site="mis.nstat.write")
 
     def mis_kernel(ctx: ThreadCtx, offsets, indices, prio, nstat):
         v = ctx.tid
@@ -171,7 +182,7 @@ def make_mis_kernel(variant: Variant):
             return
         beg = yield ctx.load(offsets, v)
         end = yield ctx.load(offsets, v + 1)
-        my_prio = yield ctx.load(prio, v)
+        my_prio = yield ctx.load(prio, v, site="mis.prio.read")
         while True:
             mine = yield from read_stat(ctx, nstat, v)
             if mine != UNDECIDED:
@@ -185,7 +196,7 @@ def make_mis_kernel(variant: Variant):
                     any_in = True
                     break
                 if su == UNDECIDED:
-                    up = yield ctx.load(prio, u)
+                    up = yield ctx.load(prio, u, site="mis.prio.read")
                     if up > my_prio:
                         best = False
             if any_in:
@@ -263,20 +274,23 @@ def make_mis_kernel_packed(variant: Variant):
 
     poll_kind = site_kind(ACCESS_PLAN, variant, "mis.nstat.poll")
     write_kind = site_kind(ACCESS_PLAN, variant, "mis.nstat.write")
-    racefree = variant is Variant.RACE_FREE
 
     def read_byte(ctx, nstat, v):
-        if racefree:
-            value = yield from atomic_read_char(ctx, nstat, v)
+        if poll_kind is AccessKind.ATOMIC:
+            value = yield from atomic_read_char(ctx, nstat, v,
+                                                site="mis.nstat.poll")
         else:
-            value = yield ctx.load(nstat, v, poll_kind)
+            value = yield ctx.load(nstat, v, poll_kind,
+                                   site="mis.nstat.poll")
         return value
 
     def write_byte(ctx, nstat, v, value):
-        if racefree:
-            yield from atomic_write_char(ctx, nstat, v, value)
+        if write_kind is AccessKind.ATOMIC:
+            yield from atomic_write_char(ctx, nstat, v, value,
+                                         site="mis.nstat.write")
         else:
-            yield ctx.store(nstat, v, value, write_kind)
+            yield ctx.store(nstat, v, value, write_kind,
+                            site="mis.nstat.write")
 
     def mis_kernel(ctx: ThreadCtx, offsets, indices, nstat):
         v = ctx.tid

@@ -171,39 +171,48 @@ def make_scc_propagate_kernel(variant: Variant, out_dir: bool):
         write_second,
     )
 
+    # kind-driven (not variant-driven) so repair overrides engage the
+    # hand-written Fig. 5 half accessors: promoting the pathmax sites to
+    # ATOMIC *means* per-half 32-bit atomics, not an 8-byte atomic pair
     read_kind = site_kind(ACCESS_PLAN, variant, "scc.pathmax.read")
     write_kind = site_kind(ACCESS_PLAN, variant, "scc.pathmax.write")
     goagain_w = site_kind(ACCESS_PLAN, variant, "scc.goagain.write")
-    racefree = variant is Variant.RACE_FREE
 
     def read_half(ctx, pathmax, v):
-        if racefree:
+        if read_kind is AccessKind.ATOMIC:
             if out_dir:
-                value = yield from read_first(ctx, pathmax, v)
+                value = yield from read_first(ctx, pathmax, v,
+                                              site="scc.pathmax.read")
             else:
-                value = yield from read_second(ctx, pathmax, v)
+                value = yield from read_second(ctx, pathmax, v,
+                                               site="scc.pathmax.read")
             return value
         # baseline: whole-pair plain read (may tear across halves,
         # which the code tolerates; within-half tearing cannot happen
         # on this 32-bit-word simulator, matching real GPUs)
-        pair = yield ctx.load(pathmax, v, read_kind)
+        pair = yield ctx.load(pathmax, v, read_kind,
+                              site="scc.pathmax.read")
         lo = pair & 0xFFFFFFFF
         hi = (pair >> 32) & 0xFFFFFFFF
         return lo if out_dir else hi
 
     def write_half(ctx, pathmax, v, value):
-        if racefree:
+        if write_kind is AccessKind.ATOMIC:
             if out_dir:
-                yield from write_first(ctx, pathmax, v, value)
+                yield from write_first(ctx, pathmax, v, value,
+                                       site="scc.pathmax.write")
             else:
-                yield from write_second(ctx, pathmax, v, value)
+                yield from write_second(ctx, pathmax, v, value,
+                                        site="scc.pathmax.write")
             return
-        pair = yield ctx.load(pathmax, v, read_kind)
+        pair = yield ctx.load(pathmax, v, read_kind,
+                              site="scc.pathmax.read")
         if out_dir:
             pair = (pair & ~0xFFFFFFFF) | (value & 0xFFFFFFFF)
         else:
             pair = (pair & 0xFFFFFFFF) | ((value & 0xFFFFFFFF) << 32)
-        yield ctx.store(pathmax, v, pair, write_kind)
+        yield ctx.store(pathmax, v, pair, write_kind,
+                        site="scc.pathmax.write")
 
     def scc_kernel(ctx: ThreadCtx, offsets, indices, pathmax, active,
                    goagain):
@@ -227,7 +236,8 @@ def make_scc_propagate_kernel(variant: Variant, out_dir: bool):
                 best = theirs
         if best > mine:
             yield from write_half(ctx, pathmax, v, best)
-            yield ctx.store(goagain, 0, 1, goagain_w)
+            yield ctx.store(goagain, 0, 1, goagain_w,
+                            site="scc.goagain.write")
 
     return scc_kernel
 

@@ -381,7 +381,11 @@ def _cmd_check(args) -> int:
     variants = ([Variant(args.variant)] if args.variant != "both"
                 else list(Variant))
 
+    # with --json - the narration moves to stderr so stdout is
+    # machine-parseable JSON and nothing else
+    narrate = sys.stderr if args.json == "-" else sys.stdout
     failed = False
+    json_entries = []
     for name in names:
         for variant in variants:
             report = check(name, variant=variant, budget=budget,
@@ -389,14 +393,81 @@ def _cmd_check(args) -> int:
                            compare_naive=args.compare_naive,
                            minimize=not args.no_minimize,
                            state_dedupe=args.state_dedupe)
-            print(report.summary())
-            print()
+            print(report.summary(), file=narrate)
+            print(file=narrate)
             expected_racy = (PATTERNS[name].expected_racy
                              and variant is Variant.BASELINE)
             if report.ok == expected_racy:
                 failed = True
                 verdict = "MISSED RACE" if expected_racy else "FALSE ALARM"
-                print(f"  *** {verdict}: {name}/{variant.value} ***\n")
+                print(f"  *** {verdict}: {name}/{variant.value} ***\n",
+                      file=narrate)
+            if args.json:
+                json_entries.append({
+                    "program": report.program,
+                    "ok": report.ok,
+                    "expected_racy": expected_racy,
+                    "schedules_explored": report.explore.schedules,
+                    "complete": report.explore.complete,
+                    "truncated_runs": report.explore.truncated_runs,
+                    "races": [r.to_json() for r in report.races],
+                    "failures": [
+                        {"kind": f.kind, "detail": f.detail,
+                         "schedule": f.repro_log.compact(),
+                         "replay_verified": f.replay_verified}
+                        for f in report.failures
+                    ],
+                })
+    if args.json:
+        payload = {"budget": args.budget, "mode": args.mode,
+                   "ok": not failed, "reports": json_entries}
+        _write_json(args.json, payload)
+        if args.json != "-":
+            print(f"wrote {args.json}")
+    return 1 if failed else 0
+
+
+def _write_json(path: str, payload: dict) -> None:
+    import json
+
+    if path == "-":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _cmd_repair(args) -> int:
+    from repro.repair import list_targets, repair
+
+    names = list_targets() if args.target == "all" else [args.target]
+    devices = tuple(args.devices.split(",")) if args.devices else None
+    narrate = sys.stderr if args.json == "-" else sys.stdout
+    failed = False
+    reports = []
+    for name in names:
+        report = repair(
+            name, budget=args.budget,
+            **({"devices": devices} if devices else {}),
+            seeds=tuple(range(args.seeds)),
+            max_candidates=args.max_candidates,
+            shrink=not args.no_shrink)
+        print(report.render(), file=narrate)
+        print(file=narrate)
+        reports.append(report)
+        if not report.ok:
+            failed = True
+            print(f"  *** UNREPAIRED: {name} — races found but no "
+                  "candidate fix was verified race-free ***\n",
+                  file=narrate)
+    if args.json:
+        payload = {"budget": args.budget,
+                   "ok": not failed,
+                   "reports": [r.to_json() for r in reports]}
+        _write_json(args.json, payload)
+        if args.json != "-":
+            print(f"wrote {args.json}")
     return 1 if failed else 0
 
 
@@ -615,6 +686,31 @@ def build_parser() -> argparse.ArgumentParser:
     chk.add_argument("--inject", default=None, metavar="SPEC",
                      help="explore under a fault plan, e.g. 'tear=0.5'")
     chk.add_argument("--fault-seed", type=int, default=0)
+    chk.add_argument("--json", default=None, metavar="PATH",
+                     help="write the structured race reports to PATH "
+                          "('-' for stdout)")
+
+    rep = sub.add_parser(
+        "repair", help="localize, synthesize, DPOR-verify, and rank "
+                       "race fixes for a target")
+    rep.add_argument("target", nargs="?", default="all",
+                     help="repair target (cc, mis, gc, scc, twophase) "
+                          "or 'all'")
+    rep.add_argument("--budget", default="smoke",
+                     choices=["smoke", "default", "deep"],
+                     help="DPOR budget per candidate verification")
+    rep.add_argument("--devices", default=None,
+                     help="comma-separated device keys for ranking "
+                          "(default: full zoo)")
+    rep.add_argument("--seeds", type=int, default=3,
+                     help="random-scheduler seeds for localization")
+    rep.add_argument("--max-candidates", type=int, default=8,
+                     help="cap on synthesized fix-sets")
+    rep.add_argument("--no-shrink", action="store_true",
+                     help="skip the greedy minimal-set search")
+    rep.add_argument("--json", default=None, metavar="PATH",
+                     help="write the full repair reports to PATH "
+                          "('-' for stdout)")
     return parser
 
 
@@ -630,6 +726,7 @@ def main(argv: list[str] | None = None) -> int:
         "inputs": _cmd_inputs,
         "sweep": _cmd_sweep,
         "check": _cmd_check,
+        "repair": _cmd_repair,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
         "chaos": _cmd_chaos,

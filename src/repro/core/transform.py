@@ -133,8 +133,49 @@ def plan_for(plan: AccessPlan, variant: Variant) -> AccessPlan:
 
 def site_kind(plan: AccessPlan, variant: Variant, name: str) -> AccessKind:
     """Access kind of ``name`` under ``variant`` — the single lookup
-    both execution levels use."""
+    both execution levels use.
+
+    An active :func:`repro.gpu.overrides.site_kind_overrides` context
+    shadows the plan's answer: this is how the repair pipeline applies
+    a candidate fix to a kernel without editing algorithm source.
+    """
+    from repro.gpu.overrides import current_override
+
+    override = current_override(name)
+    if override is not None:
+        # the override must still name a real site of this plan
+        plan.site(name)
+        return override
     return plan_for(plan, variant).site(name).kind
+
+
+def with_site_kinds(plan: AccessPlan,
+                    kinds: dict[str, AccessKind],
+                    orders: dict[str, MemoryOrder] | None = None
+                    ) -> AccessPlan:
+    """Copy of ``plan`` with the named sites' kinds (and optionally
+    orders) replaced — the plan-level form of a repair fix-set, used to
+    price candidate fixes through the perf engine.
+
+    Unlike :func:`remove_races_at`, this sets arbitrary kinds (a
+    candidate may demote nothing but may promote to VOLATILE as well as
+    ATOMIC) and leaves untouched sites exactly as they were.
+    """
+    orders = orders or {}
+    unknown = (set(kinds) | set(orders)) - {s.name for s in plan.sites}
+    if unknown:
+        raise StudyError(
+            f"unknown site(s) {sorted(unknown)} in plan for "
+            f"{plan.algorithm}")
+    converted = []
+    for s in plan.sites:
+        if s.name in kinds or s.name in orders:
+            converted.append(replace(
+                s, kind=kinds.get(s.name, s.kind),
+                order=orders.get(s.name, s.order)))
+        else:
+            converted.append(s)
+    return AccessPlan(plan.algorithm, tuple(converted))
 
 
 def with_order(plan: AccessPlan, order: MemoryOrder) -> AccessPlan:

@@ -95,36 +95,40 @@ def _word_span(handle: ArrayHandle, byte_index: int):
     return handle.cast_span((byte_index // 4) * 4, 4)
 
 
-def atomic_read_char(ctx: ThreadCtx, handle: ArrayHandle, index: int):
+def atomic_read_char(ctx: ThreadCtx, handle: ArrayHandle, index: int,
+                     site: str | None = None):
     """Fig. 3b: atomically read the ``int`` containing char ``index``,
     then shift and mask out the byte."""
     span = _word_span(handle, index)
-    word = yield ctx.load_span(span, AccessKind.ATOMIC)
+    word = yield ctx.load_span(span, AccessKind.ATOMIC, site=site)
     return byte_in_word(word, index % 4)
 
 
-def atomic_clear_char(ctx: ThreadCtx, handle: ArrayHandle, index: int):
+def atomic_clear_char(ctx: ThreadCtx, handle: ArrayHandle, index: int,
+                      site: str | None = None):
     """Fig. 4b: atomically write 0x00 to char ``index`` using an
     atomicAnd with a byte mask; returns the old byte."""
     span = _word_span(handle, index)
     old_word = yield ctx.atomic_rmw_span(span, RMWOp.AND,
-                                         make_byte_mask(index % 4))
+                                         make_byte_mask(index % 4),
+                                         site=site)
     return byte_in_word(old_word, index % 4)
 
 
 def atomic_or_char(ctx: ThreadCtx, handle: ArrayHandle, index: int,
-                   bits: int):
+                   bits: int, site: str | None = None):
     """Atomically OR ``bits`` into char ``index``; returns the old byte."""
     if not 0 <= bits <= 0xFF:
         raise ValueError(f"bits must fit in a byte, got {bits}")
     span = _word_span(handle, index)
     old_word = yield ctx.atomic_rmw_span(span, RMWOp.OR,
-                                         bits << ((index % 4) * 8))
+                                         bits << ((index % 4) * 8),
+                                         site=site)
     return byte_in_word(old_word, index % 4)
 
 
 def atomic_write_char(ctx: ThreadCtx, handle: ArrayHandle, index: int,
-                      value: int):
+                      value: int, site: str | None = None):
     """Atomically store an arbitrary byte via a CAS loop on the word.
 
     The paper's codes get away with AND/OR because MIS status
@@ -134,11 +138,11 @@ def atomic_write_char(ctx: ThreadCtx, handle: ArrayHandle, index: int,
     if not 0 <= value <= 0xFF:
         raise ValueError(f"value must fit in a byte, got {value}")
     span = _word_span(handle, index)
-    old_word = yield ctx.load_span(span, AccessKind.ATOMIC)
+    old_word = yield ctx.load_span(span, AccessKind.ATOMIC, site=site)
     while True:
         new_word = insert_byte(old_word, index % 4, value)
         seen = yield ctx.atomic_rmw_span(span, RMWOp.CAS, new_word,
-                                         expected=old_word)
+                                         expected=old_word, site=site)
         if seen == old_word:
             return byte_in_word(old_word, index % 4)
         old_word = seen
@@ -148,30 +152,36 @@ def atomic_write_char(ctx: ThreadCtx, handle: ArrayHandle, index: int,
 # int2-in-long-long half accessors (SCC path pairs, Fig. 5)
 # ----------------------------------------------------------------------
 
-def read_first(ctx: ThreadCtx, handle: ArrayHandle, index: int):
+def read_first(ctx: ThreadCtx, handle: ArrayHandle, index: int,
+               site: str | None = None):
     """Fig. 5 ``readFirst``: atomic 32-bit read of the low half."""
-    raw = yield ctx.load_span(handle.subspan(index, 0, 4), AccessKind.ATOMIC)
+    raw = yield ctx.load_span(handle.subspan(index, 0, 4), AccessKind.ATOMIC,
+                              site=site)
     return to_signed(raw, 32)
 
 
-def read_second(ctx: ThreadCtx, handle: ArrayHandle, index: int):
+def read_second(ctx: ThreadCtx, handle: ArrayHandle, index: int,
+                site: str | None = None):
     """Fig. 5 ``readSecond``: atomic 32-bit read of the high half."""
-    raw = yield ctx.load_span(handle.subspan(index, 4, 4), AccessKind.ATOMIC)
+    raw = yield ctx.load_span(handle.subspan(index, 4, 4), AccessKind.ATOMIC,
+                              site=site)
     return to_signed(raw, 32)
 
 
 def write_first(ctx: ThreadCtx, handle: ArrayHandle, index: int,
-                value: int):
+                value: int, site: str | None = None):
     """Fig. 5 ``writeFirst``: atomic 32-bit write of the low half."""
     yield ctx.store_span(handle.subspan(index, 0, 4),
-                         to_unsigned(value, 32), AccessKind.ATOMIC)
+                         to_unsigned(value, 32), AccessKind.ATOMIC,
+                         site=site)
 
 
 def write_second(ctx: ThreadCtx, handle: ArrayHandle, index: int,
-                 value: int):
+                 value: int, site: str | None = None):
     """Fig. 5 ``writeSecond``: atomic 32-bit write of the high half."""
     yield ctx.store_span(handle.subspan(index, 4, 4),
-                         to_unsigned(value, 32), AccessKind.ATOMIC)
+                         to_unsigned(value, 32), AccessKind.ATOMIC,
+                         site=site)
 
 
 def atomic_max_half(ctx: ThreadCtx, handle: ArrayHandle, index: int,

@@ -1,0 +1,71 @@
+"""Site-level access-kind overrides: the repair transform's hook.
+
+The repair pipeline (:mod:`repro.repair`) must apply a *candidate fix*
+— e.g. "promote ``cc.label.jump_read`` from PLAIN to ATOMIC" — to a
+kernel without editing the algorithm's source.  Kernels already resolve
+their access kinds at build time through
+:func:`repro.core.transform.site_kind`; this module gives that lookup a
+dynamic override layer:
+
+    with site_kind_overrides({"cc.label.jump_read": AccessKind.ATOMIC}):
+        kernel = make_cc_kernel(Variant.BASELINE)   # fix applied
+
+Overrides nest (inner mappings shadow outer ones for the sites they
+name) and are strictly scoped: on exit the previous state is restored
+even on error.  The layer is intentionally process-global and **not**
+thread-safe — it exists for the single-threaded repair/verification
+loop, where every schedule exploration rebuilds its kernels inside the
+context.  With no context active, :func:`current_override` returns
+``None`` for every site and the lookup path is untouched.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+from repro.errors import ReproError
+from repro.gpu.accesses import AccessKind
+
+#: stack of active override mappings; later entries shadow earlier ones
+_STACK: list[dict[str, AccessKind]] = []
+
+
+def current_override(name: str) -> AccessKind | None:
+    """The active override for site ``name``, or None."""
+    for mapping in reversed(_STACK):
+        kind = mapping.get(name)
+        if kind is not None:
+            return kind
+    return None
+
+
+def active_overrides() -> dict[str, AccessKind]:
+    """The merged override mapping currently in effect (outer→inner)."""
+    merged: dict[str, AccessKind] = {}
+    for mapping in _STACK:
+        merged.update(mapping)
+    return merged
+
+
+@contextmanager
+def site_kind_overrides(mapping: Mapping[str, AccessKind]
+                        ) -> Iterator[dict[str, AccessKind]]:
+    """Override the effective access kind of the named sites.
+
+    ``mapping`` is validated eagerly: every value must be an
+    :class:`AccessKind` (a typo'd string would otherwise surface as a
+    confusing kernel-build error deep inside a schedule exploration).
+    """
+    frame: dict[str, AccessKind] = {}
+    for name, kind in mapping.items():
+        if not isinstance(kind, AccessKind):
+            raise ReproError(
+                f"override for site {name!r} must be an AccessKind, "
+                f"got {kind!r}")
+        frame[str(name)] = kind
+    _STACK.append(frame)
+    try:
+        yield frame
+    finally:
+        _STACK.pop()

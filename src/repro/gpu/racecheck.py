@@ -44,6 +44,20 @@ from repro.gpu.accesses import AccessKind
 from repro.gpu.simt import AccessEvent, SimtExecutor
 
 
+def _site_descriptor(ev: AccessEvent) -> str:
+    """Stable per-access source descriptor.
+
+    Prefers the kernel-declared access-plan site label (stable across
+    schedules, graph sizes, and runs: it names the algorithm, kernel
+    phase, and array role, e.g. ``"cc.label.jump_read"``).  Unlabeled
+    accesses fall back to the array name plus byte range — deterministic
+    for a fixed input, though not comparable across input sizes.
+    """
+    where = ev.site or f"{ev.span.array}[{ev.span.start}:{ev.span.end}]"
+    direction = "write" if ev.is_write else "read"
+    return f"{where}/{ev.access.value}-{direction}"
+
+
 @dataclass(frozen=True)
 class RaceReport:
     """One detected data race: a pair of unordered conflicting accesses.
@@ -78,14 +92,74 @@ class RaceReport:
                 self.first.is_write, self.second.is_write,
                 self.first.access, self.second.access)
 
+    @property
+    def source_sites(self) -> tuple[str, str]:
+        """The two accesses' stable source descriptors (sorted)."""
+        pair = sorted((_site_descriptor(self.first),
+                       _site_descriptor(self.second)))
+        return (pair[0], pair[1])
+
+    @property
+    def site_id(self) -> str:
+        """Schedule-stable identifier of the racy *site pair*.
+
+        Unlike :attr:`site_key` (positional byte offsets, used for
+        per-run dedupe), this identifier is built from the accesses'
+        kernel-declared site labels, so the same source-level race gets
+        the same id across schedules, runs, and graph sizes — the key
+        the repair localizer clusters obligations by.
+        """
+        a, b = self.source_sites
+        return f"{self.array}:{a}<->{b}"
+
+    @property
+    def fixable_sites(self) -> tuple[str, ...]:
+        """Kernel-declared plan-site labels of the non-atomic accesses
+        in this pair — the sites a per-site promotion fix can target."""
+        labels = []
+        for ev in (self.first, self.second):
+            if ev.site and ev.access is not AccessKind.ATOMIC:
+                labels.append(ev.site)
+        return tuple(sorted(set(labels)))
+
+    def to_json(self) -> dict:
+        """Machine-readable form (``repro check --json`` / the repair
+        localizer's input)."""
+        def access(ev: AccessEvent) -> dict:
+            return {
+                "site": ev.site,
+                "descriptor": _site_descriptor(ev),
+                "tid": ev.tid,
+                "block": ev.block,
+                "launch": ev.launch,
+                "epoch": ev.epoch,
+                "span": [ev.span.array, ev.span.start, ev.span.nbytes],
+                "access_kind": ev.access.value,
+                "direction": "write" if ev.is_write else "read",
+            }
+
+        return {
+            "array": self.array,
+            "byte": self.byte,
+            "kind": self.kind,
+            "predicted": self.predicted,
+            "site_id": self.site_id,
+            "fixable_sites": list(self.fixable_sites),
+            "accesses": [access(self.first), access(self.second)],
+        }
+
     def describe(self) -> str:
         flavor = "predicted " if self.predicted else ""
+        sites = ""
+        if self.first.site or self.second.site:
+            a, b = self.source_sites
+            sites = f" [{a} vs {b}]"
         return (
             f"{flavor}{self.kind} race on {self.array} byte {self.byte}: "
             f"thread {self.first.tid} ({self.first.access.value} "
             f"{'write' if self.first.is_write else 'read'}) vs "
             f"thread {self.second.tid} ({self.second.access.value} "
-            f"{'write' if self.second.is_write else 'read'})"
+            f"{'write' if self.second.is_write else 'read'}){sites}"
         )
 
 

@@ -73,11 +73,19 @@ class Op:
     rmw: RMWOp | None = None
     expected: int | None = None       # CAS expected value
     signed: bool = False              # sign-extend load results
+    site: str | None = None           # source access-plan site label
 
 
 @dataclass(frozen=True)
 class AccessEvent:
-    """One micro-operation against global memory."""
+    """One micro-operation against global memory.
+
+    ``site`` carries the kernel-declared access-plan site label of the
+    originating op (e.g. ``"cc.label.jump_read"``) when the kernel
+    provided one — the stable source identifier race reports and the
+    repair localizer key on.  Structure reads and ad-hoc accesses leave
+    it None.
+    """
 
     step: int
     launch: int
@@ -89,6 +97,7 @@ class AccessEvent:
     is_write: bool
     access: AccessKind
     value: int
+    site: str | None = None
 
 
 @dataclass
@@ -138,44 +147,53 @@ class ThreadCtx:
     # -- element accesses ---------------------------------------------
     def load(self, handle: ArrayHandle, index: int,
              kind: AccessKind = AccessKind.PLAIN,
-             order: MemoryOrder = MemoryOrder.RELAXED) -> Op:
+             order: MemoryOrder = MemoryOrder.RELAXED,
+             site: str | None = None) -> Op:
         return Op(OpKind.LOAD, handle.span(index), kind, order,
-                  signed=handle.dtype.signed)
+                  signed=handle.dtype.signed, site=site)
 
     def store(self, handle: ArrayHandle, index: int, value: int,
               kind: AccessKind = AccessKind.PLAIN,
-              order: MemoryOrder = MemoryOrder.RELAXED) -> Op:
-        return Op(OpKind.STORE, handle.span(index), kind, order, value=value)
+              order: MemoryOrder = MemoryOrder.RELAXED,
+              site: str | None = None) -> Op:
+        return Op(OpKind.STORE, handle.span(index), kind, order,
+                  value=value, site=site)
 
     # -- raw span accesses (typecasting tricks) ------------------------
     def load_span(self, span: MemSpan,
                   kind: AccessKind = AccessKind.PLAIN,
                   signed: bool = False,
-                  order: MemoryOrder = MemoryOrder.RELAXED) -> Op:
-        return Op(OpKind.LOAD, span, kind, order, signed=signed)
+                  order: MemoryOrder = MemoryOrder.RELAXED,
+                  site: str | None = None) -> Op:
+        return Op(OpKind.LOAD, span, kind, order, signed=signed, site=site)
 
     def store_span(self, span: MemSpan, value: int,
                    kind: AccessKind = AccessKind.PLAIN,
-                   order: MemoryOrder = MemoryOrder.RELAXED) -> Op:
-        return Op(OpKind.STORE, span, kind, order, value=value)
+                   order: MemoryOrder = MemoryOrder.RELAXED,
+                   site: str | None = None) -> Op:
+        return Op(OpKind.STORE, span, kind, order, value=value, site=site)
 
     # -- read-modify-write atomics -------------------------------------
     def atomic_rmw(self, handle: ArrayHandle, index: int, op: RMWOp,
-                   value: int, expected: int | None = None) -> Op:
+                   value: int, expected: int | None = None,
+                   site: str | None = None) -> Op:
         return Op(OpKind.RMW, handle.span(index), AccessKind.ATOMIC,
                   MemoryOrder.RELAXED, value=value, rmw=op,
-                  expected=expected, signed=handle.dtype.signed)
+                  expected=expected, signed=handle.dtype.signed, site=site)
 
     def atomic_rmw_span(self, span: MemSpan, op: RMWOp, value: int,
                         expected: int | None = None,
-                        signed: bool = False) -> Op:
+                        signed: bool = False,
+                        site: str | None = None) -> Op:
         return Op(OpKind.RMW, span, AccessKind.ATOMIC, MemoryOrder.RELAXED,
-                  value=value, rmw=op, expected=expected, signed=signed)
+                  value=value, rmw=op, expected=expected, signed=signed,
+                  site=site)
 
     def atomic_cas(self, handle: ArrayHandle, index: int,
-                   expected: int, desired: int) -> Op:
+                   expected: int, desired: int,
+                   site: str | None = None) -> Op:
         return self.atomic_rmw(handle, index, RMWOp.CAS, desired,
-                               expected=expected)
+                               expected=expected, site=site)
 
     # -- synchronization -----------------------------------------------
     def barrier(self) -> Op:
@@ -202,6 +220,7 @@ class _Micro:
     rmw: RMWOp | None = None
     operand: int = 0
     expected: int | None = None
+    site: str | None = None
 
 
 @dataclass
@@ -537,7 +556,7 @@ class SimtExecutor:
             thread.pieces.append(old)
             stats.rmws += 1
             self._record(stats, launch_id, thread, epochs, span,
-                         True, True, AccessKind.ATOMIC, old)
+                         True, True, AccessKind.ATOMIC, old, micro.site)
         elif micro.is_write:
             if self.weak_memory and micro.access is not AccessKind.ATOMIC:
                 thread.store_buffer.append((span, micro.value))
@@ -549,14 +568,14 @@ class SimtExecutor:
             which = stats.stores
             which[micro.access] = which[micro.access] + 1
             self._record(stats, launch_id, thread, epochs, span,
-                         False, True, micro.access, micro.value)
+                         False, True, micro.access, micro.value, micro.site)
         else:
             value = self.memory.span_read(span, kind=micro.access)
             thread.pieces.append(value)
             which = stats.loads
             which[micro.access] = which[micro.access] + 1
             self._record(stats, launch_id, thread, epochs, span,
-                         True, False, micro.access, value)
+                         True, False, micro.access, value, micro.site)
 
         if not thread.micro:
             self._complete_op(thread, stats)
@@ -564,13 +583,14 @@ class SimtExecutor:
 
     def _record(self, stats: LaunchStats, launch_id: int, thread: _Thread,
                 epochs: dict[int, int], span: MemSpan, is_read: bool,
-                is_write: bool, access: AccessKind, value: int) -> None:
+                is_write: bool, access: AccessKind, value: int,
+                site: str | None = None) -> None:
         if self.record_events:
             self.events.append(AccessEvent(
                 step=stats.steps, launch=launch_id, tid=thread.tid,
                 block=thread.block, epoch=epochs[thread.block], span=span,
                 is_read=is_read, is_write=is_write, access=access,
-                value=value,
+                value=value, site=site,
             ))
 
     def _complete_op(self, thread: _Thread, stats: LaunchStats) -> None:
@@ -671,7 +691,8 @@ class SimtExecutor:
         if op.kind is OpKind.LOAD:
             if op.access is AccessKind.ATOMIC:
                 self._check_atomic_span(span)
-                thread.micro.append(_Micro(span, True, False, op.access))
+                thread.micro.append(
+                    _Micro(span, True, False, op.access, site=op.site))
             else:
                 if (self.register_cache_plain
                         and op.access is AccessKind.PLAIN
@@ -681,27 +702,29 @@ class SimtExecutor:
                     return
                 for piece in split_native_words(span):
                     thread.micro.append(
-                        _Micro(piece, True, False, op.access))
+                        _Micro(piece, True, False, op.access, site=op.site))
         elif op.kind is OpKind.STORE:
             raw = to_unsigned(op.value, span.nbytes * 8)
             if op.access is AccessKind.ATOMIC:
                 self._check_atomic_span(span)
                 thread.micro.append(
-                    _Micro(span, False, True, op.access, value=raw))
+                    _Micro(span, False, True, op.access, value=raw,
+                           site=op.site))
             else:
                 shift = 0
                 for piece in split_native_words(span):
                     piece_raw = (raw >> shift) & ((1 << (piece.nbytes * 8)) - 1)
                     thread.micro.append(
                         _Micro(piece, False, True, op.access,
-                               value=piece_raw))
+                               value=piece_raw, site=op.site))
                     shift += piece.nbytes * 8
         elif op.kind is OpKind.RMW:
             self._check_atomic_span(span)
             thread.reg_cache.clear()  # atomics synchronize the thread
             thread.micro.append(_Micro(
                 span, True, True, AccessKind.ATOMIC, value=int(op.signed),
-                rmw=op.rmw, operand=op.value or 0, expected=op.expected))
+                rmw=op.rmw, operand=op.value or 0, expected=op.expected,
+                site=op.site))
         else:  # pragma: no cover - closed enum
             raise KernelError(f"unhandled op kind {op.kind}")
 

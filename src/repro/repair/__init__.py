@@ -1,0 +1,44 @@
+"""repro.repair — automated race repair with DPOR verification.
+
+The pipeline turns the detection machinery of :mod:`repro.check` into a
+*fix generator*: localize races into per-site repair obligations,
+pre-filter sites that are provably race-free, synthesize candidate
+fix-sets (per-site PLAIN→ATOMIC / PLAIN→VOLATILE promotion, barrier
+insertion), verify every candidate through the sleep-set DPOR explorer,
+and price the survivors across the device zoo — emitting a ranked fix
+table shaped like the paper's Tables IV-VII (slowdown vs the racy
+baseline and vs the hand-written race-free variant).
+
+Candidate fixes are applied *without editing algorithm source*: kernels
+resolve their access kinds through
+:func:`repro.core.transform.site_kind`, which an active
+:func:`repro.gpu.overrides.site_kind_overrides` context shadows.
+"""
+
+from repro.repair.localize import SiteObligation, localize
+from repro.repair.prefilter import PrefilterReport, prefilter
+from repro.repair.synth import Fix, FixSet, synthesize
+from repro.repair.verify import CandidateVerdict, shrink_fixset, verify_candidate
+from repro.repair.rank import RankedFix, rank_fixes
+from repro.repair.pipeline import RepairReport, repair
+from repro.repair.targets import RepairTarget, get_target, list_targets
+
+__all__ = [
+    "CandidateVerdict",
+    "Fix",
+    "FixSet",
+    "PrefilterReport",
+    "RankedFix",
+    "RepairReport",
+    "RepairTarget",
+    "SiteObligation",
+    "get_target",
+    "list_targets",
+    "localize",
+    "prefilter",
+    "rank_fixes",
+    "repair",
+    "shrink_fixset",
+    "synthesize",
+    "verify_candidate",
+]

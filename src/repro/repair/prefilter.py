@@ -1,0 +1,130 @@
+"""Stage 2: pre-filter provably race-free sites out of synthesis.
+
+A cheap pass over the access plan plus the localization trace that
+gives every plan site a verdict; only ``suspect`` sites are eligible
+for fixes.  The static half needs no execution at all:
+
+* ``private`` — the plan declares the site unshared (thread-private
+  bytes: read-only CSR structure, per-thread outputs);
+* ``atomic`` — the baseline already accesses it atomically (RMW sites
+  like ECL-CC's hooking CAS).
+
+The dynamic half classifies the remaining sites from the observed
+events of the localization runs:
+
+* ``unexercised`` — never executed on the localization input;
+* ``thread_private`` — every byte it touched was touched by exactly
+  one thread;
+* ``barrier_separated`` — cross-thread byte sharing exists, but every
+  such pair is ordered by a launch boundary or a ``__syncthreads()``
+  epoch;
+* ``suspect`` — implicated in at least one obligation (or sharing
+  bytes without ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.accesses import AccessKind
+from repro.gpu.simt import AccessEvent
+from repro.telemetry.metrics import SCOPE_PROCESS, get_registry
+
+#: verdicts that exclude a site from candidate synthesis
+SAFE_VERDICTS = frozenset({
+    "private", "atomic", "unexercised", "thread_private",
+    "barrier_separated",
+})
+
+
+@dataclass(frozen=True)
+class PrefilterReport:
+    """Per-site verdicts and the surviving fixable set."""
+
+    verdicts: dict[str, str]
+
+    @property
+    def suspect_sites(self) -> tuple[str, ...]:
+        return tuple(sorted(
+            s for s, v in self.verdicts.items() if v == "suspect"))
+
+    @property
+    def filtered_sites(self) -> tuple[str, ...]:
+        return tuple(sorted(
+            s for s, v in self.verdicts.items() if v in SAFE_VERDICTS))
+
+    def to_json(self) -> dict:
+        return {"verdicts": dict(sorted(self.verdicts.items()))}
+
+
+def _observed(events: list[AccessEvent]) -> dict[str, list[AccessEvent]]:
+    per_site: dict[str, list[AccessEvent]] = {}
+    for ev in events:
+        if ev.site is not None:
+            per_site.setdefault(ev.site, []).append(ev)
+    return per_site
+
+
+def _dynamic_verdict(evs: list[AccessEvent]) -> str:
+    """Classify one exercised site from its events."""
+    # byte → representative access summaries (deduplicated; enough to
+    # decide sharing and ordering on the small localization inputs)
+    per_byte: dict[tuple[str, int], set[tuple]] = {}
+    for ev in evs:
+        for byte in range(ev.span.start, ev.span.end):
+            per_byte.setdefault((ev.span.array, byte), set()).add(
+                (ev.tid, ev.launch, ev.block, ev.epoch))
+    shared = False
+    for summaries in per_byte.values():
+        tids = {s[0] for s in summaries}
+        if len(tids) < 2:
+            continue
+        shared = True
+        entries = sorted(summaries)
+        for i, a in enumerate(entries):
+            for b in entries[i + 1:]:
+                if a[0] == b[0]:
+                    continue
+                same_launch = a[1] == b[1]
+                same_epoch = a[2] == b[2] and a[3] == b[3]
+                if same_launch and (a[2] != b[2] or same_epoch):
+                    # concurrent: same launch, and either different
+                    # blocks or same block without a barrier between
+                    return "concurrent"
+    return "barrier_separated" if shared else "thread_private"
+
+
+def prefilter(plan, events: list[AccessEvent],
+              obligations) -> PrefilterReport:
+    """Assign every plan site a verdict (see module docstring)."""
+    implicated: set[str] = set()
+    for ob in obligations:
+        implicated.update(ob.sites)
+    per_site = _observed(events)
+
+    verdicts: dict[str, str] = {}
+    for site in plan.sites:
+        if not site.shared:
+            verdicts[site.name] = "private"
+        elif site.kind is AccessKind.ATOMIC or site.is_rmw:
+            verdicts[site.name] = "atomic"
+        elif site.name in implicated:
+            verdicts[site.name] = "suspect"
+        elif site.name not in per_site:
+            verdicts[site.name] = "unexercised"
+        else:
+            dynamic = _dynamic_verdict(per_site[site.name])
+            # concurrent sharing that produced no report is still kept
+            # out of synthesis only when provably ordered
+            verdicts[site.name] = ("suspect" if dynamic == "concurrent"
+                                   else dynamic)
+
+    reg = get_registry()
+    if reg.enabled:
+        fam = reg.counter("repro_repair_sites_prefiltered_total",
+                          "Plan sites classified by the repair "
+                          "pre-filter, by verdict",
+                          ("target", "verdict"), scope=SCOPE_PROCESS)
+        for verdict in verdicts.values():
+            fam.inc(1, plan.algorithm, verdict)
+    return PrefilterReport(verdicts=verdicts)

@@ -1,0 +1,334 @@
+"""Repairable kernels: what the repair pipeline can localize and fix.
+
+A :class:`RepairTarget` bundles everything the pipeline needs about one
+racy code: its access plan, a :class:`~repro.check.harness.Program`
+factory whose kernels resolve access kinds through
+:func:`repro.core.transform.site_kind` (so an override context applies
+a candidate fix without source edits), the graphs each stage runs on,
+and — when the target is one of the paper's algorithms — the key under
+which the performance level can price candidate plans.
+
+Three graph sizes per target, matched to stage cost:
+
+* ``verify_graph`` — tiny (4 vertices): every DPOR exploration of a
+  candidate runs here, so it must be small enough for the sleep-set
+  explorer to cover meaningfully within a smoke budget.
+* ``localize_graph`` — small (~24 vertices): a handful of scheduled
+  runs with the vector-clock engine; big enough that every racy site
+  is actually exercised.
+* ``perf_graph`` — medium (hundreds of vertices): one vectorized
+  perf-level execution per (candidate, staleness class) for ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.check.harness import Program
+from repro.core.transform import AccessPlan, AccessSite
+from repro.core.variants import Variant
+from repro.errors import ReproError, ValidationError
+from repro.gpu.accesses import AccessKind
+from repro.graphs import generators as gen
+from repro.graphs.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class RepairTarget:
+    """One repairable code and the harness around it.
+
+    ``build_program(barriers, graph=None)`` returns a fresh checkable
+    :class:`Program`; candidate access-kind changes are applied by the
+    *caller* via :func:`repro.gpu.overrides.site_kind_overrides`, active
+    while the program executes (kernels are built at launch time, so
+    they see the override).  ``barriers`` names the target's barrier
+    slots to enable — only meaningful for targets with
+    ``barrier_slots``; algorithm kernels have none (their launch
+    structure already is the synchronization the paper's codes use).
+    ``graph`` overrides the default ``verify_graph`` (the localizer
+    passes ``localize_graph``); graph-less targets ignore it.
+
+    ``canonical_output`` marks targets whose correct output is unique
+    (CC: min-id component labels; SCC: max-id labels), so verification
+    can require exact equality with the hand-written race-free variant,
+    not just invariant validity.
+    """
+
+    name: str
+    plan: AccessPlan
+    build_program: Callable[..., Program]
+    verify_graph: CSRGraph | None
+    localize_graph: CSRGraph | None
+    perf_graph: CSRGraph | None
+    algorithm_key: str | None = None
+    barrier_slots: tuple[str, ...] = ()
+    canonical_output: bool = False
+    description: str = ""
+
+
+# ----------------------------------------------------------------------
+# Algorithm-backed targets
+# ----------------------------------------------------------------------
+
+def _stash_invariant(checker, graph, key: str):
+    """Wrap a :mod:`repro.algorithms.verify` checker as a Program
+    invariant over the output stashed into the handles dict."""
+
+    def invariant(mem, handles) -> bool:
+        out = handles.get(key)
+        if out is None:
+            return False
+        try:
+            checker(graph, out)
+        except ValidationError:
+            return False
+        return True
+
+    return invariant
+
+
+def _cc_target() -> RepairTarget:
+    from repro.algorithms import cc
+    from repro.algorithms.verify import check_components
+
+    verify_graph = CSRGraph.from_edges(
+        4, [(0, 1), (1, 2), (0, 2), (2, 3)], directed=False,
+        symmetrize=True, name="repair-cc-tiny")
+    localize_graph = gen.random_uniform(24, 3.0, seed=7)
+    perf_graph = gen.random_uniform(256, 4.0, seed=1)
+
+    def build_program(barriers: frozenset, graph=None) -> Program:
+        graph = verify_graph if graph is None else graph
+
+        def setup(mem):
+            return {}
+
+        def execute(executor, handles) -> None:
+            labels, _ = cc.run_simt(graph, Variant.BASELINE,
+                                    executor=executor)
+            handles["output"] = labels
+
+        return Program(name="repair/cc", setup=setup, execute=execute,
+                       invariant=_stash_invariant(check_components, graph,
+                                                  "output"))
+
+    return RepairTarget(
+        name="cc", plan=cc.ACCESS_PLAN, build_program=build_program,
+        verify_graph=verify_graph, localize_graph=localize_graph,
+        perf_graph=perf_graph, algorithm_key="cc", canonical_output=True,
+        description="ECL-CC pointer-jumping labels (plain jump "
+                    "reads/writes race; hook CAS is already atomic)")
+
+
+def _mis_target() -> RepairTarget:
+    from repro.algorithms import mis
+    from repro.algorithms.verify import check_mis
+
+    verify_graph = CSRGraph.from_edges(
+        4, [(0, 1), (1, 2), (2, 3)], directed=False, symmetrize=True,
+        name="repair-mis-tiny")
+    localize_graph = gen.random_uniform(24, 3.0, seed=11)
+    perf_graph = gen.random_uniform(256, 4.0, seed=2)
+
+    def build_program(barriers: frozenset, graph=None) -> Program:
+        graph = verify_graph if graph is None else graph
+
+        def setup(mem):
+            return {}
+
+        def execute(executor, handles) -> None:
+            in_set, _ = mis.run_simt(graph, Variant.BASELINE, seed=0,
+                                     executor=executor)
+            handles["output"] = in_set
+
+        return Program(name="repair/mis", setup=setup, execute=execute,
+                       invariant=_stash_invariant(check_mis, graph,
+                                                  "output"))
+
+    return RepairTarget(
+        name="mis", plan=mis.ACCESS_PLAN, build_program=build_program,
+        verify_graph=verify_graph, localize_graph=localize_graph,
+        perf_graph=perf_graph, algorithm_key="mis",
+        description="ECL-MIS asynchronous status polling (volatile "
+                    "byte polls and writes race)")
+
+
+def _gc_target() -> RepairTarget:
+    from repro.algorithms import gc
+    from repro.algorithms.verify import check_coloring
+
+    verify_graph = CSRGraph.from_edges(
+        4, [(0, 1), (1, 2), (0, 2), (2, 3)], directed=False,
+        symmetrize=True, name="repair-gc-tiny")
+    # max degree must stay below 31 for the SIMT bitset kernel
+    localize_graph = gen.random_uniform(24, 3.0, seed=13)
+    perf_graph = gen.random_uniform(256, 4.0, seed=3)
+
+    def build_program(barriers: frozenset, graph=None) -> Program:
+        graph = verify_graph if graph is None else graph
+
+        def setup(mem):
+            return {}
+
+        def execute(executor, handles) -> None:
+            colors, _ = gc.run_simt(graph, Variant.BASELINE, seed=0,
+                                    executor=executor)
+            handles["output"] = colors
+
+        return Program(name="repair/gc", setup=setup, execute=execute,
+                       invariant=_stash_invariant(check_coloring, graph,
+                                                  "output"))
+
+    return RepairTarget(
+        name="gc", plan=gc.ACCESS_PLAN, build_program=build_program,
+        verify_graph=verify_graph, localize_graph=localize_graph,
+        perf_graph=perf_graph, algorithm_key="gc",
+        description="ECL-GC Jones-Plassmann coloring (volatile color "
+                    "and possible-color accesses race)")
+
+
+def _scc_target() -> RepairTarget:
+    from repro.algorithms import scc
+    from repro.algorithms.verify import check_scc
+
+    verify_graph = CSRGraph.from_edges(
+        4, [(0, 1), (1, 2), (2, 0), (2, 3)], directed=True,
+        name="repair-scc-tiny")
+    localize_graph = gen.directed_powerlaw(24, 2.5, seed=17)
+    perf_graph = gen.directed_powerlaw(192, 3.0, seed=4)
+
+    def build_program(barriers: frozenset, graph=None) -> Program:
+        graph = verify_graph if graph is None else graph
+
+        def setup(mem):
+            return {}
+
+        def execute(executor, handles) -> None:
+            labels, _ = scc.run_simt(graph, Variant.BASELINE,
+                                     executor=executor)
+            handles["output"] = labels
+
+        return Program(name="repair/scc", setup=setup, execute=execute,
+                       invariant=_stash_invariant(check_scc, graph,
+                                                  "output"))
+
+    return RepairTarget(
+        name="scc", plan=scc.ACCESS_PLAN, build_program=build_program,
+        verify_graph=verify_graph, localize_graph=localize_graph,
+        perf_graph=perf_graph, algorithm_key="scc", canonical_output=True,
+        description="ECL-SCC max-ID propagation (plain int2 pathmax "
+                    "pair and go-again flag race)")
+
+
+# ----------------------------------------------------------------------
+# Built-in two-phase target (exercises barrier synthesis)
+# ----------------------------------------------------------------------
+
+TWOPHASE_PLAN = AccessPlan("twophase", (
+    AccessSite("twophase.buf.read", AccessKind.PLAIN),
+    AccessSite("twophase.buf.write", AccessKind.PLAIN, is_store=True),
+    AccessSite("twophase.out.write", AccessKind.PLAIN, is_store=True,
+               shared=False),
+))
+
+#: the one barrier slot of the two-phase kernel: between its write
+#: phase and its read phase
+TWOPHASE_SLOT = "twophase.phase"
+
+_TWOPHASE_N = 4
+
+
+def _twophase_target() -> RepairTarget:
+    """A publish/consume kernel missing its ``__syncthreads()``.
+
+    Each of 4 threads writes ``tid + 1`` into its own buffer cell, then
+    reads its partner's cell (``tid ^ 1``) and stores the sum into a
+    private output cell.  The only correct repair is inserting the
+    barrier between the phases: atomic promotion silences the race
+    reports but partners may still read the initial zero (invariant
+    fails), and volatile promotion fixes nothing.  This target keeps
+    the synthesizer's barrier arm honest without involving a graph
+    algorithm.
+    """
+    from repro.core.transform import site_kind
+
+    def build_program(barriers: frozenset, graph=None) -> Program:
+        with_barrier = TWOPHASE_SLOT in barriers
+
+        def setup(mem):
+            from repro.gpu.accesses import DType
+
+            buf = mem.alloc("tp_buf", _TWOPHASE_N, DType.I32)
+            out = mem.alloc("tp_out", _TWOPHASE_N, DType.I32)
+            return {"buf": buf, "out": out}
+
+        def execute(executor, handles) -> None:
+            read_kind = site_kind(TWOPHASE_PLAN, Variant.BASELINE,
+                                  "twophase.buf.read")
+            write_kind = site_kind(TWOPHASE_PLAN, Variant.BASELINE,
+                                   "twophase.buf.write")
+            out_kind = site_kind(TWOPHASE_PLAN, Variant.BASELINE,
+                                 "twophase.out.write")
+
+            def kernel(ctx, buf, out):
+                t = ctx.tid
+                yield ctx.store(buf, t, t + 1, write_kind,
+                                site="twophase.buf.write")
+                if with_barrier:
+                    yield ctx.barrier()
+                partner = yield ctx.load(buf, t ^ 1, read_kind,
+                                         site="twophase.buf.read")
+                yield ctx.store(out, t, (t + 1) + partner, out_kind,
+                                site="twophase.out.write")
+
+            executor.launch(kernel, _TWOPHASE_N, handles["buf"],
+                            handles["out"], block_dim=_TWOPHASE_N)
+
+        def invariant(mem, handles) -> bool:
+            out = mem.download(handles["out"])
+            expect = np.array([(t + 1) + ((t ^ 1) + 1)
+                               for t in range(_TWOPHASE_N)])
+            return bool(np.array_equal(out, expect))
+
+        return Program(name="repair/twophase", setup=setup,
+                       execute=execute, invariant=invariant)
+
+    return RepairTarget(
+        name="twophase", plan=TWOPHASE_PLAN, build_program=build_program,
+        verify_graph=None, localize_graph=None, perf_graph=None,
+        barrier_slots=(TWOPHASE_SLOT,),
+        description="publish/consume kernel missing its __syncthreads() "
+                    "(only the barrier fix preserves the result)")
+
+
+# ----------------------------------------------------------------------
+
+_FACTORIES: dict[str, Callable[[], RepairTarget]] = {
+    "cc": _cc_target,
+    "mis": _mis_target,
+    "gc": _gc_target,
+    "scc": _scc_target,
+    "twophase": _twophase_target,
+}
+
+_CACHE: dict[str, RepairTarget] = {}
+
+
+def get_target(name: str) -> RepairTarget:
+    """Look up a repair target by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown repair target {name!r}; known: "
+            f"{sorted(_FACTORIES)}") from None
+    if name not in _CACHE:
+        _CACHE[name] = factory()
+    return _CACHE[name]
+
+
+def list_targets() -> list[str]:
+    return sorted(_FACTORIES)

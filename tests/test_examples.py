@@ -85,6 +85,14 @@ class TestExamples:
         assert "all 4/4 race-free variants survived" in out
         assert "coverage: 2/4 cells completed" in out
 
+    def test_race_repair_demo(self, capsys):
+        load_example("race_repair_demo").main()
+        out = capsys.readouterr().out
+        assert "ranked fixes for cc" in out
+        assert "[ACCEPT] barrier@twophase.phase" in out
+        assert "repaired for free" in out
+        assert "both targets repaired" in out
+
     @pytest.mark.slow
     def test_speedup_study(self, capsys, monkeypatch):
         module = load_example("speedup_study")

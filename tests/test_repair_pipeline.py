@@ -1,0 +1,122 @@
+"""End-to-end tests of the repair pipeline and its CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.repair import repair
+
+
+class TestTwophasePipeline:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return repair("twophase", budget="smoke")
+
+    def test_ok_and_barrier_wins(self, report):
+        assert report.ok
+        assert report.top_fix is not None
+        top = report.top_fix.fixset
+        assert top.barriers() == frozenset({"twophase.phase"})
+        assert top.kinds() == {}
+
+    def test_rejections_are_explained(self, report):
+        rejected = [c for c in report.candidates if not c.accepted]
+        assert rejected, "the racy candidates must have been tried"
+        assert all(c.verdict != "accepted" for c in rejected)
+
+    def test_render_mentions_verdicts(self, report):
+        text = report.render()
+        assert "[ACCEPT]" in text
+        assert "barrier@twophase.phase" in text
+
+    def test_json_round_trip(self, report):
+        blob = json.loads(json.dumps(report.to_json()))
+        assert blob["target"] == "twophase"
+        assert blob["accepted"] >= 1
+        assert blob["ranked"][0]["fixset"]["fixes"]
+
+
+class TestCcPipeline:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return repair("cc", budget="smoke",
+                      devices=("titanv", "a100"))
+
+    def test_obligations_found(self, report):
+        assert report.obligations
+        ids = {ob.obligation_id for ob in report.obligations}
+        assert any(id_.startswith("cc_label:") for id_ in ids)
+
+    def test_every_accepted_fix_is_verified(self, report):
+        accepted = [c for c in report.candidates if c.accepted]
+        assert accepted
+        for verdict in accepted:
+            assert verdict.race_free
+            assert verdict.completes
+            assert verdict.invariant_ok
+            assert verdict.output_equivalent
+            assert verdict.schedules_explored >= 1
+
+    def test_top_fix_matches_racefree_within_noise(self, report):
+        # the issue's acceptance bar: the winning fix prices within
+        # noise tolerance of the hand-written race-free variant on at
+        # least one device
+        top = report.top_fix
+        assert top is not None
+        assert any(abs(ratio - 1.0) <= 0.05
+                   for ratio in top.vs_racefree.values())
+
+    def test_ranked_by_geomean(self, report):
+        geomeans = [r.geomean_ms for r in report.ranked]
+        assert geomeans == sorted(geomeans)
+
+    def test_seq_cst_prices_worse_than_relaxed(self, report):
+        relaxed = next((r for r in report.ranked
+                        if r.fixset.label == "atomic-suspects"), None)
+        seq_cst = next((r for r in report.ranked
+                        if "seqcst" in r.fixset.label), None)
+        if relaxed is None or seq_cst is None:
+            pytest.skip("both orderings must survive shrink to compare")
+        assert seq_cst.geomean_ms > relaxed.geomean_ms
+
+
+class TestRepairCli:
+    def test_repair_twophase_text(self, capsys):
+        assert main(["repair", "twophase", "--budget", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "barrier@twophase.phase" in out
+
+    def test_repair_json_output(self, tmp_path, capsys):
+        path = tmp_path / "repair.json"
+        assert main(["repair", "twophase", "--budget", "smoke",
+                     "--json", str(path)]) == 0
+        blob = json.loads(path.read_text())
+        assert blob["ok"] is True
+        assert blob["reports"][0]["target"] == "twophase"
+
+    def test_unknown_target_exits_2(self, capsys):
+        assert main(["repair", "bogus"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheckJsonCli:
+    def test_check_json_reports_races(self, tmp_path):
+        path = tmp_path / "check.json"
+        assert main(["check", "lost_update", "--variant", "baseline",
+                     "--budget", "smoke", "--json", str(path)]) == 0
+        blob = json.loads(path.read_text())
+        report = blob["reports"][0]
+        assert report["ok"] is False
+        assert report["expected_racy"] is True
+        assert report["races"]
+        race = report["races"][0]
+        assert race["site_id"]
+        assert race["accesses"]
+
+    def test_check_json_clean_pattern(self, tmp_path):
+        path = tmp_path / "check.json"
+        assert main(["check", "lost_update", "--variant", "racefree",
+                     "--budget", "smoke", "--json", str(path)]) == 0
+        blob = json.loads(path.read_text())
+        assert blob["reports"][0]["races"] == []

@@ -1,0 +1,114 @@
+"""Validate the automated race-repair pipeline (the CI repair gate).
+
+Runs ``repro.repair`` end to end on a representative target slice and
+checks the issue's acceptance bar:
+
+1. **Localization** — every racy target yields at least one obligation
+   with a stable (label-based) site id.
+2. **Verification soundness** — every fix the pipeline accepts is
+   DPOR-verified race-free, completes under a deterministic schedule,
+   satisfies the algorithm's invariant, and (where the target defines
+   a canonical output) matches the hand-written race-free variant's
+   output exactly.
+3. **Pricing fidelity** — the top-ranked fix's simulated runtime
+   matches the hand-written race-free variant within the noise
+   tolerance on at least one device.
+4. **Rejection coverage** — on the twophase micro-target the barrier
+   fix is accepted and the atomic/volatile impostors are rejected, so
+   the gate fails if verification ever degenerates to accept-all.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_repair.py [--budget B] [--tolerance T]
+
+Exit status 0 when every check holds, 1 with a diagnostic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+TARGETS = ("twophase", "cc", "mis")
+
+
+def _check_target(name: str, budget: str, tolerance: float) -> list[str]:
+    from repro.repair import repair
+
+    problems: list[str] = []
+    report = repair(name, budget=budget)
+    print(report.render())
+    print()
+
+    if not report.obligations:
+        problems.append(f"{name}: localization found no obligations")
+        return problems
+    for ob in report.obligations:
+        if "[" in ob.obligation_id:
+            problems.append(
+                f"{name}: obligation id {ob.obligation_id!r} carries a "
+                "byte offset — site ids must be label-stable")
+
+    accepted = report.accepted
+    if not accepted:
+        problems.append(f"{name}: no candidate fix was accepted")
+        return problems
+    for verdict in accepted:
+        if not (verdict.race_free and verdict.completes
+                and verdict.invariant_ok and verdict.output_equivalent):
+            problems.append(
+                f"{name}: accepted fix {verdict.fixset.describe()!r} "
+                f"fails soundness ({verdict.verdict})")
+
+    top = report.top_fix
+    if top is None:
+        problems.append(f"{name}: accepted fixes but empty ranking")
+        return problems
+    if top.vs_racefree:
+        best = min(abs(r - 1.0) for r in top.vs_racefree.values())
+        if best > tolerance:
+            problems.append(
+                f"{name}: top fix {top.fixset.describe()!r} is "
+                f"{best:.1%} off the hand-written race-free runtime "
+                f"on every device (tolerance {tolerance:.1%})")
+    if name == "twophase":
+        if top.fixset.barriers() != frozenset({"twophase.phase"}):
+            problems.append(
+                "twophase: the minimal barrier fix did not win")
+        rejected = [c for c in report.candidates if not c.accepted]
+        if not rejected:
+            problems.append(
+                "twophase: no candidate was rejected — the verifier "
+                "is not discriminating")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", default="smoke",
+                        choices=("smoke", "default", "deep"))
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed |top-fix/race-free - 1| "
+                             "(default 0.05)")
+    parser.add_argument("--targets", default=",".join(TARGETS),
+                        help="comma-separated repair targets")
+    args = parser.parse_args(argv)
+
+    problems: list[str] = []
+    for name in args.targets.split(","):
+        name = name.strip()
+        if name:
+            problems.extend(_check_target(name, args.budget,
+                                          args.tolerance))
+
+    if problems:
+        print("repair validation FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print("repair validation OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
