@@ -20,7 +20,7 @@ MST, ``int2`` path pairs in SCC).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
 class AccessKind(enum.Enum):
@@ -72,10 +72,7 @@ class DType(enum.Enum):
         self.label = label
         self.width_bits = width_bits
         self.signed = signed
-
-    @property
-    def width_bytes(self) -> int:
-        return self.width_bits // 8
+        self.width_bytes = width_bits // 8
 
     def words(self, word_bits: int = 32) -> int:
         """Number of native words one element occupies (>= 1)."""
@@ -95,8 +92,7 @@ class RMWOp(enum.Enum):
     CAS = "cas"
 
 
-@dataclass(frozen=True)
-class MemSpan:
+class MemSpan(NamedTuple):
     """A byte range of a named array: the unit of one memory transaction.
 
     Byte granularity matters for fidelity: the paper's MIS code
@@ -104,6 +100,10 @@ class MemSpan:
     single atomic transaction can cover four logically distinct ``char``
     elements.  Conversely, two threads writing *different* bytes of the
     same word do not race.
+
+    A NamedTuple (not a dataclass): spans are created once per simulated
+    memory micro-operation, making construction cost part of the
+    simulator's per-instruction floor.
     """
 
     array: str

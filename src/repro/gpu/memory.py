@@ -16,7 +16,7 @@ C cast reinterpreting the bits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -37,14 +37,14 @@ class ArrayHandle:
     name: str
     dtype: DType
     length: int
+    #: derived sizes, precomputed (identity/eq still on name/dtype/length)
+    elem_bytes: int = field(init=False, repr=False, compare=False, default=0)
+    total_bytes: int = field(init=False, repr=False, compare=False, default=0)
 
-    @property
-    def elem_bytes(self) -> int:
-        return self.dtype.width_bytes
-
-    @property
-    def total_bytes(self) -> int:
-        return self.length * self.elem_bytes
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "elem_bytes", self.dtype.width_bytes)
+        object.__setattr__(self, "total_bytes",
+                           self.length * self.dtype.width_bytes)
 
     def span(self, element: int) -> MemSpan:
         """The byte span of one whole element."""
@@ -77,6 +77,8 @@ class ArrayHandle:
 def split_native_words(span: MemSpan) -> list[MemSpan]:
     """Split a span into native-word-or-smaller pieces along word
     boundaries — the decomposition that makes wide plain accesses tear."""
+    if span.start % NATIVE_WORD_BYTES + span.nbytes <= NATIVE_WORD_BYTES:
+        return [span]  # already within one word: no decomposition
     pieces = []
     pos = span.start
     end = span.end
@@ -86,6 +88,91 @@ def split_native_words(span: MemSpan) -> list[MemSpan]:
         pieces.append(MemSpan(span.array, pos, piece_end - pos))
         pos = piece_end
     return pieces
+
+
+#: numpy dtype string per (element width, signedness) — the typed-view
+#: windows the batched tier gathers and scatters through
+_TYPED_DTYPES = {
+    (1, False): "<u1", (1, True): "<i1",
+    (2, False): "<u2", (2, True): "<i2",
+    (4, False): "<u4", (4, True): "<i4",
+    (8, False): "<u8", (8, True): "<i8",
+}
+
+
+class _Arena:
+    """One contiguous byte buffer backing every allocation.
+
+    Named arrays are carved out of a single ndarray as 8-byte-aligned
+    blocks (first-fit with coalescing free list, geometric growth), so
+    warp-wide gather/scatter, ``fingerprint()``, and checksumming all
+    run over flat ndarray views instead of per-element Python.  Blocks
+    are zeroed on allocation, preserving the fresh-``np.zeros``
+    semantics of the previous per-array backing stores.
+    """
+
+    ALIGN = 8
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        self.buf = np.zeros(capacity, dtype=np.uint8)
+        #: bumped whenever the backing buffer is reallocated; any view
+        #: cached against an older generation is dangling
+        self.generation = 0
+        self._free: list[list[int]] = [[0, capacity]]  # [offset, size]
+
+    @classmethod
+    def block_size(cls, nbytes: int) -> int:
+        """Allocation granule: padded so typed views of every native
+        width fit and successor blocks stay aligned."""
+        return max(cls.ALIGN,
+                   (nbytes + cls.ALIGN - 1) // cls.ALIGN * cls.ALIGN)
+
+    def allocate(self, nbytes: int) -> int:
+        """Reserve (and zero) a block; returns its byte offset."""
+        size = self.block_size(nbytes)
+        for i, (off, avail) in enumerate(self._free):
+            if avail >= size:
+                if avail == size:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = [off + size, avail - size]
+                self.buf[off:off + size] = 0
+                return off
+        self._grow(size)
+        return self.allocate(nbytes)
+
+    def _grow(self, need: int) -> None:
+        old = self.buf
+        cap = old.shape[0]
+        new_cap = cap
+        while new_cap - cap < need:
+            new_cap *= 2
+        buf = np.zeros(new_cap, dtype=np.uint8)
+        buf[:cap] = old
+        self.buf = buf
+        self.generation += 1
+        self._insert_free(cap, new_cap - cap)
+
+    def release(self, offset: int, nbytes: int) -> None:
+        self._insert_free(offset, self.block_size(nbytes))
+
+    def _insert_free(self, offset: int, size: int) -> None:
+        """Insert a block into the free list (offset-sorted, coalesced)."""
+        free = self._free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid][0] < offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        free.insert(lo, [offset, size])
+        if lo + 1 < len(free) and free[lo][0] + free[lo][1] == free[lo + 1][0]:
+            free[lo][1] += free[lo + 1][1]
+            free.pop(lo + 1)
+        if lo > 0 and free[lo - 1][0] + free[lo - 1][1] == free[lo][0]:
+            free[lo - 1][1] += free[lo][1]
+            free.pop(lo)
 
 
 def pack_int2(first: int, second: int) -> int:
@@ -113,9 +200,23 @@ class GlobalMemory:
     """
 
     def __init__(self, faults: FaultInjector | None = None) -> None:
-        self._arrays: dict[str, tuple[ArrayHandle, np.ndarray]] = {}
+        self._arena = _Arena()
+        #: name -> (handle, byte offset of the array's block in the arena)
+        self._arrays: dict[str, tuple[ArrayHandle, int]] = {}
+        #: cached per-array uint8 slice views into the arena buffer
+        self._views: dict[str, np.ndarray] = {}
+        #: cached typed views keyed (name, element width, signed)
+        self._typed: dict[tuple[str, int, bool], np.ndarray] = {}
+        self._view_generation = self._arena.generation
         self.faults = faults
         self._allocated_bytes = 0
+
+    def _refresh_views(self) -> None:
+        """Drop cached views after an arena reallocation."""
+        if self._view_generation != self._arena.generation:
+            self._views.clear()
+            self._typed.clear()
+            self._view_generation = self._arena.generation
 
     def _publish_allocation(self) -> None:
         reg = get_registry()
@@ -146,8 +247,8 @@ class GlobalMemory:
         if length < 0:
             raise MemoryAccessError(f"negative length {length}")
         handle = ArrayHandle(name, dtype, length)
-        store = np.zeros(handle.total_bytes, dtype=np.uint8)
-        self._arrays[name] = (handle, store)
+        offset = self._arena.allocate(handle.total_bytes)
+        self._arrays[name] = (handle, offset)
         self._allocated_bytes += handle.total_bytes
         self._publish_allocation()
         if fill != 0:
@@ -167,8 +268,12 @@ class GlobalMemory:
         """Release an allocation."""
         if name not in self._arrays:
             raise MemoryAccessError(f"array {name!r} not allocated")
-        self._allocated_bytes -= self._arrays[name][0].total_bytes
-        del self._arrays[name]
+        handle, offset = self._arrays.pop(name)
+        self._arena.release(offset, handle.total_bytes)
+        self._allocated_bytes -= handle.total_bytes
+        self._views.pop(name, None)
+        for key in [k for k in self._typed if k[0] == name]:
+            del self._typed[key]
         self._publish_allocation()
 
     def handle(self, name: str) -> ArrayHandle:
@@ -191,10 +296,10 @@ class GlobalMemory:
 
         h = hashlib.blake2b(digest_size=16)
         for name in sorted(self._arrays):
-            handle, store = self._arrays[name]
+            handle, _ = self._arrays[name]
             h.update(name.encode())
             h.update(f"{handle.dtype.label}:{handle.length};".encode())
-            h.update(store.tobytes())
+            h.update(self._store_by_name(name).tobytes())
         return h.digest()
 
     def upload(self, handle: ArrayHandle, values: np.ndarray | list) -> None:
@@ -292,10 +397,37 @@ class GlobalMemory:
         return self._store_by_name(handle.name)
 
     def _store_by_name(self, name: str) -> np.ndarray:
-        try:
-            return self._arrays[name][1]
-        except KeyError:
-            raise MemoryAccessError(f"array {name!r} not allocated") from None
+        self._refresh_views()
+        view = self._views.get(name)
+        if view is None:
+            try:
+                handle, offset = self._arrays[name]
+            except KeyError:
+                raise MemoryAccessError(
+                    f"array {name!r} not allocated"
+                ) from None
+            view = self._arena.buf[offset:offset + handle.total_bytes]
+            self._views[name] = view
+        return view
+
+    def typed_view(self, name: str, width: int,
+                   signed: bool = False) -> np.ndarray:
+        """Cached ndarray view of ``name`` reinterpreted at ``width``
+        bytes per element — the batched tier's gather/scatter window.
+
+        Arena blocks are 8-byte aligned, so views of every native width
+        are aligned; a trailing remainder narrower than ``width`` is
+        truncated (cast-style, like ``(int*)char_array``).
+        """
+        self._refresh_views()
+        key = (name, width, signed)
+        view = self._typed.get(key)
+        if view is None:
+            store = self._store_by_name(name)
+            usable = store.shape[0] // width * width
+            view = store[:usable].view(_TYPED_DTYPES[(width, signed)])
+            self._typed[key] = view
+        return view
 
     def _check(self, span: MemSpan) -> np.ndarray:
         store = self._store_by_name(span.array)

@@ -35,11 +35,12 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, NamedTuple
 
 from repro.errors import DeadlockError, KernelError, MemoryAccessError
 from repro.gpu.accesses import AccessKind, DType, MemoryOrder, MemSpan, RMWOp
 from repro.gpu.interleave import RoundRobinScheduler, Scheduler
+from repro.gpu import tiers
 from repro.gpu.memory import (
     ArrayHandle,
     GlobalMemory,
@@ -61,9 +62,12 @@ class OpKind(enum.Enum):
     FENCE = "fence"
 
 
-@dataclass(frozen=True)
-class Op:
-    """One operation yielded by a kernel."""
+class Op(NamedTuple):
+    """One operation yielded by a kernel.
+
+    A NamedTuple for construction speed: one Op is built per yielded
+    kernel operation, squarely on the simulator's hot path.
+    """
 
     kind: OpKind
     span: MemSpan | None = None
@@ -76,8 +80,7 @@ class Op:
     site: str | None = None           # source access-plan site label
 
 
-@dataclass(frozen=True)
-class AccessEvent:
+class AccessEvent(NamedTuple):
     """One micro-operation against global memory.
 
     ``site`` carries the kernel-declared access-plan site label of the
@@ -209,7 +212,7 @@ class ThreadCtx:
 # Micro-operations
 # ----------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class _Micro:
     span: MemSpan
     is_read: bool
@@ -277,6 +280,25 @@ def _apply_rmw(op: RMWOp, old: int, operand: int, expected: int | None,
     return to_unsigned(new, bits)
 
 
+@dataclass
+class BatchStats:
+    """Cumulative batched-tier counters for one executor.
+
+    ``scalar_steps`` maps fallback reason (``solo``, ``resume``,
+    ``conflict``, ``step_budget``) to per-lane scalar steps taken while
+    on the batched tier.
+    """
+
+    batched_launches: int = 0
+    interp_launches: int = 0
+    warp_dispatches: int = 0
+    warp_lanes: int = 0
+    scalar_steps: dict[str, int] = field(default_factory=dict)
+
+    def count_scalar(self, reason: str, n: int = 1) -> None:
+        self.scalar_steps[reason] = self.scalar_steps.get(reason, 0) + n
+
+
 class SimtExecutor:
     """Executes kernel launches against a :class:`GlobalMemory`.
 
@@ -311,6 +333,7 @@ class SimtExecutor:
         weak_memory: bool = False,
         store_buffer_capacity: int = 8,
         faults: "FaultInjector | None" = None,
+        batch: bool | None = None,
     ) -> None:
         self.memory = memory
         self.scheduler = scheduler or RoundRobinScheduler()
@@ -337,6 +360,10 @@ class SimtExecutor:
         #: memory-level faults ride on the injector installed in
         #: ``memory`` — pass the same injector to both for a full plan
         self.faults = faults
+        #: batched-tier selection: True/False force it on/off, None
+        #: defers to :mod:`repro.gpu.tiers` (env knobs, then ``auto``)
+        self.batch = batch
+        self.batch_stats = BatchStats()
         self.events: list[AccessEvent] = []
         self.launch_count = 0
         #: optional callback ``(threads, epochs, stats)`` invoked before
@@ -456,6 +483,34 @@ class SimtExecutor:
         for t in threads:
             self._advance(t, stats, threads, epochs)
 
+        reason = None
+        if tiers.simt_batch_enabled(self.batch):
+            from repro.gpu import batch as _batch  # deferred: imports simt
+            reason = _batch.ineligible_reason(self)
+            if reason is None:
+                _batch.run_launch(self, threads, epochs, stats, launch_id,
+                                  getattr(kernel, "__name__", "kernel"))
+        else:
+            reason = "disabled"
+        if reason is not None:
+            self.batch_stats.interp_launches += 1
+            reg = get_registry()
+            if reg.enabled:
+                reg.counter(
+                    "repro_simt_batch_interp_launches_total",
+                    "Launches kept on the interpreter tier, by reason",
+                    ("kernel", "reason"),
+                ).inc(1, getattr(kernel, "__name__", "kernel"), reason)
+            self._interpret(threads, epochs, stats, launch_id)
+
+        for block_map in shared_handles.values():
+            for handle in block_map.values():
+                self.memory.free(handle.name)
+        return stats
+
+    def _interpret(self, threads: list[_Thread], epochs: dict[int, int],
+                   stats: LaunchStats, launch_id: int) -> None:
+        """The original one-micro-op-per-scheduler-step interpreter loop."""
         while True:
             runnable = [t.tid for t in threads if not t.done and not t.at_barrier]
             if not runnable:
@@ -504,11 +559,6 @@ class SimtExecutor:
                 tid = self.scheduler.choose(runnable)
                 thread = threads[tid]
                 self._step(thread, threads, epochs, stats, launch_id)
-
-        for block_map in shared_handles.values():
-            for handle in block_map.values():
-                self.memory.free(handle.name)
-        return stats
 
     @staticmethod
     def _pending_map(threads: list[_Thread],
@@ -599,12 +649,16 @@ class SimtExecutor:
         if op is None:
             return
         if op.kind is OpKind.LOAD:
-            value = 0
-            shift = 0
-            # pieces were queued (and therefore loaded) low-to-high
-            for piece_span, piece in zip(self._pieces_of(op), thread.pieces):
-                value |= piece << shift
-                shift += piece_span.nbytes * 8
+            pieces = thread.pieces
+            if len(pieces) == 1:
+                value = pieces[0]
+            else:
+                value = 0
+                shift = 0
+                # pieces were queued (and therefore loaded) low-to-high
+                for piece_span, piece in zip(self._pieces_of(op), pieces):
+                    value |= piece << shift
+                    shift += piece_span.nbytes * 8
             if op.signed:
                 value = to_signed(value, op.span.nbytes * 8)
             thread.send_value = value

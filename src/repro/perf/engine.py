@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.transform import AccessPlan, plan_for, site_kind
 from repro.core.variants import Variant
 from repro.errors import StudyError
+from repro.gpu import tiers
 from repro.gpu.accesses import AccessKind, MemoryOrder
 from repro.gpu.device import DeviceSpec, device_key
 from repro.gpu.timing import AccessStats, TimingModel
@@ -207,6 +208,167 @@ class Recorder:
         return self.staleness_rounds
 
 
+#: scratch-vector bucket layout of :class:`BatchedRecorder`
+_BUCKETS = (
+    "plain_loads", "plain_stores", "volatile_loads", "volatile_stores",
+    "atomic_loads", "atomic_stores", "atomic_rmws", "ordered_atomics",
+    "contended_atomics", "compute_ops",
+)
+_LOAD_IDX = {AccessKind.PLAIN: 0, AccessKind.VOLATILE: 2,
+             AccessKind.ATOMIC: 4}
+_STORE_IDX = {AccessKind.PLAIN: 1, AccessKind.VOLATILE: 3,
+              AccessKind.ATOMIC: 5}
+_RMW_IDX, _ORDERED_IDX, _CONTENDED_IDX, _COMPUTE_IDX = 6, 7, 8, 9
+
+
+class BatchedRecorder(Recorder):
+    """Vectorized :class:`Recorder`: ndarray scratch, flushed per round.
+
+    Per-site bucket increments land in a 10-slot float64 scratch vector
+    and are folded into :class:`~repro.gpu.timing.AccessStats` once per
+    :meth:`round` (and on final :attr:`stats` access) instead of once
+    per call.  Site kinds and order weights are resolved once per site
+    and cached.  Every increment the engine produces is integer-valued,
+    so the regrouped float additions are exact and the resulting stats
+    are byte-identical to the per-call recorder's.
+
+    The contention measure replaces the base recorder's per-call
+    ``np.unique`` (a sort, O(n log n)) with ``np.bincount`` collision
+    counting (O(n + range)) whenever the index range is comparable to
+    the stream length, falling back to ``np.unique`` for sparse ranges.
+    """
+
+    def __init__(self, plan: AccessPlan, variant: Variant,
+                 device: DeviceSpec | None = None, *,
+                 staleness_rounds: int | None = None) -> None:
+        super().__init__(plan, variant, device,
+                         staleness_rounds=staleness_rounds)
+        self._scratch = np.zeros(len(_BUCKETS))
+        self._resolved: dict[str, tuple[AccessKind, float]] = {}
+        self._effective_plan = plan_for(self.plan, self.variant)
+        self.flushes = 0
+
+    # base __init__ assigns ``self.stats``; route it through a property
+    # so every external read sees a flushed view
+    @property
+    def stats(self) -> AccessStats:
+        self._flush()
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: AccessStats) -> None:
+        self._stats = value
+
+    def _flush(self) -> None:
+        sc = getattr(self, "_scratch", None)
+        if sc is None or not sc.any():
+            return
+        # plain floats, not np.float64: stats values flow into metric
+        # gauges and JSON exports that expect native scalars
+        s = self._stats
+        s.plain_loads += float(sc[0])
+        s.plain_stores += float(sc[1])
+        s.volatile_loads += float(sc[2])
+        s.volatile_stores += float(sc[3])
+        s.atomic_loads += float(sc[4])
+        s.atomic_stores += float(sc[5])
+        s.atomic_rmws += float(sc[6])
+        s.ordered_atomics += float(sc[7])
+        s.contended_atomics += float(sc[8])
+        s.compute_ops += float(sc[9])
+        sc[:] = 0.0
+        self.flushes += 1
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("repro_simt_batch_recorder_flushes_total",
+                        "Scratch-to-stats flushes of the batched recorder",
+                        ("algorithm",)).inc(1, self.plan.algorithm)
+
+    def _resolve(self, name: str) -> tuple[AccessKind, float]:
+        entry = self._resolved.get(name)
+        if entry is None:
+            site = self._effective_plan.site(name)
+            weight = (self.ORDER_WEIGHT[site.order]
+                      if site.kind is AccessKind.ATOMIC else 0.0)
+            entry = (site.kind, weight)
+            self._resolved[name] = entry
+        return entry
+
+    def _contention(self, indices: np.ndarray | None) -> float:
+        if indices is None:
+            return 0.0
+        idx = np.asarray(indices)
+        if idx.size == 0:
+            return 0.0
+        lo = int(idx.min())
+        span = int(idx.max()) - lo + 1
+        if span <= 4 * idx.size + 1024:
+            occupied = np.count_nonzero(
+                np.bincount(idx.astype(np.int64) - lo, minlength=span))
+            return float(idx.shape[0] - occupied)
+        return float(idx.shape[0] - np.unique(idx).shape[0])
+
+    # ------------------------------------------------------------------
+    def load(self, site: str, indices: np.ndarray | None = None,
+             count: float | None = None) -> None:
+        kind, weight = self._resolve(site)
+        n = self._count(indices, count)
+        sc = self._scratch
+        sc[_LOAD_IDX[kind]] += n
+        if weight:
+            sc[_ORDERED_IDX] += n * weight
+
+    def store(self, site: str, indices: np.ndarray | None = None,
+              count: float | None = None) -> None:
+        kind, weight = self._resolve(site)
+        n = self._count(indices, count)
+        sc = self._scratch
+        sc[_STORE_IDX[kind]] += n
+        if weight:
+            sc[_ORDERED_IDX] += n * weight
+        if kind is AccessKind.ATOMIC:
+            sc[_CONTENDED_IDX] += self._contention(indices)
+
+    def rmw(self, site: str, indices: np.ndarray | None = None,
+            count: float | None = None) -> None:
+        kind, weight = self._resolve(site)
+        n = self._count(indices, count)
+        sc = self._scratch
+        sc[_RMW_IDX] += n
+        if kind is AccessKind.ATOMIC and weight:
+            sc[_ORDERED_IDX] += n * weight
+        sc[_CONTENDED_IDX] += self._contention(indices)
+
+    def structure(self, count: float) -> None:
+        self._scratch[0] += float(count)
+
+    def compute(self, ops: float) -> None:
+        self._scratch[_COMPUTE_IDX] += float(ops)
+
+    def round(self, launches: int = 1) -> None:
+        self._flush()
+        self._stats.rounds += launches
+
+    def touch(self, name: str, nbytes: float) -> None:
+        self._footprints[name] = max(self._footprints.get(name, 0.0),
+                                     float(nbytes))
+        self._stats.footprint_bytes = sum(self._footprints.values())
+
+
+def make_recorder(plan: AccessPlan, variant: Variant,
+                  device: DeviceSpec | None = None, *,
+                  staleness_rounds: int | None = None,
+                  engine: str | None = None) -> Recorder:
+    """Build the recorder for the selected execution tier.
+
+    ``engine`` overrides the process-wide mode from
+    :mod:`repro.gpu.tiers` (``interp``/``batched``/``auto``); both
+    recorders produce byte-identical :class:`AccessStats`.
+    """
+    cls = BatchedRecorder if tiers.recorder_batch_enabled(engine) else Recorder
+    return cls(plan, variant, device, staleness_rounds=staleness_rounds)
+
+
 #: relative sigma of the run-to-run noise model (the paper reports a
 #: median relative deviation of 0.6 % across its nine hardware runs)
 RUNTIME_NOISE_SIGMA = 0.004
@@ -234,8 +396,8 @@ def noise_multiplier(algorithm_key: str, variant: Variant,
 
 
 def record_trace(algorithm, graph, variant: Variant, seed: int,
-                 staleness_rounds: int, plan: AccessPlan | None = None
-                 ) -> Trace:
+                 staleness_rounds: int, plan: AccessPlan | None = None,
+                 engine: str | None = None) -> Trace:
     """Run the functional execution once and capture its trace.
 
     This is the expensive half of the record/replay split: it executes
@@ -244,10 +406,15 @@ def record_trace(algorithm, graph, variant: Variant, seed: int,
     returns the :class:`~repro.perf.trace.Trace` that
     :func:`replay_trace` can price for *any* device sharing that
     staleness constant.
+
+    ``engine`` picks the recorder tier (see :func:`make_recorder`);
+    the recorded stats are byte-identical either way.
     """
     if plan is None:
         plan = algorithm_plan(algorithm)
-    recorder = Recorder(plan, variant, staleness_rounds=staleness_rounds)
+    recorder = make_recorder(plan, variant,
+                             staleness_rounds=staleness_rounds,
+                             engine=engine)
     with get_spans().span("perf.record", algorithm=algorithm.key,
                           variant=variant.value, seed=seed):
         output = algorithm.perf_runner(graph, recorder, seed)
@@ -319,8 +486,10 @@ def run_algorithm(algorithm, graph, device: DeviceSpec, variant: Variant,
 
     if faults is not None:
         faults.begin_perf_run(algorithm.key, variant, plan)
+        # faulted runs stay on the per-call interpreter recorder: fault
+        # plans are exercised and validated against its exact behavior
         trace = record_trace(algorithm, graph, variant, seed, staleness,
-                             plan=plan)
+                             plan=plan, engine=tiers.ENGINE_INTERP)
         runtime = replay_trace(trace, device)
         runtime = faults.perf_finish(trace.output, runtime)
         return _perf_run(algorithm, variant, device, trace, runtime,
