@@ -8,8 +8,9 @@ publication idiom on three progressively weaker simulated machines:
 1. the default machine (stores visible immediately) — the race is
    latent, results look fine;
 2. the register-caching compiler — a polling loop livelocks;
-3. the weak-memory machine (out-of-order store buffers) — the reader
-   observes the flag before the payload.
+3. the weak-memory machine (``memory_model="relaxed_gpu"``:
+   out-of-order store buffers) — the reader observes the flag before
+   the payload.
 
 The race-free version (relaxed atomics) is correct on all three.
 
@@ -112,13 +113,14 @@ def main() -> None:
     print("   -> the compiler hoists the polling load (Fig. 1's T4)\n")
 
     print("=== racy publication, weak-memory machine ===")
-    print("  ", trial(publish_plain, weak_memory=True,
+    print("  ", trial(publish_plain, memory_model="relaxed_gpu",
                       store_buffer_capacity=1))
     print("   -> the flag store drains before the payload store\n")
 
     print("=== race-free publication on every machine ===")
     print("   default:     ", trial(publish_atomic))
-    print("   weak memory: ", trial(publish_atomic, weak_memory=True,
+    print("   weak memory: ", trial(publish_atomic,
+                                    memory_model="relaxed_gpu",
                                     store_buffer_capacity=1))
     print("\nNo such thing as a benign data race — only a machine that "
           "hasn't broken it yet (Section II).")

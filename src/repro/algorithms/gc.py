@@ -27,7 +27,6 @@ import numpy as np
 from repro.algorithms.common import edge_sources
 from repro.core.transform import AccessPlan, AccessSite, site_kind
 from repro.core.variants import AlgorithmInfo, Variant, register_algorithm
-from repro.errors import GraphError
 from repro.gpu.accesses import AccessKind
 from repro.gpu.memory import GlobalMemory
 from repro.gpu.simt import SimtExecutor, ThreadCtx
@@ -123,7 +122,7 @@ def _min_bit(mask: int) -> int:
     return (mask & -mask).bit_length() - 1
 
 
-def make_gc_kernel(variant: Variant):
+def make_gc_kernel(variant: Variant, words: int = 1):
     """One ECL-GC round over colors and possible-color bitsets.
 
     Mirrors the original's data layout: each vertex owns a bitset of
@@ -132,6 +131,12 @@ def make_gc_kernel(variant: Variant):
     early — even below higher-priority uncolored neighbors — when its
     candidate color is provably unavailable to them (their possible
     sets only ever shrink upward).
+
+    ``words`` is the per-vertex bitset width in 32-bit words: vertex
+    ``v``'s possible set lives at ``posscol[v*words : (v+1)*words]``,
+    little-endian.  With ``words == 1`` (every graph of max degree
+    ≤ 30) the layout, access sequence, and stored values are identical
+    to the historical single-word kernel.
     """
     color_read = site_kind(ACCESS_PLAN, variant, "gc.color.read")
     color_write = site_kind(ACCESS_PLAN, variant, "gc.color.write")
@@ -149,8 +154,11 @@ def make_gc_kernel(variant: Variant):
         beg = yield ctx.load(offsets, v)
         end = yield ctx.load(offsets, v + 1)
         my_prio = yield ctx.load(prio, v, site="gc.prio.read")
-        my_poss = yield ctx.load(posscol, v, poss_read,
-                                 site="gc.posscol.read")
+        my_poss = 0
+        for w in range(words):
+            part = yield ctx.load(posscol, v * words + w, poss_read,
+                                  site="gc.posscol.read")
+            my_poss |= int(part) << (32 * w)
         blockers = []
         for e in range(beg, end):
             u = yield ctx.load(indices, e)
@@ -161,15 +169,21 @@ def make_gc_kernel(variant: Variant):
                 up = yield ctx.load(prio, u, site="gc.prio.read")
                 if up > my_prio:
                     blockers.append(u)
-        yield ctx.store(posscol, v, my_poss, poss_write,
-                        site="gc.posscol.write")
+        for w in range(words):
+            yield ctx.store(posscol, v * words + w,
+                            (my_poss >> (32 * w)) & 0xFFFFFFFF,
+                            poss_write, site="gc.posscol.write")
         candidate = _min_bit(my_poss)
         if blockers:
             # shortcut 1: safe if every higher-priority uncolored
             # neighbor can only take colors above our candidate
             for u in blockers:
-                u_poss = yield ctx.load(posscol, u, poss_read,
-                                        site="gc.posscol.read")
+                u_poss = 0
+                for w in range(words):
+                    part = yield ctx.load(posscol, u * words + w,
+                                          poss_read,
+                                          site="gc.posscol.read")
+                    u_poss |= int(part) << (32 * w)
                 if _min_bit(u_poss) <= candidate:
                     return  # still blocked
         yield ctx.store(color, v, candidate, color_write,
@@ -177,6 +191,24 @@ def make_gc_kernel(variant: Variant):
         yield ctx.store(changed, 0, 1, AccessKind.ATOMIC)
 
     return gc_kernel
+
+
+def posscol_words(max_deg: int) -> int:
+    """32-bit words needed for a possible-color bitset: a vertex of
+    degree ``d`` needs bits ``0..d`` (greedy never exceeds degree)."""
+    return max(1, -(-(max_deg + 1) // 32))
+
+
+def initial_posscol(degrees: np.ndarray, words: int) -> np.ndarray:
+    """Per-vertex initial possible sets ``2^(deg+1) - 1``, split into
+    ``words`` little-endian u32 words (flattened row-major)."""
+    bits = degrees.astype(np.int64) + 1
+    init = np.zeros((len(bits), words), dtype=np.uint32)
+    for w in range(words):
+        rem = np.clip(bits - 32 * w, 0, 32).astype(np.uint64)
+        init[:, w] = (((np.uint64(1) << rem) - np.uint64(1))
+                      & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    return init.reshape(-1)
 
 
 def run_simt(graph, variant: Variant, seed: int = 0, scheduler=None,
@@ -188,16 +220,14 @@ def run_simt(graph, variant: Variant, seed: int = 0, scheduler=None,
     ex = executor or SimtExecutor(mem, scheduler=scheduler)
     n = graph.num_vertices
     max_deg = int(graph.degrees().max()) if n else 0
-    if max_deg >= 31:
-        raise GraphError(
-            "SIMT-level GC keeps possible colors in one 32-bit bitset; "
-            f"max degree {max_deg} needs more (use the perf level)"
-        )
+    # multi-word possible-color bitsets lift the historical 32-bit cap
+    # (max degree 30); one word keeps the historical layout bit for bit
+    words = posscol_words(max_deg)
     offsets = mem.alloc("gc_offsets", n + 1, DType.I64)
     indices = mem.alloc("gc_indices", max(1, graph.num_edges), DType.I32)
     prio = mem.alloc("gc_prio", n, DType.I64)
     color = mem.alloc("gc_color", n, DType.I32)
-    posscol = mem.alloc("gc_posscol", n, DType.U32)
+    posscol = mem.alloc("gc_posscol", n * words, DType.U32)
     changed = mem.alloc("gc_changed", 1, DType.I32)
     mem.upload(offsets, graph.row_offsets)
     if graph.num_edges:
@@ -206,9 +236,10 @@ def run_simt(graph, variant: Variant, seed: int = 0, scheduler=None,
         mem.upload(indices, np.zeros(1, dtype=np.int64))
     mem.upload(prio, make_priorities(graph, seed))
     mem.upload(color, np.full(n, UNCOLORED))
-    mem.upload(posscol, (1 << (graph.degrees().astype(np.int64) + 1)) - 1)
+    if n:
+        mem.upload(posscol, initial_posscol(graph.degrees(), words))
 
-    kernel = make_gc_kernel(variant)
+    kernel = make_gc_kernel(variant, words=words)
     while True:
         mem.element_write(changed, 0, 0)
         ex.launch(kernel, n, offsets, indices, prio, color, posscol,

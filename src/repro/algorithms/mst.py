@@ -179,12 +179,15 @@ def run_perf(graph, recorder, seed: int = 0,
 # ----------------------------------------------------------------------
 
 def _find(ctx: ThreadCtx, parent, x: int, read_kind, write_kind):
-    p = yield ctx.load(parent, x, read_kind)
+    p = yield ctx.load(parent, x, read_kind,
+                       site="mst.parent.jump_read")
     while p != x:
-        gp = yield ctx.load(parent, p, read_kind)
+        gp = yield ctx.load(parent, p, read_kind,
+                            site="mst.parent.jump_read")
         if gp == p:
             return p
-        yield ctx.store(parent, x, gp, write_kind)  # compression
+        yield ctx.store(parent, x, gp, write_kind,  # compression
+                        site="mst.parent.jump_write")
         x = p
         p = gp
     return x
@@ -211,8 +214,10 @@ def make_elect_kernel(variant: Variant):
             return
         w = yield ctx.load(ew, e)
         key = _pack(w, e)
-        yield ctx.atomic_rmw(best, ru, RMWOp.MIN, key)
-        yield ctx.atomic_rmw(best, rv, RMWOp.MIN, key)
+        yield ctx.atomic_rmw(best, ru, RMWOp.MIN, key,
+                             site="mst.best.elect")
+        yield ctx.atomic_rmw(best, rv, RMWOp.MIN, key,
+                             site="mst.best.elect")
 
     return elect_kernel
 
@@ -230,7 +235,8 @@ def make_hook_kernel(variant: Variant):
         root = yield from _find(ctx, parent, c, jump_read, jump_write)
         if root != c:
             return  # not a representative
-        packed = yield ctx.load(best, c, best_read)
+        packed = yield ctx.load(best, c, best_read,
+                                site="mst.best.read")
         if packed >= _NO_EDGE:
             return
         e = _unpack_edge(packed)
@@ -241,7 +247,8 @@ def make_hook_kernel(variant: Variant):
         if ru == rv:
             return
         lo, hi = (ru, rv) if ru < rv else (rv, ru)
-        old = yield ctx.atomic_cas(parent, hi, hi, lo)
+        old = yield ctx.atomic_cas(parent, hi, hi, lo,
+                                   site="mst.parent.hook")
         if old == hi:
             yield ctx.store(in_mst, e, 1)
             yield ctx.store(changed, 0, 1, AccessKind.ATOMIC)

@@ -43,7 +43,7 @@ from typing import Callable
 
 from repro.errors import ExplorationError
 from repro.gpu.interleave import PendingOp, Scheduler
-from repro.gpu.simt import AccessEvent
+from repro.gpu.simt import DRAIN_BASE, AccessEvent
 from repro.check.replay import DecisionLog, stay_policy
 
 __all__ = ["ExploreBudget", "BUDGETS", "RunOutcome", "ExploreResult",
@@ -144,7 +144,8 @@ def state_fingerprint(memory, threads, epochs) -> int:
         reg_sig = ",".join(f"{s}={v}" for s, v in
                            sorted(t.reg_cache.items(),
                                   key=lambda kv: (kv[0].array, kv[0].start)))
-        buf_sig = ",".join(f"{s}={v}" for s, v in t.store_buffer)
+        buf_sig = ",".join(f"{e.span}={e.value}@{e.seq}:{e.vis}"
+                           for e in t.store_buffer)
         parts.append(f"t{t.tid}:{int(t.done)}{int(t.at_barrier)}"
                      f"{int(t.started)}:{_stable_encode(t.send_value)}:"
                      f"{frame_sig}|{micro_sig}|{pieces_sig}|{reg_sig}|{buf_sig}")
@@ -449,29 +450,57 @@ class ScheduleExplorer:
         """Flanagan-Godefroid backtrack computation from the conflict
         relation of the just-executed trace."""
         steps = _trace_steps(sched, events)
-        # per-thread history of decision indices that performed an op
-        by_thread: dict[int, list[int]] = {}
-        for d, info in enumerate(steps):
-            if info is None:
-                continue
-            tid, op, launch, block, epoch = info
-            for q, history in by_thread.items():
-                if q == tid:
-                    continue
-                for j in reversed(history):
-                    jtid, jop, jlaunch, jblock, jepoch = steps[j]
-                    if jlaunch != launch:
-                        break  # launch barrier orders everything older
-                    if jblock == block and jepoch != epoch:
-                        break  # __syncthreads() between them
-                    if _dependent(op, jop):
-                        node = stack[j]
-                        if tid in node.runnable:
-                            node.backtrack.add(tid)
-                        else:
-                            node.backtrack.update(node.runnable)
-                        break
-            by_thread.setdefault(tid, []).append(d)
+        # per-thread history of (decision, op, launch, block, epoch) for
+        # every memory event that thread performed.  A decision may carry
+        # several events (an atomic that forces store-buffer drains, a
+        # block-scope release promoting multiple entries); scheduled
+        # drains act under their own DRAIN_BASE+seq pseudo-tid.
+        by_thread: dict[int, list[tuple]] = {}
+
+        def nominate(node: _Node, tid: int) -> None:
+            # Source-DPOR-style insertion: the canonical candidate only
+            # helps if the branch selector will actually run it, i.e. it
+            # is runnable and not asleep at that node.  Skipping a
+            # *sleeping* candidate silently is the classic FG+sleep-sets
+            # completeness trap (the covering trace the sleep invariant
+            # appeals to may itself have been pruned by a redundant-
+            # schedule abort; observable as missed IRIW outcomes), so
+            # fall back to nominating the awake runnable threads — some
+            # awake trace prefix leads into the same reordering class.
+            if tid in node.runnable and tid not in node.sleep:
+                node.backtrack.add(tid)
+                return
+            awake = set(node.runnable) - set(node.sleep)
+            node.backtrack.update(awake or node.runnable)
+
+        for d, infos in enumerate(steps):
+            here = stack[d] if d < len(stack) else None
+            for tid, op, launch, block, epoch in infos:
+                # A runnable store-buffer drain agent whose pending
+                # flush conflicts with this decision's access is a
+                # schedule alternative classic FG analysis cannot see:
+                # if the flush only ever executes fused into a later
+                # forced drain (an atomic, a fence), it never appears in
+                # any trace under its own pseudo-tid, so no observed
+                # event pair ever nominates it.  Nominate it here.
+                if here is not None:
+                    for q in here.runnable:
+                        if (q >= DRAIN_BASE and q != tid
+                                and _dependent(op, here.pending.get(q))):
+                            nominate(here, q)
+                for q, history in by_thread.items():
+                    if q == tid:
+                        continue
+                    for j, jop, jlaunch, jblock, jepoch in reversed(history):
+                        if jlaunch != launch:
+                            break  # launch barrier orders everything older
+                        if jblock == block and jepoch != epoch:
+                            break  # __syncthreads() between them
+                        if _dependent(op, jop):
+                            nominate(stack[j], tid)
+                            break
+                by_thread.setdefault(tid, []).append(
+                    (d, op, launch, block, epoch))
 
     def _select_branch(self, stack: list[_Node], result: ExploreResult):
         """Deepest node with an unexplored, unpruned choice."""
@@ -505,10 +534,12 @@ class ScheduleExplorer:
 
 
 def _trace_steps(sched: _DirectedScheduler, events: list[AccessEvent]):
-    """Per-decision (tid, op, launch, block, epoch) for decisions that
-    performed a memory micro-op, else None.  Events are matched to
-    decisions via the per-launch step counter."""
-    steps: list[tuple | None] = [None] * len(sched.picks)
+    """Per-decision list of (tid, op, launch, block, epoch) for the
+    memory micro-ops that decision performed (empty when it performed
+    none).  Events are matched to decisions via the per-launch step
+    counter; one decision can carry several events under a buffered
+    memory model (forced drains, block-scope promotes)."""
+    steps: list[list[tuple]] = [[] for _ in range(len(sched.picks))]
     starts = sched.launch_starts
     for ev in events:
         ordinal = ev.launch - (events[0].launch if events else 0)
@@ -519,5 +550,5 @@ def _trace_steps(sched: _DirectedScheduler, events: list[AccessEvent]):
             span = ev.span
             op = (span.array, span.start, span.nbytes,
                   ev.is_read, ev.is_write, ev.access.name == "ATOMIC")
-            steps[d] = (ev.tid, op, ev.launch, ev.block, ev.epoch)
+            steps[d].append((ev.tid, op, ev.launch, ev.block, ev.epoch))
     return steps

@@ -196,9 +196,14 @@ def _coerce_program(target, num_threads, setup, invariant,
 
 def _make_runner(program: Program, budget: ExploreBudget,
                  faults: FaultPlan | None,
-                 register_cache_plain: bool, weak_memory: bool):
+                 register_cache_plain: bool, weak_memory: bool,
+                 memory_model=None, schedulable_drains: bool = False):
     """Build the explorer's runner: one fresh, fully deterministic
     execution of ``program`` per call."""
+    if weak_memory and memory_model is None:
+        # route the legacy flag through its alias once, here, instead
+        # of warning on every exploration run
+        memory_model = "tso"
 
     def runner(scheduler, probe=None) -> RunOutcome:
         injector = (faults.injector("check", program.name)
@@ -210,7 +215,8 @@ def _make_runner(program: Program, budget: ExploreBudget,
             register_cache_plain=register_cache_plain,
             record_events=True,
             max_steps=budget.max_steps_per_run,
-            weak_memory=weak_memory,
+            memory_model=memory_model,
+            schedulable_drains=schedulable_drains,
             faults=injector)
         if probe is not None:
             probe.memory = mem
@@ -234,12 +240,14 @@ def replay_failure(program: Program, log: DecisionLog,
                    faults: FaultPlan | None = None,
                    budget: ExploreBudget | str = "default",
                    register_cache_plain: bool = True,
-                   weak_memory: bool = False) -> RunOutcome:
+                   weak_memory: bool = False,
+                   memory_model=None) -> RunOutcome:
     """Re-execute one recorded schedule bit-deterministically."""
     if isinstance(budget, str):
         budget = BUDGETS[budget]
     runner = _make_runner(program, budget, faults,
-                          register_cache_plain, weak_memory)
+                          register_cache_plain, weak_memory,
+                          memory_model=memory_model)
     return runner(ReplayScheduler(log))
 
 
@@ -259,13 +267,18 @@ def check(target, num_threads: int | None = None, *,
           stop_on_failure: bool = False,
           state_dedupe: bool = False,
           register_cache_plain: bool = True,
-          weak_memory: bool = False) -> CheckReport:
+          weak_memory: bool = False,
+          memory_model=None) -> CheckReport:
     """Systematically check a kernel/program for races and bad results.
 
     ``target`` is a :class:`Program`, a pattern name from
     :mod:`repro.patterns`, or a kernel generator function (then
     ``num_threads`` and ``setup`` are required, and ``invariant`` may be
     e.g. a closure over :func:`repro.algorithms.verify.check_components`).
+
+    ``memory_model`` selects the consistency semantics both for
+    execution (buffered stores etc.) and for the race detector's atomic
+    happens-before edges; None keeps the paper's relaxed default.
 
     Returns a :class:`CheckReport`; ``report.ok`` is True iff no
     schedule produced a race (actual or predicted) or an invariant
@@ -284,8 +297,10 @@ def check(target, num_threads: int | None = None, *,
         faults = FaultPlan.parse(faults)
 
     runner = _make_runner(program, budget, faults,
-                          register_cache_plain, weak_memory)
-    detector = RaceDetector(engine=engine, predictive=predictive)
+                          register_cache_plain, weak_memory,
+                          memory_model=memory_model)
+    detector = RaceDetector(engine=engine, predictive=predictive,
+                            memory_model=memory_model)
 
     races: list[RaceReport] = []
     seen_sites: set[tuple] = set()
@@ -322,7 +337,8 @@ def check(target, num_threads: int | None = None, *,
     naive_result: ExploreResult | None = None
     if compare_naive and mode != "naive":
         naive_runner = _make_runner(program, budget, faults,
-                                    register_cache_plain, weak_memory)
+                                    register_cache_plain, weak_memory,
+                                    memory_model=memory_model)
         naive_result = ScheduleExplorer(
             naive_runner, mode="naive", budget=budget,
             state_dedupe=state_dedupe).explore()

@@ -13,8 +13,15 @@ synchronization vocabulary:
   positives);
 * ``__syncthreads()`` joins the clocks of all threads in the block
   (per-block barrier clock, one join per epoch transition);
-* atomics are ``memory_order_relaxed`` — they never create
-  happens-before edges, matching both libcu++ and the paper's codes.
+* atomic happens-before edges are *model-supplied*
+  (:mod:`repro.memmodel`): under the default ``RelaxedGPU`` model
+  relaxed atomics never create edges — matching both libcu++ and the
+  paper's codes — while an acquiring atomic read joins the per-location
+  release clock left by releasing atomic writes when the model says the
+  pair synchronizes (always under SC/TSO, only for
+  acquire/release/seq_cst orders under ``RelaxedGPU``/``PTXScoped``).
+  A ``PTXScoped`` block-scope release publishes into a per-block
+  release bucket that only same-block acquirers join.
 
 **Predictive reports.**  A per-schedule shadow detector forgets a write
 as soon as the next write to the same byte lands, so it only flags the
@@ -118,14 +125,26 @@ class VectorClockEngine:
     history:
         Displaced-access window per byte for predictive detection
         (0 disables prediction entirely).
+    memory_model:
+        The consistency model supplying atomic happens-before edges
+        (a :class:`~repro.memmodel.models.MemoryModel`, spec string, or
+        None for the paper's relaxed default, under which atomics never
+        synchronize).
     """
 
     def __init__(self,
                  on_report: Callable[[AccessEvent, AccessEvent, int, bool],
                                      bool],
-                 history: int = 4) -> None:
+                 history: int = 4,
+                 memory_model=None) -> None:
+        from repro.memmodel.models import resolve_model
+
         self._on_report = on_report
         self._history = history
+        self._model = resolve_model(memory_model)
+        #: per-(array, start, bucket) release clocks; bucket is "dev"
+        #: or ("b", block) for block-scoped releases
+        self._release: dict[tuple, VectorClock] = {}
         self._clocks: dict[int, VectorClock] = {}
         self._launch_clock = VectorClock()
         self._thread_launch: dict[int, int] = {}
@@ -155,6 +174,8 @@ class VectorClockEngine:
         self._barrier_clock.clear()
         self._pending_barrier.clear()
         self._thread_epoch.clear()
+        # the launch join dominates prior releases; drop their clocks
+        self._release.clear()
 
     def _sync_thread(self, ev: AccessEvent, vc: VectorClock) -> None:
         """Apply launch-boundary and barrier joins owed to this thread."""
@@ -185,8 +206,31 @@ class VectorClockEngine:
             self._enter_launch(ev.launch)
         vc = self._thread_clock(ev.tid)
         self._sync_thread(ev, vc)
+        model = self._model
+        is_atomic = ev.access is AccessKind.ATOMIC
+        if is_atomic and ev.is_read:
+            eff = model.runtime_order(ev.order)
+            if model.acquire_syncs(eff):
+                key = (ev.span.array, ev.span.start)
+                rel = self._release.get((*key, "dev"))
+                if rel is not None:
+                    vc.join(rel)
+                rel = self._release.get((*key, ("b", ev.block)))
+                if rel is not None:
+                    vc.join(rel)
         clock = vc.advance(ev.tid)
         epoch = Epoch(ev.tid, clock, ev)
+        if is_atomic and ev.is_write:
+            eff = model.runtime_order(ev.order)
+            if model.release_syncs(eff):
+                # a block-scoped release (when the model distinguishes
+                # scopes) publishes to same-block acquirers only
+                bucket = ("dev" if model.scope_syncs(ev.scope,
+                                                     same_block=False)
+                          else ("b", ev.block))
+                dst = self._release.setdefault(
+                    (ev.span.array, ev.span.start, bucket), VectorClock())
+                dst.join(vc)
 
         for byte in range(ev.span.start, ev.span.end):
             shadow = self._shadow.get((ev.span.array, byte))

@@ -20,6 +20,9 @@ Commands
   ``--telemetry`` it exports the run's metric registry and span tree.
 * ``check``   — systematic schedule exploration (DPOR) of one pattern:
   enumerate interleavings, race-check each, minimize failing schedules.
+* ``litmus``  — run the memory-model litmus corpus (MP, SB, LB, CoRR,
+  IRIW, scoped variants) under one or more consistency models and
+  assert observed outcomes against each model's allowed/forbidden sets.
 * ``metrics`` — post-process an exported telemetry JSONL file
   (``metrics summarize``).
 * ``trace``   — manage the on-disk trace cache (``trace prune``).
@@ -72,11 +75,15 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    study = Study(reps=args.reps, validate=args.validate)
+    study = Study(reps=args.reps, validate=args.validate,
+                  memory_model=args.memory_model)
     base = study.run(args.algo, args.input, args.device, Variant.BASELINE)
     free = study.run(args.algo, args.input, args.device, Variant.RACE_FREE)
     print(f"{args.algo} on {args.input} ({args.device}, "
           f"median of {args.reps}):")
+    if args.memory_model:
+        from repro.memmodel import get_model
+        print(f"  memory model: {get_model(args.memory_model).describe()}")
     print(f"  baseline : {base.median_ms:10.4f} ms "
           f"({base.last_run.rounds} rounds)")
     print(f"  race-free: {free.median_ms:10.4f} ms "
@@ -444,6 +451,47 @@ def _write_json(path: str, payload: dict) -> None:
         fh.write("\n")
 
 
+def _cmd_litmus(args) -> int:
+    from repro.check import ExploreBudget
+    from repro.memmodel.litmus import (
+        CORPUS,
+        LITMUS_BUDGET,
+        format_table,
+        run_corpus,
+    )
+
+    models = args.model.split(",") if args.model else None
+    tests = args.test.split(",") if args.test else None
+    if tests:
+        known = {t.name for t in CORPUS}
+        unknown = [t for t in tests if t not in known]
+        if unknown:
+            raise ReproError(f"unknown litmus test(s) {unknown}; known: "
+                             f"{sorted(known)}")
+    budget = LITMUS_BUDGET
+    if args.max_schedules or args.max_seconds:
+        budget = ExploreBudget(
+            max_schedules=args.max_schedules or budget.max_schedules,
+            max_steps_per_run=budget.max_steps_per_run,
+            max_seconds=args.max_seconds or budget.max_seconds,
+            preemption_bound=budget.preemption_bound)
+
+    results = run_corpus(models=models, tests=tests, budget=budget)
+    print(format_table(results))
+    bad = [r for r in results if not r.ok]
+    incomplete = [r for r in results if not r.complete]
+    print(f"\n{len(results)} cells: {len(results) - len(bad)} ok, "
+          f"{len(bad)} failed, {len(incomplete)} incomplete")
+    for r in bad:
+        if r.forbidden_observed:
+            print(f"  *** {r.test}/{r.model}: FORBIDDEN outcome "
+                  f"observed: {sorted(r.forbidden_observed)} ***")
+        if r.complete and r.missing:
+            print(f"  *** {r.test}/{r.model}: allowed outcome "
+                  f"never reached: {sorted(r.missing)} ***")
+    return 1 if bad else 0
+
+
 def _cmd_repair(args) -> int:
     from repro.repair import list_targets, repair
 
@@ -493,6 +541,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--reps", type=int, default=9)
     run.add_argument("--validate", action="store_true",
                      help="verify outputs against reference algorithms")
+    run.add_argument("--memory-model", default=None, metavar="MODEL",
+                     help="price accesses under a consistency model "
+                          "(sc, tso[:N], relaxed_gpu, ptx[:order]; "
+                          "default: the paper's relaxed GPU model)")
 
     table = sub.add_parser("table", help="full speedup table for a device")
     table.add_argument("--device", default="titanv")
@@ -705,12 +757,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the structured race reports to PATH "
                           "('-' for stdout)")
 
+    lit = sub.add_parser(
+        "litmus", help="run the memory-model litmus corpus and check "
+                       "outcomes against each model")
+    lit.add_argument("--model", default=None,
+                     help="comma-separated model specs (default: "
+                          "sc,tso,relaxed_gpu,ptx)")
+    lit.add_argument("--test", default=None,
+                     help="comma-separated litmus test names "
+                          "(default: full corpus)")
+    lit.add_argument("--max-schedules", type=int, default=0,
+                     help="override the exploration schedule cap "
+                          "(0 = keep; completeness needs the default)")
+    lit.add_argument("--max-seconds", type=float, default=0,
+                     help="override the per-cell wall-clock budget")
+
     rep = sub.add_parser(
         "repair", help="localize, synthesize, DPOR-verify, and rank "
                        "race fixes for a target")
     rep.add_argument("target", nargs="?", default="all",
-                     help="repair target (cc, mis, gc, scc, twophase) "
-                          "or 'all'")
+                     help="repair target (cc, mis, gc, mst, scc, "
+                          "twophase) or 'all'")
     rep.add_argument("--budget", default="smoke",
                      choices=["smoke", "default", "deep"],
                      help="DPOR budget per candidate verification")
@@ -741,6 +808,7 @@ def main(argv: list[str] | None = None) -> int:
         "inputs": _cmd_inputs,
         "sweep": _cmd_sweep,
         "check": _cmd_check,
+        "litmus": _cmd_litmus,
         "repair": _cmd_repair,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,

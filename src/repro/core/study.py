@@ -97,6 +97,13 @@ class Study:
         Default worker count for :meth:`speedup_table` (and
         :meth:`~repro.core.resilience.ResilientStudy.sweep`); ``None``
         reads ``REPRO_JOBS``, 1 means serial.
+    memory_model:
+        Price every run under this consistency model
+        (:mod:`repro.memmodel`): shared atomic sites are lifted to the
+        model's order floor before recording, e.g. ``"ptx:acq_rel"``
+        prices the acquire/release world.  None keeps the paper's
+        relaxed default.  Model-priced sweeps run serially (the
+        pool-worker protocol does not carry the model).
     """
 
     #: pool-worker respawn budget for parallel sweeps (None reads
@@ -110,7 +117,8 @@ class Study:
     def __init__(self, reps: int = 9, scale: float = 1.0,
                  validate: bool = False,
                  trace_cache: TraceCache | str | Path | bool | None = None,
-                 jobs: int | None = None) -> None:
+                 jobs: int | None = None,
+                 memory_model=None) -> None:
         from repro.core.parallel import resolve_jobs
 
         if reps < 1:
@@ -118,6 +126,11 @@ class Study:
         self.reps = reps
         self.scale = scale
         self.validate = validate
+        if memory_model is not None:
+            from repro.memmodel.models import resolve_model
+
+            memory_model = resolve_model(memory_model)
+        self.memory_model = memory_model
         if trace_cache is None or trace_cache is True:
             trace_cache = TraceCache(
                 disk_dir=os.environ.get(TRACE_CACHE_ENV) or None)
@@ -203,7 +216,8 @@ class Study:
                 run = run_algorithm(algo, graph, spec, variant,
                                     seed=self._rep_seed(rep),
                                     trace_cache=self.trace_cache,
-                                    need_output=self.validate)
+                                    need_output=self.validate,
+                                    memory_model=self.memory_model)
                 # every repetition is validated: reps differ in their
                 # randomization seed, so a corrupt rep 3 would be
                 # invisible if only the final repetition were checked
@@ -246,6 +260,8 @@ class Study:
         path.
         """
         jobs = jobs if jobs is not None else self.jobs
+        if self.memory_model is not None:
+            jobs = 1  # worker protocol doesn't carry the model; stay serial
         with get_spans().span("study.sweep", device=device, jobs=jobs,
                               cells=len(algorithms) * len(inputs)):
             if jobs > 1:

@@ -71,6 +71,8 @@ def ineligible_reason(ex: SimtExecutor) -> str | None:
         return "warp_lockstep"
     if ex.weak_memory:
         return "weak_memory"
+    if not ex.memory_model.batch_eligible:
+        return "memory_model"
     if ex.step_probe is not None:
         return "step_probe"
     if ex.faults is not None or ex.memory.faults is not None:

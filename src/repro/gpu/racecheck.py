@@ -202,12 +202,17 @@ class RaceDetector:
         scan, kept for cross-checking.
     predictive:
         Include ``predicted=True`` reports (vclock engine only).
+    memory_model:
+        The consistency model supplying atomic happens-before edges
+        (vclock engine only; None = the paper's relaxed default, under
+        which atomics never synchronize).
     """
 
     def __init__(self, max_reports: int = 1000,
                  dedupe_by_location: bool = True,
                  engine: str = "vclock",
-                 predictive: bool = True) -> None:
+                 predictive: bool = True,
+                 memory_model=None) -> None:
         if engine not in ("vclock", "pairwise"):
             raise ReproError(
                 f"unknown race engine {engine!r}; use 'vclock' or "
@@ -216,6 +221,7 @@ class RaceDetector:
         self.dedupe_by_location = dedupe_by_location
         self.engine = engine
         self.predictive = predictive
+        self.memory_model = memory_model
 
     def analyze(self, events: Iterable[AccessEvent]) -> list[RaceReport]:
         """Replay ``events`` through shadow state and collect races."""
@@ -243,7 +249,8 @@ class RaceDetector:
                     return True
                 return emit(first, second, byte, predicted)
 
-            VectorClockEngine(on_report).analyze(events)
+            VectorClockEngine(on_report,
+                              memory_model=self.memory_model).analyze(events)
         else:
             self._analyze_pairwise(events, emit)
         return reports

@@ -33,12 +33,14 @@ Example kernel::
 from __future__ import annotations
 
 import enum
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, NamedTuple
 
 from repro.errors import DeadlockError, KernelError, MemoryAccessError
-from repro.gpu.accesses import AccessKind, DType, MemoryOrder, MemSpan, RMWOp
+from repro.gpu.accesses import AccessKind, DType, MemoryOrder, MemSpan, RMWOp, Scope
+from repro.memmodel.models import MemoryModel, resolve_model
 from repro.gpu.interleave import RoundRobinScheduler, Scheduler
 from repro.gpu import tiers
 from repro.gpu.memory import (
@@ -52,6 +54,16 @@ from repro.utils.bitops import to_signed, to_unsigned
 
 MAX_ATOMIC_BYTES = 8
 """CUDA atomics support at most 64-bit operands."""
+
+DRAIN_BASE = 1_000_000
+"""Scheduler-visible ids of store-buffer drain agents.
+
+Under ``schedulable_drains`` every drainable buffer entry appears in the
+runnable set as its own pseudo-thread ``DRAIN_BASE + entry.seq``, so a
+controlled scheduler (and the DPOR explorer behind it) decides *when*
+each buffered store becomes globally visible — memory-model reordering
+becomes ordinary scheduling choice.  Entry seqs are assigned in decision
+order, so the ids are deterministic along any replayed prefix."""
 
 
 class OpKind(enum.Enum):
@@ -78,6 +90,7 @@ class Op(NamedTuple):
     expected: int | None = None       # CAS expected value
     signed: bool = False              # sign-extend load results
     site: str | None = None           # source access-plan site label
+    scope: Scope = Scope.DEVICE       # synchronization scope (PTXScoped)
 
 
 class AccessEvent(NamedTuple):
@@ -101,6 +114,11 @@ class AccessEvent(NamedTuple):
     access: AccessKind
     value: int
     site: str | None = None
+    #: memory order / scope of the originating op — consumed by the
+    #: model-aware vector-clock engine (``tid >= DRAIN_BASE`` marks a
+    #: scheduled store-buffer drain performed by a drain agent)
+    order: MemoryOrder = MemoryOrder.RELAXED
+    scope: Scope = Scope.DEVICE
 
 
 @dataclass
@@ -151,61 +169,89 @@ class ThreadCtx:
     def load(self, handle: ArrayHandle, index: int,
              kind: AccessKind = AccessKind.PLAIN,
              order: MemoryOrder = MemoryOrder.RELAXED,
-             site: str | None = None) -> Op:
+             site: str | None = None,
+             scope: Scope = Scope.DEVICE) -> Op:
         return Op(OpKind.LOAD, handle.span(index), kind, order,
-                  signed=handle.dtype.signed, site=site)
+                  signed=handle.dtype.signed, site=site, scope=scope)
 
     def store(self, handle: ArrayHandle, index: int, value: int,
               kind: AccessKind = AccessKind.PLAIN,
               order: MemoryOrder = MemoryOrder.RELAXED,
-              site: str | None = None) -> Op:
+              site: str | None = None,
+              scope: Scope = Scope.DEVICE) -> Op:
         return Op(OpKind.STORE, handle.span(index), kind, order,
-                  value=value, site=site)
+                  value=value, site=site, scope=scope)
 
     # -- raw span accesses (typecasting tricks) ------------------------
     def load_span(self, span: MemSpan,
                   kind: AccessKind = AccessKind.PLAIN,
                   signed: bool = False,
                   order: MemoryOrder = MemoryOrder.RELAXED,
-                  site: str | None = None) -> Op:
-        return Op(OpKind.LOAD, span, kind, order, signed=signed, site=site)
+                  site: str | None = None,
+                  scope: Scope = Scope.DEVICE) -> Op:
+        return Op(OpKind.LOAD, span, kind, order, signed=signed, site=site,
+                  scope=scope)
 
     def store_span(self, span: MemSpan, value: int,
                    kind: AccessKind = AccessKind.PLAIN,
                    order: MemoryOrder = MemoryOrder.RELAXED,
-                   site: str | None = None) -> Op:
-        return Op(OpKind.STORE, span, kind, order, value=value, site=site)
+                   site: str | None = None,
+                   scope: Scope = Scope.DEVICE) -> Op:
+        return Op(OpKind.STORE, span, kind, order, value=value, site=site,
+                  scope=scope)
 
     # -- read-modify-write atomics -------------------------------------
     def atomic_rmw(self, handle: ArrayHandle, index: int, op: RMWOp,
                    value: int, expected: int | None = None,
-                   site: str | None = None) -> Op:
+                   site: str | None = None,
+                   order: MemoryOrder = MemoryOrder.RELAXED,
+                   scope: Scope = Scope.DEVICE) -> Op:
         return Op(OpKind.RMW, handle.span(index), AccessKind.ATOMIC,
-                  MemoryOrder.RELAXED, value=value, rmw=op,
-                  expected=expected, signed=handle.dtype.signed, site=site)
+                  order, value=value, rmw=op,
+                  expected=expected, signed=handle.dtype.signed, site=site,
+                  scope=scope)
 
     def atomic_rmw_span(self, span: MemSpan, op: RMWOp, value: int,
                         expected: int | None = None,
                         signed: bool = False,
-                        site: str | None = None) -> Op:
-        return Op(OpKind.RMW, span, AccessKind.ATOMIC, MemoryOrder.RELAXED,
+                        site: str | None = None,
+                        order: MemoryOrder = MemoryOrder.RELAXED,
+                        scope: Scope = Scope.DEVICE) -> Op:
+        return Op(OpKind.RMW, span, AccessKind.ATOMIC, order,
                   value=value, rmw=op, expected=expected, signed=signed,
-                  site=site)
+                  site=site, scope=scope)
 
     def atomic_cas(self, handle: ArrayHandle, index: int,
                    expected: int, desired: int,
-                   site: str | None = None) -> Op:
+                   site: str | None = None,
+                   order: MemoryOrder = MemoryOrder.RELAXED,
+                   scope: Scope = Scope.DEVICE) -> Op:
         return self.atomic_rmw(handle, index, RMWOp.CAS, desired,
-                               expected=expected, site=site)
+                               expected=expected, site=site, order=order,
+                               scope=scope)
 
     # -- synchronization -----------------------------------------------
     def barrier(self) -> Op:
         """Block-level ``__syncthreads()``."""
         return Op(OpKind.BARRIER)
 
-    def fence(self, order: MemoryOrder = MemoryOrder.SEQ_CST) -> Op:
-        """``__threadfence()`` — also discards register-cached values."""
-        return Op(OpKind.FENCE, order=order)
+    def fence(self, order: MemoryOrder = MemoryOrder.SEQ_CST,
+              scope: Scope = Scope.DEVICE) -> Op:
+        """``__threadfence()`` — also discards register-cached values.
+
+        Under :class:`~repro.memmodel.models.PTXScoped`, a releasing
+        fence at ``scope=Scope.BLOCK`` (PTX ``fence.cta``) publishes the
+        store buffer to same-block threads only; every other model
+        drains it globally regardless of scope.
+        """
+        return Op(OpKind.FENCE, order=order, scope=scope)
+
+    def fence_sc(self, scope: Scope = Scope.DEVICE) -> Op:
+        """PTX ``fence.sc`` — the sequentially-consistent fence.  Always
+        drains the store buffer globally (even under scoped models) and
+        discards register-cached values."""
+        return Op(OpKind.FENCE, order=MemoryOrder.SEQ_CST, scope=scope,
+                  value=1)  # value=1 marks the fence as fence.sc
 
 
 # ----------------------------------------------------------------------
@@ -224,6 +270,22 @@ class _Micro:
     operand: int = 0
     expected: int | None = None
     site: str | None = None
+    order: MemoryOrder = MemoryOrder.RELAXED
+    scope: Scope = Scope.DEVICE
+
+
+class _BufEntry(NamedTuple):
+    """One issued-but-not-globally-visible store in a thread's buffer.
+
+    ``seq`` is the executor-wide issue stamp (drain-agent id =
+    ``DRAIN_BASE + seq``); ``vis`` is 0 while the entry is private to
+    the issuing thread, or the promote stamp once a block-scoped
+    release made it visible to same-block threads (PTXScoped)."""
+
+    span: MemSpan
+    value: int
+    seq: int
+    vis: int = 0
 
 
 @dataclass
@@ -239,8 +301,8 @@ class _Thread:
     pieces: list[int] = field(default_factory=list)  # loaded piece values
     send_value: Any = None
     reg_cache: dict[MemSpan, int] = field(default_factory=dict)
-    #: weak-memory mode: issued but not yet globally visible stores
-    store_buffer: list[tuple[MemSpan, int]] = field(default_factory=list)
+    #: buffered-store models: issued but not yet globally visible stores
+    store_buffer: list[_BufEntry] = field(default_factory=list)
 
 
 def _apply_rmw(op: RMWOp, old: int, operand: int, expected: int | None,
@@ -319,6 +381,17 @@ class SimtExecutor:
         Abort a launch with :class:`DeadlockError` after this many
         micro-steps — catches the infinite polling loops that register
         caching induces in racy code.
+    memory_model:
+        A :class:`~repro.memmodel.models.MemoryModel`, a spec string
+        (``"sc"``, ``"tso"``, ``"relaxed_gpu"``, ``"ptx:acq_rel"``, …),
+        or None for the default — the paper's relaxed-GPU semantics
+        with eager stores, bit-identical to the pre-zoo executor.
+    schedulable_drains:
+        Expose each drainable store-buffer entry as its own runnable
+        drain agent (id ``DRAIN_BASE + seq``) so a controlled scheduler
+        — and the DPOR explorer — decides drain timing.  Only
+        meaningful under a buffered model; the litmus harness turns it
+        on.  Incompatible with warp lockstep and fault injection.
     """
 
     def __init__(
@@ -334,10 +407,11 @@ class SimtExecutor:
         store_buffer_capacity: int = 8,
         faults: "FaultInjector | None" = None,
         batch: bool | None = None,
+        memory_model: "MemoryModel | str | None" = None,
+        schedulable_drains: bool = False,
     ) -> None:
         self.memory = memory
         self.scheduler = scheduler or RoundRobinScheduler()
-        self.register_cache_plain = register_cache_plain
         self.record_events = record_events
         self.max_steps = max_steps
         if warp_size <= 0:
@@ -349,13 +423,49 @@ class SimtExecutor:
                 f"store_buffer_capacity must be positive, got "
                 f"{store_buffer_capacity}"
             )
-        #: model per-thread store buffers with *out-of-order* drain:
-        #: non-atomic stores become globally visible late and in an
-        #: address-sorted (not program) order — the relaxed GPU memory
-        #: model that makes unsynchronized message passing fail.
-        #: Atomics, fences, barriers, and thread exit drain the buffer.
-        self.weak_memory = weak_memory
+        if weak_memory:
+            if memory_model is not None:
+                raise KernelError(
+                    "pass memory_model= or the deprecated weak_memory= "
+                    "flag, not both")
+            warnings.warn(
+                "SimtExecutor(weak_memory=True) is deprecated; use "
+                "memory_model='tso' (per-thread FIFO store buffers with "
+                "forwarding) or memory_model='relaxed_gpu' (out-of-order "
+                "drain)", DeprecationWarning, stacklevel=2)
+            memory_model = "tso"
+        #: the consistency semantics this executor runs under (see
+        #: :mod:`repro.memmodel.models`); structural knobs below are
+        #: resolved from it once, here
+        self.memory_model: MemoryModel = resolve_model(memory_model)
+        self.register_cache_plain = (register_cache_plain
+                                     and self.memory_model.register_cache_plain)
+        if self.memory_model.store_buffer_capacity is not None:
+            store_buffer_capacity = self.memory_model.store_buffer_capacity
+            if store_buffer_capacity <= 0:
+                raise KernelError(
+                    f"store_buffer_capacity must be positive, got "
+                    f"{store_buffer_capacity}")
+        #: buffered-store mode: non-atomic stores become globally
+        #: visible late, in an order the model controls (FIFO under
+        #: TSO, out of program order under RelaxedGPU/PTXScoped).
+        #: Kept under the historical name for compatibility.
+        self.weak_memory = self.memory_model.buffers_stores
         self.store_buffer_capacity = store_buffer_capacity
+        if schedulable_drains and not self.memory_model.buffers_stores:
+            schedulable_drains = False  # nothing to schedule
+        if schedulable_drains and warp_lockstep:
+            raise KernelError(
+                "schedulable_drains is incompatible with warp_lockstep")
+        if schedulable_drains and faults is not None:
+            raise KernelError(
+                "schedulable_drains is incompatible with fault injection")
+        self.schedulable_drains = schedulable_drains
+        #: issue/promote stamp counter (drain-agent ids derive from it)
+        self._buf_seq = 0
+        #: live block-visible (promoted) entries across all threads
+        self._promoted_entries = 0
+        self._launch_id = 0
         #: optional fault injector (scheduler stalls, transient aborts);
         #: memory-level faults ride on the injector installed in
         #: ``memory`` — pass the same injector to both for a full plan
@@ -450,6 +560,7 @@ class SimtExecutor:
             raise KernelError(f"block_dim must be positive, got {block_dim}")
         launch_id = self.launch_count
         self.launch_count += 1
+        self._launch_id = launch_id
         self.scheduler.reset()
         if self.faults is not None:
             self.faults.begin_launch()
@@ -513,7 +624,9 @@ class SimtExecutor:
         """The original one-micro-op-per-scheduler-step interpreter loop."""
         while True:
             runnable = [t.tid for t in threads if not t.done and not t.at_barrier]
-            if not runnable:
+            drains = (self._drain_map(threads)
+                      if self.schedulable_drains else None)
+            if not runnable and not drains:
                 waiting = [t.tid for t in threads if t.at_barrier]
                 if waiting:
                     raise DeadlockError(
@@ -533,9 +646,11 @@ class SimtExecutor:
                 runnable = self.faults.filter_runnable(runnable, stats.steps)
             if self.step_probe is not None:
                 self.step_probe(threads, epochs, stats)
+            if drains:
+                runnable = runnable + sorted(drains)
             self.scheduler.observe(
                 runnable,
-                self._pending_map(threads, runnable)
+                self._pending_map(threads, runnable, drains)
                 if self.scheduler.needs_pending else None)
             if self.warp_lockstep:
                 # pre-Volta semantics: the scheduler picks a warp and
@@ -557,25 +672,84 @@ class SimtExecutor:
                     self._step(thread, threads, epochs, stats, launch_id)
             else:
                 tid = self.scheduler.choose(runnable)
-                thread = threads[tid]
-                self._step(thread, threads, epochs, stats, launch_id)
+                if drains and tid in drains:
+                    owner, idx = drains[tid]
+                    self._drain_entry(owner, idx, epochs, stats, agent=tid)
+                else:
+                    thread = threads[tid]
+                    self._step(thread, threads, epochs, stats, launch_id)
 
-    @staticmethod
-    def _pending_map(threads: list[_Thread],
-                     runnable: list[int]) -> dict[int, tuple | None]:
+    def _drain_map(self, threads: list[_Thread],
+                   ) -> dict[int, tuple[_Thread, int]]:
+        """Map each currently drainable buffered store to a pseudo-thread
+        id (``DRAIN_BASE + entry.seq``) the scheduler may pick.  Under a
+        FIFO model only each buffer's head is drainable; under a
+        reordering model any entry not preceded by an older overlapping
+        entry of the same buffer is (per-address coherence)."""
+        drains: dict[int, tuple[_Thread, int]] = {}
+        reorder = self.memory_model.reorders_stores
+        for t in threads:
+            buf = t.store_buffer
+            if not buf:
+                continue
+            if not reorder:
+                drains[DRAIN_BASE + buf[0].seq] = (t, 0)
+                continue
+            for i, e in enumerate(buf):
+                if any(buf[j].span.overlaps(e.span) for j in range(i)):
+                    continue
+                drains[DRAIN_BASE + e.seq] = (t, i)
+        return drains
+
+    def _pending_map(self, threads: list[_Thread], runnable: list[int],
+                     drains: dict[int, tuple[_Thread, int]] | None = None,
+                     ) -> dict[int, tuple | None]:
         """Each runnable thread's next queued micro-op, summarized for a
         controlled scheduler's dependence analysis (None when the thread
-        is between operations and its next access is not yet known)."""
+        is between operations and its next access is not yet known).
+
+        Under a buffered memory model one micro-op can carry side
+        effects on *other* spans than its own: a draining atomic (or
+        RMW) flushes the thread's store buffer, a block-scope release
+        promotes it, and a load that overlaps buffered stores without an
+        exact forwarding match forces a flush.  Summarizing such a step
+        by its primary span would under-approximate the dependence
+        relation — sleep-set wakes and backtrack analysis would miss
+        real conflicts and prune reachable outcomes — so those steps
+        report None (conservatively dependent with everything)."""
+        model = self.memory_model
         pending: dict[int, tuple | None] = {}
         for tid in runnable:
-            micro = threads[tid].micro
-            if micro:
-                m = micro[0]
-                pending[tid] = (m.span.array, m.span.start, m.span.nbytes,
-                                m.is_read, m.is_write or m.rmw is not None,
-                                m.access is AccessKind.ATOMIC)
-            else:
+            if drains and tid in drains:
+                owner, idx = drains[tid]
+                span = owner.store_buffer[idx].span
+                pending[tid] = (span.array, span.start, span.nbytes,
+                                False, True, False)
+                continue
+            thread = threads[tid]
+            micro = thread.micro
+            if not micro:
                 pending[tid] = None
+                continue
+            m = micro[0]
+            if thread.store_buffer and m.access is AccessKind.ATOMIC \
+                    and (m.is_write or m.rmw is not None):
+                eff = model.runtime_order(m.order)
+                if (model.atomic_drains(eff)
+                        or model.release_promotes_block(eff, m.scope)):
+                    pending[tid] = None  # may flush/promote other spans
+                    continue
+            if thread.store_buffer and m.is_read and m.rmw is None \
+                    and any(e.span.overlaps(m.span)
+                            for e in thread.store_buffer):
+                forwarded = (self._forwarded(thread, m.span)
+                             if model.forwards_stores else None)
+                if forwarded is None:
+                    pending[tid] = None  # load will force a flush
+                    continue
+            pending[tid] = (m.span.array, m.span.start, m.span.nbytes,
+                            m.is_read, m.is_write or m.rmw is not None,
+                            m.access is AccessKind.ATOMIC)
         return pending
 
     # ------------------------------------------------------------------
@@ -589,14 +763,26 @@ class SimtExecutor:
             return
         micro: _Micro = thread.micro.popleft()
         span = micro.span
+        model = self.memory_model
+        forwarded: int | None = None
         if self.weak_memory:
             if micro.access is AccessKind.ATOMIC or micro.rmw is not None:
-                self._drain_buffer(thread)  # atomics synchronize
+                eff = model.runtime_order(micro.order)
+                if ((micro.is_write or micro.rmw is not None)
+                        and model.release_promotes_block(eff, micro.scope)):
+                    # block-scope release: make buffered stores visible
+                    # to the block without forcing a global drain
+                    self._promote_block(thread, epochs, stats)
+                elif model.atomic_drains(eff):
+                    self._drain_buffer(thread, epochs, stats)
             elif micro.is_read:
-                # store-to-load forwarding, simplified: make own pending
-                # stores visible before reading over them
-                if any(s.overlaps(span) for s, _ in thread.store_buffer):
-                    self._drain_buffer(thread)
+                if model.forwards_stores:
+                    forwarded = self._forwarded(thread, span)
+                if forwarded is None and any(
+                        e.span.overlaps(span) for e in thread.store_buffer):
+                    # partial overlap (or no forwarding): make own pending
+                    # stores visible before reading over them
+                    self._drain_buffer(thread, epochs, stats)
         if micro.rmw is not None:
             old = self.memory.span_read(span)
             # micro.value carries the op's signedness flag for RMW
@@ -606,26 +792,37 @@ class SimtExecutor:
             thread.pieces.append(old)
             stats.rmws += 1
             self._record(stats, launch_id, thread, epochs, span,
-                         True, True, AccessKind.ATOMIC, old, micro.site)
+                         True, True, AccessKind.ATOMIC, old, micro.site,
+                         micro.order, micro.scope)
         elif micro.is_write:
             if self.weak_memory and micro.access is not AccessKind.ATOMIC:
-                thread.store_buffer.append((span, micro.value))
+                self._buf_seq += 1
+                thread.store_buffer.append(
+                    _BufEntry(span, micro.value, self._buf_seq))
                 if len(thread.store_buffer) > self.store_buffer_capacity:
-                    self._drain_one(thread)
+                    self._drain_one(thread, epochs, stats)
             else:
                 self.memory.span_write(span, micro.value, kind=micro.access)
             self._invalidate_overlapping(thread, span)
             which = stats.stores
             which[micro.access] = which[micro.access] + 1
             self._record(stats, launch_id, thread, epochs, span,
-                         False, True, micro.access, micro.value, micro.site)
+                         False, True, micro.access, micro.value, micro.site,
+                         micro.order, micro.scope)
         else:
-            value = self.memory.span_read(span, kind=micro.access)
+            if forwarded is not None:
+                value = forwarded
+            else:
+                value = self._visible_read(thread, micro, threads)
             thread.pieces.append(value)
             which = stats.loads
             which[micro.access] = which[micro.access] + 1
             self._record(stats, launch_id, thread, epochs, span,
-                         True, False, micro.access, value, micro.site)
+                         True, False, micro.access, value, micro.site,
+                         micro.order, micro.scope)
+            if (micro.access is AccessKind.ATOMIC
+                    and model.acquire_syncs(model.runtime_order(micro.order))):
+                thread.reg_cache.clear()  # acquire load synchronizes
 
         if not thread.micro:
             self._complete_op(thread, stats)
@@ -634,13 +831,15 @@ class SimtExecutor:
     def _record(self, stats: LaunchStats, launch_id: int, thread: _Thread,
                 epochs: dict[int, int], span: MemSpan, is_read: bool,
                 is_write: bool, access: AccessKind, value: int,
-                site: str | None = None) -> None:
+                site: str | None = None,
+                order: MemoryOrder = MemoryOrder.RELAXED,
+                scope: Scope = Scope.DEVICE) -> None:
         if self.record_events:
             self.events.append(AccessEvent(
                 step=stats.steps, launch=launch_id, tid=thread.tid,
                 block=thread.block, epoch=epochs[thread.block], span=span,
                 is_read=is_read, is_write=is_write, access=access,
-                value=value, site=site,
+                value=value, site=site, order=order, scope=scope,
             ))
 
     def _complete_op(self, thread: _Thread, stats: LaunchStats) -> None:
@@ -708,8 +907,11 @@ class SimtExecutor:
                     op = thread.gen.send(thread.send_value)
             except StopIteration:
                 thread.done = True
-                if self.weak_memory:
-                    self._drain_buffer(thread)  # exit makes stores visible
+                if self.weak_memory and not self.schedulable_drains:
+                    # exit makes stores visible; in schedulable mode the
+                    # leftover entries instead drain via drain agents so
+                    # the explorer controls their timing
+                    self._drain_buffer(thread, epochs, stats)
                 return
             thread.send_value = None
             if not isinstance(op, Op):
@@ -720,11 +922,18 @@ class SimtExecutor:
             if op.kind is OpKind.FENCE:
                 thread.reg_cache.clear()
                 if self.weak_memory:
-                    self._drain_buffer(thread)
+                    model = self.memory_model
+                    eff = model.runtime_order(op.order)
+                    # op.value == 1 marks fence.sc: always drains globally
+                    if (op.value != 1
+                            and model.release_promotes_block(eff, op.scope)):
+                        self._promote_block(thread, epochs, stats)
+                    elif model.fence_drains(eff):
+                        self._drain_buffer(thread, epochs, stats)
                 continue  # free
             if op.kind is OpKind.BARRIER:
                 if self.weak_memory:
-                    self._drain_buffer(thread)
+                    self._drain_buffer(thread, epochs, stats)
                 if threads is None or epochs is None:
                     raise KernelError("barrier before first micro-step")
                 thread.at_barrier = True
@@ -746,7 +955,8 @@ class SimtExecutor:
             if op.access is AccessKind.ATOMIC:
                 self._check_atomic_span(span)
                 thread.micro.append(
-                    _Micro(span, True, False, op.access, site=op.site))
+                    _Micro(span, True, False, op.access, site=op.site,
+                           order=op.order, scope=op.scope))
             else:
                 if (self.register_cache_plain
                         and op.access is AccessKind.PLAIN
@@ -756,21 +966,23 @@ class SimtExecutor:
                     return
                 for piece in split_native_words(span):
                     thread.micro.append(
-                        _Micro(piece, True, False, op.access, site=op.site))
+                        _Micro(piece, True, False, op.access, site=op.site,
+                               order=op.order, scope=op.scope))
         elif op.kind is OpKind.STORE:
             raw = to_unsigned(op.value, span.nbytes * 8)
             if op.access is AccessKind.ATOMIC:
                 self._check_atomic_span(span)
                 thread.micro.append(
                     _Micro(span, False, True, op.access, value=raw,
-                           site=op.site))
+                           site=op.site, order=op.order, scope=op.scope))
             else:
                 shift = 0
                 for piece in split_native_words(span):
                     piece_raw = (raw >> shift) & ((1 << (piece.nbytes * 8)) - 1)
                     thread.micro.append(
                         _Micro(piece, False, True, op.access,
-                               value=piece_raw, site=op.site))
+                               value=piece_raw, site=op.site,
+                               order=op.order, scope=op.scope))
                     shift += piece.nbytes * 8
         elif op.kind is OpKind.RMW:
             self._check_atomic_span(span)
@@ -778,7 +990,7 @@ class SimtExecutor:
             thread.micro.append(_Micro(
                 span, True, True, AccessKind.ATOMIC, value=int(op.signed),
                 rmw=op.rmw, operand=op.value or 0, expected=op.expected,
-                site=op.site))
+                site=op.site, order=op.order, scope=op.scope))
         else:  # pragma: no cover - closed enum
             raise KernelError(f"unhandled op kind {op.kind}")
 
@@ -793,22 +1005,101 @@ class SimtExecutor:
         if span.start % span.nbytes != 0:
             raise MemoryAccessError(f"misaligned atomic access at {span}")
 
-    def _drain_buffer(self, thread: _Thread) -> None:
+    # -- store-buffer machinery ----------------------------------------
+    def _forwarded(self, thread: _Thread, span: MemSpan) -> int | None:
+        """Store-to-load forwarding: the youngest buffered store to
+        exactly this span, if any (TSO/PTXScoped).  Partial overlaps
+        don't forward — the caller drains instead."""
+        for e in reversed(thread.store_buffer):
+            if e.span == span:
+                return e.value
+        return None
+
+    def _visible_read(self, thread: _Thread, micro: _Micro,
+                      threads: list[_Thread]) -> int:
+        """Read ``micro.span`` as ``thread`` sees it: global memory,
+        overridden by the youngest *promoted* (block-visible) buffered
+        store of a same-block peer when PTXScoped promotion is live."""
+        if self.weak_memory and self._promoted_entries:
+            best_vis = 0
+            best_val = 0
+            for peer in threads:
+                if peer.block != thread.block or peer.tid == thread.tid:
+                    continue
+                for e in peer.store_buffer:
+                    if e.vis and e.span == micro.span and e.vis > best_vis:
+                        best_vis = e.vis
+                        best_val = e.value
+            if best_vis:
+                return best_val
+        return self.memory.span_read(micro.span, kind=micro.access)
+
+    def _drain_buffer(self, thread: _Thread,
+                      epochs: dict[int, int] | None = None,
+                      stats: LaunchStats | None = None) -> None:
         """Make all of a thread's buffered stores globally visible."""
         while thread.store_buffer:
-            self._drain_one(thread)
+            self._drain_one(thread, epochs, stats)
 
-    def _drain_one(self, thread: _Thread) -> None:
-        """Drain one buffered store — deliberately *out of program
-        order* (lowest address first), modelling a relaxed GPU memory
-        system rather than TSO."""
-        idx = min(range(len(thread.store_buffer)),
-                  key=lambda i: (thread.store_buffer[i][0].array,
-                                 thread.store_buffer[i][0].start))
-        span, value = thread.store_buffer.pop(idx)
+    def _drain_one(self, thread: _Thread,
+                   epochs: dict[int, int] | None = None,
+                   stats: LaunchStats | None = None) -> None:
+        """Drain one buffered store.  The model picks the order: FIFO
+        (TSO — program order) or lowest address first (the relaxed-GPU
+        out-of-order memory system; first-wins on ties preserves
+        per-address coherence)."""
+        buf = thread.store_buffer
+        if self.memory_model.drain_policy == "address":
+            idx = min(range(len(buf)),
+                      key=lambda i: (buf[i].span.array, buf[i].span.start))
+        else:
+            idx = 0
+        self._drain_entry(thread, idx, epochs, stats, agent=thread.tid)
+
+    def _drain_entry(self, thread: _Thread, idx: int,
+                     epochs: dict[int, int] | None,
+                     stats: LaunchStats | None, agent: int) -> None:
+        """Write buffer entry ``idx`` of ``thread`` to global memory.
+        ``agent`` is the acting id — the owning thread for forced
+        drains, or a ``DRAIN_BASE+seq`` pseudo-id when the scheduler
+        picked the drain itself (schedulable mode)."""
+        entry = thread.store_buffer.pop(idx)
+        if entry.vis:
+            self._promoted_entries -= 1
         # buffered stores are non-atomic by construction (atomics drain
         # the buffer instead of entering it); fault them as plain
-        self.memory.span_write(span, value, kind=AccessKind.PLAIN)
+        self.memory.span_write(entry.span, entry.value,
+                               kind=AccessKind.PLAIN)
+        if (self.schedulable_drains and self.record_events
+                and stats is not None and epochs is not None):
+            self.events.append(AccessEvent(
+                step=stats.steps, launch=self._launch_id, tid=agent,
+                block=thread.block, epoch=epochs[thread.block],
+                span=entry.span, is_read=False, is_write=True,
+                access=AccessKind.PLAIN, value=entry.value))
+
+    def _promote_block(self, thread: _Thread,
+                       epochs: dict[int, int] | None = None,
+                       stats: LaunchStats | None = None) -> None:
+        """Block-scope release (PTXScoped): stamp every still-private
+        buffered store visible to same-block readers without draining
+        it to global memory."""
+        buf = thread.store_buffer
+        for i, e in enumerate(buf):
+            if e.vis:
+                continue
+            self._buf_seq += 1
+            buf[i] = e._replace(vis=self._buf_seq)
+            self._promoted_entries += 1
+            if (self.schedulable_drains and self.record_events
+                    and stats is not None and epochs is not None):
+                self.events.append(AccessEvent(
+                    step=stats.steps, launch=self._launch_id,
+                    tid=thread.tid, block=thread.block,
+                    epoch=epochs[thread.block], span=e.span,
+                    is_read=False, is_write=True,
+                    access=AccessKind.PLAIN, value=e.value,
+                    scope=Scope.BLOCK))
 
     def _invalidate_overlapping(self, thread: _Thread, span: MemSpan) -> None:
         stale = [s for s in thread.reg_cache if s.overlaps(span)]

@@ -1,0 +1,22 @@
+"""repro.memmodel — pluggable memory consistency models + litmus tests.
+
+:mod:`repro.memmodel.models` defines the :class:`MemoryModel` zoo (SC,
+TSO, RelaxedGPU, PTXScoped); :mod:`repro.memmodel.litmus` holds the
+litmus corpus and the DPOR-backed outcome enumerator behind the
+``repro litmus`` command.
+"""
+
+from repro.memmodel.models import (
+    DEFAULT_MODEL,
+    MemoryModel,
+    PTXScoped,
+    RelaxedGPU,
+    SC,
+    TSO,
+    get_model,
+    model_keys,
+    resolve_model,
+)
+
+__all__ = ["MemoryModel", "SC", "TSO", "RelaxedGPU", "PTXScoped",
+           "DEFAULT_MODEL", "get_model", "resolve_model", "model_keys"]

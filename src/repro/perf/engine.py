@@ -449,7 +449,7 @@ def replay_trace(trace: Trace, device: DeviceSpec) -> float:
 
 def run_algorithm(algorithm, graph, device: DeviceSpec, variant: Variant,
                   seed: int = 0, faults=None, trace_cache=None,
-                  need_output: bool = True) -> PerfRun:
+                  need_output: bool = True, memory_model=None) -> PerfRun:
     """Run one (algorithm, input, device, variant) configuration.
 
     ``algorithm`` is an :class:`~repro.core.variants.AlgorithmInfo`;
@@ -480,8 +480,21 @@ def run_algorithm(algorithm, graph, device: DeviceSpec, variant: Variant,
     leaves the run bit-identical to the unfaulted engine.  A faulted
     run never touches the trace cache: injection mutates outputs and
     runtimes in ways a shared recording must not absorb.
+
+    ``memory_model`` (a :class:`~repro.memmodel.models.MemoryModel` or
+    spec string) prices the run under that model's semantics: every
+    shared atomic site's order is lifted to the model's floor before
+    recording, so e.g. ``ptx:acq_rel`` answers "what would this
+    variant cost with acquire/release atomics?".  The transformed plan
+    has its own fingerprint, so model-priced traces never collide with
+    default ones in a shared cache.  None keeps the paper's relaxed
+    default (an identity transform).
     """
     plan = algorithm_plan(algorithm)
+    if memory_model is not None:
+        from repro.memmodel.models import resolve_model
+
+        plan = resolve_model(memory_model).apply_to_plan(plan)
     staleness = device.plain_staleness_rounds
 
     if faults is not None:

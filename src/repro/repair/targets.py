@@ -163,7 +163,6 @@ def _gc_target() -> RepairTarget:
     verify_graph = CSRGraph.from_edges(
         4, [(0, 1), (1, 2), (0, 2), (2, 3)], directed=False,
         symmetrize=True, name="repair-gc-tiny")
-    # max degree must stay below 31 for the SIMT bitset kernel
     localize_graph = gen.random_uniform(24, 3.0, seed=13)
     perf_graph = gen.random_uniform(256, 4.0, seed=3)
 
@@ -188,6 +187,45 @@ def _gc_target() -> RepairTarget:
         perf_graph=perf_graph, algorithm_key="gc",
         description="ECL-GC Jones-Plassmann coloring (volatile color "
                     "and possible-color accesses race)")
+
+
+def _mst_target() -> RepairTarget:
+    from repro.algorithms import mst
+    from repro.algorithms.verify import check_mst
+
+    # pre-weighted graphs: run_simt and check_mst must agree on weights
+    # (run_simt would otherwise weight an internal copy the verifier
+    # never sees)
+    verify_graph = CSRGraph.from_edges(
+        4, [(0, 1), (1, 2), (0, 2), (2, 3)], directed=False,
+        symmetrize=True,
+        name="repair-mst-tiny").with_random_weights(seed=0)
+    localize_graph = gen.random_uniform(
+        24, 3.0, seed=19).with_random_weights(seed=0)
+    perf_graph = gen.random_uniform(
+        256, 4.0, seed=5).with_random_weights(seed=0)
+
+    def build_program(barriers: frozenset, graph=None) -> Program:
+        graph = verify_graph if graph is None else graph
+
+        def setup(mem):
+            return {}
+
+        def execute(executor, handles) -> None:
+            edge_mask, _ = mst.run_simt(graph, Variant.BASELINE, seed=0,
+                                        executor=executor)
+            handles["output"] = edge_mask
+
+        return Program(name="repair/mst", setup=setup, execute=execute,
+                       invariant=_stash_invariant(check_mst, graph,
+                                                  "output"))
+
+    return RepairTarget(
+        name="mst", plan=mst.ACCESS_PLAN, build_program=build_program,
+        verify_graph=verify_graph, localize_graph=localize_graph,
+        perf_graph=perf_graph, algorithm_key="mst",
+        description="ECL-MST Boruvka edge hooking (plain best-edge "
+                    "reads and parent writes race; CAS hook is atomic)")
 
 
 def _scc_target() -> RepairTarget:
@@ -310,6 +348,7 @@ _FACTORIES: dict[str, Callable[[], RepairTarget]] = {
     "cc": _cc_target,
     "mis": _mis_target,
     "gc": _gc_target,
+    "mst": _mst_target,
     "scc": _scc_target,
     "twophase": _twophase_target,
 }

@@ -71,6 +71,31 @@ class TestCommands:
         assert "Table VIII" in out
         assert "Geomean Speedup" in out
 
+    def test_litmus_subset(self, capsys):
+        rc = main(["litmus", "--test", "MP", "--model", "sc,relaxed_gpu"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "message passing" in out
+        assert "2 ok, 0 failed" in out
+
+    def test_litmus_unknown_test_exits_2(self, capsys):
+        rc = main(["litmus", "--test", "nosuch"])
+        assert rc == 2
+        assert "unknown litmus test" in capsys.readouterr().err
+
+    def test_litmus_unknown_model_exits_2(self, capsys):
+        rc = main(["litmus", "--model", "nosuch"])
+        assert rc == 2
+        assert "unknown memory model" in capsys.readouterr().err
+
+    def test_run_with_memory_model(self, capsys):
+        rc = main(["run", "--algo", "mis", "--input", "internet",
+                   "--reps", "1", "--memory-model", "ptx:acq_rel"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "memory model: PTX scoped" in out
+        assert "speedup" in out
+
 
 class TestErrorHandling:
     def test_repro_error_exits_2_with_one_line(self, capsys):

@@ -254,10 +254,30 @@ class TestVerify:
 
 class TestTargets:
     def test_registry(self):
-        assert list_targets() == ["cc", "gc", "mis", "scc", "twophase"]
+        assert list_targets() == ["cc", "gc", "mis", "mst", "scc",
+                                  "twophase"]
         with pytest.raises(ReproError):
             get_target("bogus")
 
     def test_gc_verify_graph_degree_bound(self):
         target = get_target("gc")
         assert int(target.verify_graph.degrees().max()) < 31
+
+    def test_mst_target_graphs_are_preweighted(self):
+        # run_simt would otherwise weight an internal copy the
+        # invariant checker never sees
+        target = get_target("mst")
+        assert target.verify_graph.has_weights
+        assert target.localize_graph.has_weights
+        assert target.perf_graph.has_weights
+
+    def test_mst_target_end_to_end(self):
+        from repro.gpu.memory import GlobalMemory
+        from repro.gpu.simt import SimtExecutor
+
+        target = get_target("mst")
+        prog = target.build_program(frozenset())
+        mem = GlobalMemory()
+        handles = prog.setup(mem)
+        prog.execute(SimtExecutor(mem), handles)
+        prog.invariant(mem, handles)  # check_mst on the stashed mask

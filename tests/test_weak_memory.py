@@ -1,9 +1,12 @@
-"""Tests for the weak-memory (store-buffer) execution mode.
+"""Tests for the buffered-store (weak-memory) execution modes.
 
-The mode models a relaxed GPU memory system: non-atomic stores sit in a
-per-thread buffer and become globally visible late and out of program
-order.  The classic unsynchronized message-passing idiom breaks; making
-the accesses atomic (which drains the buffer in this model) fixes it.
+The memory-model zoo (:mod:`repro.memmodel`) supplies the semantics:
+``relaxed_gpu`` buffers non-atomic stores per thread and drains them
+*out of program order* (lowest address first), so the classic
+unsynchronized message-passing idiom breaks; ``tso`` keeps FIFO buffers
+with store-to-load forwarding, which forbids that reorder but still
+exhibits store buffering.  The deprecated ``weak_memory=True`` executor
+flag is kept as an alias for ``memory_model="tso"``.
 """
 
 from __future__ import annotations
@@ -21,46 +24,115 @@ from repro.gpu.memory import GlobalMemory
 from repro.gpu.simt import SimtExecutor
 
 
-def weak_exec(seed=0, capacity=8):
+def weak_exec(seed=0, capacity=8, model="relaxed_gpu"):
     mem = GlobalMemory()
     ex = SimtExecutor(mem, scheduler=AdversarialScheduler(seed),
-                      weak_memory=True, store_buffer_capacity=capacity,
+                      memory_model=model, store_buffer_capacity=capacity,
                       record_events=False)
     return mem, ex
+
+
+class TestLegacyFlag:
+    """`weak_memory=True` survives as a deprecated alias for TSO."""
+
+    def test_alias_warns_and_maps_to_tso(self):
+        with pytest.warns(DeprecationWarning):
+            ex = SimtExecutor(GlobalMemory(), weak_memory=True,
+                              record_events=False)
+        assert ex.memory_model.key == "tso"
+        assert ex.weak_memory is True
+
+    def test_alias_conflicts_with_explicit_model(self):
+        with pytest.raises(KernelError):
+            SimtExecutor(GlobalMemory(), weak_memory=True,
+                         memory_model="sc")
+
+    def test_legacy_message_passing_stays_ordered(self):
+        """Under the TSO alias the buffer is FIFO: the payload always
+        drains before the flag, so legacy weak-memory runs of the
+        publication idiom are *correct* (stronger, never weaker)."""
+        for seed in range(40):
+            mem = GlobalMemory()
+            with pytest.warns(DeprecationWarning):
+                ex = SimtExecutor(mem, scheduler=AdversarialScheduler(seed),
+                                  weak_memory=True, store_buffer_capacity=1,
+                                  record_events=False)
+            buf = mem.alloc("buf", 2, DType.I32)
+            scratch = mem.alloc("scratch", 1, DType.I32)
+            result = []
+
+            def kernel(ctx, buf, scratch):
+                if ctx.tid == 0:
+                    yield ctx.store(buf, 1, 99, AccessKind.PLAIN)
+                    yield ctx.store(buf, 0, 1, AccessKind.PLAIN)
+                    for _ in range(8):
+                        yield ctx.load(scratch, 0, AccessKind.VOLATILE)
+                else:
+                    for _ in range(8):
+                        flag = yield ctx.load(buf, 0, AccessKind.VOLATILE)
+                        if flag == 1:
+                            data = yield ctx.load(buf, 1,
+                                                  AccessKind.VOLATILE)
+                            result.append(data)
+                            return
+
+            ex.launch(kernel, 2, buf, scratch)
+            assert not result or result[0] == 99
 
 
 class TestStoreBufferSemantics:
     def test_invalid_capacity(self):
         with pytest.raises(KernelError):
-            SimtExecutor(GlobalMemory(), weak_memory=True,
+            SimtExecutor(GlobalMemory(), memory_model="relaxed_gpu",
                          store_buffer_capacity=0)
 
     def test_own_stores_visible_to_self(self):
-        """Store-to-load forwarding: a thread reads its own writes."""
-        mem, ex = weak_exec()
-        arr = mem.alloc("a", 4, DType.I32)
-        seen = []
+        """Reading over an own buffered store makes it visible first
+        (relaxed_gpu drains; tso forwards) — never a stale read."""
+        for model in ("relaxed_gpu", "tso"):
+            mem, ex = weak_exec(model=model)
+            arr = mem.alloc("a", 4, DType.I32)
+            seen = []
+
+            def kernel(ctx, arr):
+                yield ctx.store(arr, 2, 42, AccessKind.PLAIN)
+                v = yield ctx.load(arr, 2, AccessKind.VOLATILE)
+                seen.append(v)
+
+            ex.launch(kernel, 1, arr)
+            assert seen == [42], model
+
+    def test_tso_forwarding_does_not_drain(self):
+        """TSO satisfies an exact-span reload from the buffer itself:
+        the store stays invisible to other threads."""
+        mem = GlobalMemory()
+        ex = SimtExecutor(mem, scheduler=RoundRobinScheduler(),
+                          memory_model="tso", record_events=False)
+        arr = mem.alloc("a", 1, DType.I32)
+        mid = []
 
         def kernel(ctx, arr):
-            yield ctx.store(arr, 2, 42, AccessKind.PLAIN)
-            v = yield ctx.load(arr, 2, AccessKind.VOLATILE)
-            seen.append(v)
+            yield ctx.store(arr, 0, 9, AccessKind.PLAIN)
+            v = yield ctx.load(arr, 0, AccessKind.VOLATILE)
+            mid.append((v, int(mem.element_read(arr, 0))))
 
         ex.launch(kernel, 1, arr)
-        assert seen == [42]
+        assert mid == [(9, 0)]  # forwarded own value; memory still 0
+        assert mem.element_read(arr, 0) == 9  # exit drained it
 
     def test_stores_visible_after_exit(self):
-        mem, ex = weak_exec()
-        arr = mem.alloc("a", 2, DType.I32)
+        for model in ("relaxed_gpu", "tso"):
+            mem, ex = weak_exec(model=model)
+            arr = mem.alloc("a", 2, DType.I32)
 
-        def kernel(ctx, arr):
-            yield ctx.store(arr, ctx.tid, ctx.tid + 7, AccessKind.PLAIN)
+            def kernel(ctx, arr):
+                yield ctx.store(arr, ctx.tid, ctx.tid + 7, AccessKind.PLAIN)
 
-        ex.launch(kernel, 2, arr)
-        assert np.array_equal(mem.download(arr), [7, 8])
+            ex.launch(kernel, 2, arr)
+            assert np.array_equal(mem.download(arr), [7, 8]), model
 
     def test_fence_drains(self):
-        mem, ex = weak_exec()
+        mem = GlobalMemory()
         arr = mem.alloc("a", 1, DType.I32)
         observed = []
 
@@ -77,13 +149,13 @@ class TestStoreBufferSemantics:
                     observed.append(v)
 
         ex2 = SimtExecutor(mem, scheduler=RoundRobinScheduler(),
-                           weak_memory=True, record_events=False)
+                           memory_model="relaxed_gpu", record_events=False)
         ex2.launch(kernel, 2, arr)
         assert observed[-1] == 5  # fence published the store
 
     def test_unsynchronized_message_passing_fails(self):
-        """data then flag, both plain: the out-of-order drain can make
-        the flag visible before the data.
+        """data then flag, both plain: relaxed_gpu's out-of-order drain
+        can make the flag visible before the data.
 
         A capacity-1 buffer forces an overflow drain after the second
         store; the drain picks the lowest address — the flag — so the
@@ -139,16 +211,17 @@ class TestStoreBufferSemantics:
 
     def test_per_address_coherence_preserved(self):
         """Two stores to the same location drain in program order."""
-        for seed in range(40):
-            mem, ex = weak_exec(seed=seed, capacity=16)
-            arr = mem.alloc("a", 1, DType.I32)
+        for model in ("relaxed_gpu", "tso"):
+            for seed in range(40):
+                mem, ex = weak_exec(seed=seed, capacity=16, model=model)
+                arr = mem.alloc("a", 1, DType.I32)
 
-            def kernel(ctx, arr):
-                yield ctx.store(arr, 0, 1, AccessKind.PLAIN)
-                yield ctx.store(arr, 0, 2, AccessKind.PLAIN)
+                def kernel(ctx, arr):
+                    yield ctx.store(arr, 0, 1, AccessKind.PLAIN)
+                    yield ctx.store(arr, 0, 2, AccessKind.PLAIN)
 
-            ex.launch(kernel, 1, arr)
-            assert mem.element_read(arr, 0) == 2
+                ex.launch(kernel, 1, arr)
+                assert mem.element_read(arr, 0) == 2, model
 
     def test_capacity_overflow_drains_oldest_address_first(self):
         mem, ex = weak_exec(capacity=2)
@@ -171,13 +244,13 @@ class TestAlgorithmsUnderWeakMemory:
     def test_cc_racefree_correct(self, tiny_graph):
         mem = GlobalMemory()
         ex = SimtExecutor(mem, scheduler=AdversarialScheduler(3),
-                          weak_memory=True, record_events=False)
+                          memory_model="relaxed_gpu", record_events=False)
         labels, _ = cc.run_simt(tiny_graph, Variant.RACE_FREE, executor=ex)
         verify.check_components(tiny_graph, labels)
 
     def test_mis_racefree_correct(self, tiny_graph):
         mem = GlobalMemory()
         ex = SimtExecutor(mem, scheduler=AdversarialScheduler(4),
-                          weak_memory=True, record_events=False)
+                          memory_model="relaxed_gpu", record_events=False)
         in_set, _ = mis.run_simt(tiny_graph, Variant.RACE_FREE, executor=ex)
         verify.check_mis(tiny_graph, in_set)

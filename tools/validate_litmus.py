@@ -1,0 +1,97 @@
+"""Validate the memory-model zoo (the CI litmus gate).
+
+Runs the full litmus corpus under every canonical model and checks the
+issue's acceptance bar:
+
+1. **Completeness** — every (test, model) cell finishes its DPOR
+   exploration within budget (no truncated cells: a truncated cell
+   proves nothing about forbidden outcomes).
+2. **Soundness** — no cell ever observes an outcome its model forbids.
+3. **Precision** — every complete cell observes *all* outcomes its
+   model allows, so the models are exactly as weak as advertised (a
+   model that silently strengthened would pass soundness alone).
+4. **Default identity** — the executor's default model is the paper's
+   relaxed-GPU semantics with eager stores: a run with the explicit
+   default is event-identical to a model-free executor.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_litmus.py [--models M1,M2]
+
+Exit status 0 when every check holds, 1 with a diagnostic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _check_corpus(models: list[str] | None) -> list[str]:
+    from repro.memmodel.litmus import format_table, run_corpus
+
+    results = run_corpus(models=models)
+    print(format_table(results))
+    print()
+
+    problems: list[str] = []
+    for r in results:
+        cell = f"{r.test}/{r.model}"
+        if not r.complete:
+            problems.append(f"{cell}: exploration truncated "
+                            f"({r.schedules} schedules)")
+        if r.forbidden_observed:
+            problems.append(f"{cell}: forbidden outcome(s) observed: "
+                            f"{sorted(r.forbidden_observed)}")
+        if r.complete and r.missing:
+            problems.append(f"{cell}: allowed outcome(s) never reached: "
+                            f"{sorted(r.missing)}")
+    return problems
+
+
+def _check_default_identity() -> list[str]:
+    import numpy as np
+
+    from repro.algorithms import cc
+    from repro.core.variants import Variant
+    from repro.gpu.memory import GlobalMemory
+    from repro.gpu.simt import SimtExecutor
+    from repro.graphs import generators as gen
+
+    graph = gen.random_uniform(24, 3.0, seed=5)
+    ex_plain = SimtExecutor(GlobalMemory(), record_events=True)
+    ex_model = SimtExecutor(GlobalMemory(), record_events=True,
+                            memory_model="relaxed_gpu:eager")
+    out_p, _ = cc.run_simt(graph, Variant.BASELINE, executor=ex_plain)
+    out_m, _ = cc.run_simt(graph, Variant.BASELINE, executor=ex_model)
+    problems: list[str] = []
+    if not np.array_equal(out_p, out_m):
+        problems.append("default model changed cc output")
+    if ex_plain.events != ex_model.events:
+        problems.append("default model changed the access-event stream")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--models", default=None,
+                        help="comma-separated model specs "
+                             "(default: sc,tso,relaxed_gpu,ptx)")
+    args = parser.parse_args(argv)
+    models = args.models.split(",") if args.models else None
+
+    problems = _check_corpus(models)
+    problems += _check_default_identity()
+
+    if problems:
+        print(f"\nFAIL: {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("\nOK: litmus corpus complete, sound, and precise; "
+          "default model is identity")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
