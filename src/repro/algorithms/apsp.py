@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.transform import AccessPlan, AccessSite
-from repro.core.variants import AlgorithmInfo, register_algorithm
+from repro.core.transform import AccessPlan, AccessSite, site_kind
+from repro.core.variants import AlgorithmInfo, Variant, register_algorithm
 from repro.gpu.accesses import AccessKind
 from repro.gpu.memory import GlobalMemory
 from repro.gpu.simt import SimtExecutor, ThreadCtx
@@ -30,6 +30,24 @@ ACCESS_PLAN = AccessPlan("apsp", (
     AccessSite("apsp.dist.write", AccessKind.PLAIN, is_store=True,
                shared=False),
 ))
+
+#: the shared-memory tile kernel's sites.  The *tile* accesses conflict
+#: across threads (thread (i,j) reads row i and column j cells staged by
+#: other threads), so they are repairable; the global-distance accesses
+#: are element-private and marked unshared.
+SHARED_PLAN = AccessPlan("apsp_shared", (
+    AccessSite("apsp.tile.read", AccessKind.PLAIN),
+    AccessSite("apsp.tile.write", AccessKind.PLAIN, is_store=True),
+    AccessSite("apsp.gdist.read", AccessKind.PLAIN, shared=False),
+    AccessSite("apsp.gdist.write", AccessKind.PLAIN, is_store=True,
+               shared=False),
+))
+
+#: the one barrier slot of the shared-memory kernel: it gates the
+#: post-staging barrier *and* every per-k barrier (the real code's
+#: ``__syncthreads()`` sites stand or fall together — dropping any one
+#: of them is the same missing-ordering bug)
+APSP_SYNC_SLOT = "apsp.sync"
 
 INF = 1 << 40
 TILE = 64  # the paper's 64x64 subblocks
@@ -107,38 +125,59 @@ def run_simt(graph, scheduler=None,
     return result, ex
 
 
-def make_apsp_shared_kernel():
+def make_apsp_shared_kernel(sync: bool = True,
+                            variant: Variant = Variant.BASELINE):
     """Floyd-Warshall over a ``__shared__`` tile (ECL-APSP's key
     optimization: "utilizing the shared memory on the GPU ...
     significantly reduces global memory accesses").
 
     One block stages the distance tile into shared memory, iterates k
     with block barriers, and writes the result back — a faithful
-    miniature of the paper code's diagonal-tile phase.
+    miniature of the paper code's diagonal-tile phase.  With
+    ``sync=False`` every barrier (the :data:`APSP_SYNC_SLOT` slot) is
+    elided, which makes the tile accesses race — this is the repair
+    pipeline's entry point: the only fix that restores the blocked
+    schedule's ordering is re-enabling the slot.  The tile accesses are
+    kind-driven through :data:`SHARED_PLAN`, so promotion candidates
+    apply without source edits.
     """
+    tile_read = site_kind(SHARED_PLAN, variant, "apsp.tile.read")
+    tile_write = site_kind(SHARED_PLAN, variant, "apsp.tile.write")
+    gdist_read = site_kind(SHARED_PLAN, variant, "apsp.gdist.read")
+    gdist_write = site_kind(SHARED_PLAN, variant, "apsp.gdist.write")
 
     def apsp_shared_kernel(ctx: ThreadCtx, dist, n):
         tile = ctx.shared("tile")
         i, j = divmod(ctx.tid, n)
-        v = yield ctx.load(dist, i * n + j, AccessKind.PLAIN)
-        yield ctx.store(tile, i * n + j, v, AccessKind.PLAIN)
-        yield ctx.barrier()
+        v = yield ctx.load(dist, i * n + j, gdist_read,
+                           site="apsp.gdist.read")
+        yield ctx.store(tile, i * n + j, v, tile_write,
+                        site="apsp.tile.write")
+        if sync:
+            yield ctx.barrier()
         for k in range(n):
-            dik = yield ctx.load(tile, i * n + k, AccessKind.PLAIN)
-            dkj = yield ctx.load(tile, k * n + j, AccessKind.PLAIN)
-            dij = yield ctx.load(tile, i * n + j, AccessKind.PLAIN)
+            dik = yield ctx.load(tile, i * n + k, tile_read,
+                                 site="apsp.tile.read")
+            dkj = yield ctx.load(tile, k * n + j, tile_read,
+                                 site="apsp.tile.read")
+            dij = yield ctx.load(tile, i * n + j, tile_read,
+                                 site="apsp.tile.read")
             if dik + dkj < dij:
                 yield ctx.store(tile, i * n + j, dik + dkj,
-                                AccessKind.PLAIN)
-            yield ctx.barrier()
-        out = yield ctx.load(tile, i * n + j, AccessKind.PLAIN)
-        yield ctx.store(dist, i * n + j, out, AccessKind.PLAIN)
+                                tile_write, site="apsp.tile.write")
+            if sync:
+                yield ctx.barrier()
+        out = yield ctx.load(tile, i * n + j, tile_read,
+                             site="apsp.tile.read")
+        yield ctx.store(dist, i * n + j, out, gdist_write,
+                        site="apsp.gdist.write")
 
     return apsp_shared_kernel
 
 
 def run_simt_shared(graph, scheduler=None,
-                    executor: SimtExecutor | None = None):
+                    executor: SimtExecutor | None = None,
+                    sync: bool = True):
     """Run the shared-memory APSP kernel (tiny graphs: one tile)."""
     from repro.gpu.accesses import DType
 
@@ -154,7 +193,7 @@ def run_simt_shared(graph, scheduler=None,
     np.minimum.at(init, (src, dst), graph.weights)
     mem.upload(dist, init.ravel())
 
-    ex.launch(make_apsp_shared_kernel(), n * n, dist, n,
+    ex.launch(make_apsp_shared_kernel(sync=sync), n * n, dist, n,
               block_dim=n * n,
               shared={"tile": (n * n, DType.I64)})
     result = mem.download(dist).reshape(n, n)

@@ -296,7 +296,9 @@ def _cmd_serve(args) -> int:
         validate=args.validate, retries=args.retries,
         backoff_s=args.backoff, max_steps=args.max_steps, jobs=args.jobs,
         trace_dir=args.trace_cache or None, checkpoint=args.checkpoint,
-        faults=faults, max_pending_cells=args.max_pending_cells,
+        faults=faults, workers=args.workers,
+        store_dir=args.store or None,
+        max_pending_cells=args.max_pending_cells,
         per_tenant_cells=args.per_tenant_cells,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
@@ -666,6 +668,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", type=int, default=1,
                        help="worker pool width per cell (>1 exercises "
                             "the worker-death-tolerant pool)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="sweep worker processes (>1 runs the "
+                            "supervised fleet: heartbeats, crash "
+                            "failover, bounded respawn)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="content-addressed shared result store "
+                            "directory (fleet mode only)")
     serve.add_argument("--trace-cache", default=None, metavar="DIR",
                        help="on-disk trace cache directory")
     serve.add_argument("--checkpoint", default=None,

@@ -24,7 +24,12 @@ sweep-as-a-service layer (:mod:`repro.service`): two concurrent clients
 against the job server under worker kills and torn trace writes must
 get results byte-identical to an uninjected offline sweep, and a
 SIGTERM delivered mid-stream must drain within the deadline and leave
-a loadable checkpoint.
+a loadable checkpoint.  :func:`run_fleet_scenario` repeats the drill
+against the multi-process worker fleet (``--workers 2`` plus the
+content-addressed shared result store), adding fleet-worker kills with
+redispatch, an externally corrupted store record that must be
+quarantined and recomputed, and a second server recovering the rest of
+the grid from the store.
 
 Run it via ``python -m repro chaos`` (``--quick`` for the CI-sized
 variant) or :func:`run_chaos` directly; ``tools/validate_chaos.py``
@@ -446,6 +451,231 @@ def run_serve_scenario(workdir: Path, device: str,
                         detail=detail)
 
 
+# ----------------------------------------------------------------------
+# The fleet scenario
+# ----------------------------------------------------------------------
+def run_fleet_scenario(workdir: Path, device: str,
+                       algorithms: list[str], inputs: list[str],
+                       reps: int, seed: int) -> ChaosOutcome:
+    """Chaos-drill the multi-process worker fleet end to end.
+
+    Phase 1 runs a two-worker fleet server under worker kills (every
+    first-incarnation fleet worker dies on its first dispatched cell)
+    plus torn trace writes, with a shared result store and a
+    checkpoint; two concurrent clients must get every cell ``ok``,
+    each lost cell must be redispatched exactly once (so the grid is
+    still *executed* exactly once), and the accumulated results must
+    be byte-identical to an uninjected serial offline sweep.  A
+    SIGTERM delivered while a third client is mid-stream must drain
+    within the deadline and leave a loadable checkpoint.
+
+    Phase 2 externally corrupts one published store record and starts
+    a *fresh* fleet server over the same store directory: the corrupt
+    record must be CRC-quarantined and recomputed, every other cell
+    must be served from the store, and the results must again be
+    byte-identical.
+    """
+    import asyncio
+    import os
+    import signal as _signal
+
+    from repro.service.server import ServiceConfig, SweepService
+
+    root = workdir / "fleet"
+    root.mkdir(parents=True, exist_ok=True)
+    ckpt = root / "fleet.ckpt"
+    store_dir = root / "store"
+    notes: list[str] = []
+    problems: list[str] = []
+    n_cells = len(algorithms) * len(inputs)
+    body = {"algorithms": list(algorithms), "inputs": list(inputs),
+            "device": device, "deadline_s": 300}
+
+    # the truth: an uninjected serial offline sweep of the same cells
+    offline = ResilientStudy(reps=reps)
+    result = offline.sweep(device, algorithms, inputs, jobs=1)
+    if result.failures:
+        raise StudyError("fleet scenario offline baseline failed")
+    baseline = _canonical_payload(
+        {"reps": offline.reps, "scale": offline.scale,
+         "results": offline._result_records()})
+
+    async def client(host: str, port: int, tenant: str) -> list[dict]:
+        reader, writer = await asyncio.open_connection(host, port)
+        payload = json.dumps(dict(body, tenant=tenant)).encode()
+        writer.write((f"POST /v1/study HTTP/1.1\r\nHost: chaos\r\n"
+                      f"Content-Length: {len(payload)}\r\n\r\n"
+                      ).encode() + payload)
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        head, _, rest = raw.partition(b"\r\n\r\n")
+        if not head.startswith(b"HTTP/1.1 200"):
+            raise StudyError(
+                f"fleet scenario: {tenant} got {head.splitlines()[0]!r}")
+        return [json.loads(line)
+                for line in _dechunk(rest).splitlines() if line]
+
+    async def get_json(host: str, port: int, path: str) -> dict:
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write((f"GET {path} HTTP/1.1\r\nHost: chaos\r\n"
+                      "Content-Length: 0\r\n\r\n").encode())
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        return json.loads(raw.partition(b"\r\n\r\n")[2])
+
+    def check_clients(tag: str, *client_records: tuple[str, list[dict]]
+                      ) -> int:
+        covered = n_cells
+        for tenant, records in client_records:
+            cells = [r for r in records if "cell" in r]
+            good = [r for r in cells if r.get("status") == "ok"]
+            covered = min(covered, len(good))
+            if len(cells) != n_cells or len(good) != n_cells:
+                problems.append(
+                    f"{tag}: {tenant} got {len(good)} ok of "
+                    f"{len(cells)} cells, wanted {n_cells}")
+        return covered
+
+    # ---- phase 1: kills + torn traces, SIGTERM mid-drain -------------
+    async def drive_injected() -> tuple[bytes, int]:
+        config = ServiceConfig(
+            port=0, reps=reps, retries=0, workers=2,
+            store_dir=str(store_dir), trace_dir=str(root / "traces"),
+            checkpoint=str(ckpt), fleet_heartbeat_s=0.1,
+            drain_deadline_s=60.0)
+        service = SweepService(config)
+        await service.start()
+        host, port = service.address
+        loop = asyncio.get_running_loop()
+
+        records_a, records_b = await asyncio.gather(
+            client(host, port, "alice"), client(host, port, "bob"))
+        covered = check_clients("phase1", ("alice", records_a),
+                                ("bob", records_b))
+        executed = service.executor.study.cells_executed
+        if executed != 2 * n_cells:
+            problems.append(
+                f"phase1: executed {executed} variant records, "
+                f"expected {2 * n_cells} (each lost cell redispatched "
+                "at most once)")
+        status = service.executor.fleet_status()
+        notes.append(f"respawns={status['respawns']} "
+                     f"redispatches={status['redispatches']}")
+        if status["respawns"] < 1 or status["redispatches"] < 1:
+            problems.append("phase1: the kill plan never cost a worker "
+                            "(scenario exercised nothing)")
+        server_payload = await get_json(host, port, "/v1/results")
+
+        third = asyncio.create_task(client(host, port, "carol"))
+        await asyncio.sleep(0.05)
+        drain_started = loop.time()
+        os.kill(os.getpid(), _signal.SIGTERM)
+        try:
+            await asyncio.wait_for(
+                service.wait_drained(),
+                timeout=config.drain_deadline_s + 15.0)
+        except asyncio.TimeoutError:
+            problems.append("phase1: drain never completed")
+        drain_s = loop.time() - drain_started
+        if drain_s > config.drain_deadline_s:
+            problems.append(f"phase1: drain took {drain_s:.1f}s, over "
+                            f"the {config.drain_deadline_s:.0f}s "
+                            "deadline")
+        notes.append(f"drained in {drain_s:.2f}s")
+        try:
+            records_c = await third
+            ok_c = sum(1 for r in records_c
+                       if "cell" in r and r.get("status") == "ok")
+            notes.append(f"mid-drain client finished {ok_c}/{n_cells}")
+        except (StudyError, ConnectionError, OSError, EOFError) as exc:
+            notes.append(f"mid-drain client cut off ({exc})")
+        return _canonical_payload(server_payload), covered
+
+    plan = HostFaultPlan.parse(
+        "kill=1.0,torn=0.4", seed=seed, targets=("trace-*.json",),
+        disrupt_generations=1)
+    with hostfaults.installed(plan):
+        server_bytes, covered = asyncio.run(drive_injected())
+    if server_bytes != baseline:
+        problems.append("phase1: fleet results diverge from the "
+                        "offline sweep")
+
+    if not ckpt.exists():
+        problems.append("phase1: drain left no checkpoint")
+    else:
+        loader = ResilientStudy(reps=reps, checkpoint=ckpt)
+        n_res, n_fail = loader.load_checkpoint()
+        notes.append(f"checkpoint loads {n_res} results")
+        if n_res < 2 * n_cells or n_fail:
+            problems.append(
+                f"phase1: checkpoint resumed {n_res} results / "
+                f"{n_fail} failures for a {n_cells}-cell grid")
+
+    # ---- phase 2: corrupt one store record, recover from the rest ----
+    published = sorted(store_dir.glob("cell-*.json"))
+    if len(published) != n_cells:
+        problems.append(f"phase2: store holds {len(published)} records "
+                        f"for a {n_cells}-cell grid")
+    if published:
+        _corrupt_file(published[0])
+
+    async def drive_recovery() -> bytes:
+        config = ServiceConfig(
+            port=0, reps=reps, retries=0, workers=2,
+            store_dir=str(store_dir), fleet_heartbeat_s=0.1,
+            drain_deadline_s=60.0)
+        service = SweepService(config)
+        await service.start()
+        host, port = service.address
+        records = await client(host, port, "dana")
+        check_clients("phase2", ("dana", records))
+        store = service.executor.store
+        notes.append(f"store hits={store.hits} "
+                     f"quarantined={store.quarantined}")
+        if store.quarantined < 1:
+            problems.append("phase2: the corrupt record was never "
+                            "quarantined")
+        if store.hits < n_cells - 1:
+            problems.append(
+                f"phase2: only {store.hits} store hits for "
+                f"{n_cells - 1} intact records")
+        executed = service.executor.study.cells_executed
+        if executed > 2:
+            problems.append(
+                f"phase2: recomputed {executed} variant records; only "
+                "the corrupt cell should have run")
+        corrupt = list(store_dir.glob("*.corrupt"))
+        if not corrupt:
+            problems.append("phase2: no *.corrupt quarantine file")
+        server_payload = await get_json(host, port, "/v1/results")
+        await service.aclose()
+        return _canonical_payload(server_payload)
+
+    recovered_bytes = asyncio.run(drive_recovery())
+    if recovered_bytes != baseline:
+        problems.append("phase2: recovered results diverge from the "
+                        "offline sweep")
+
+    identical = (server_bytes == baseline
+                 and recovered_bytes == baseline)
+    detail = "; ".join(
+        ["2-worker fleet under worker kills + torn traces, then store "
+         "corruption recovery"] + notes + problems)
+    return ChaosOutcome(scenario="fleet", ok=not problems and identical,
+                        identical=identical, coverage=(covered, n_cells),
+                        detail=detail)
+
+
 def run_chaos(device: str = DEVICE, inputs: list[str] | None = None,
               reps: int = 2, jobs: int = 4, seed: int = 0,
               quick: bool = False,
@@ -496,6 +726,8 @@ def run_chaos(device: str = DEVICE, inputs: list[str] | None = None,
     outcomes.append(run_serve_scenario(
         workdir, device, algorithms, inputs, reps, seed,
         jobs=max(2, min(jobs, 4))))
+    outcomes.append(run_fleet_scenario(
+        workdir, device, algorithms, inputs, reps, seed))
     return ChaosReport(
         outcomes=outcomes,
         kinds_covered=tuple(sorted(k.value for k in covered)))

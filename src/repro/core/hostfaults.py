@@ -357,3 +357,22 @@ def maybe_disrupt(plan: HostFaultPlan | None, key: tuple,
     if plan.triggers(HostFaultKind.WORKER_STALL, *key, generation):
         _count_injected(HostFaultKind.WORKER_STALL)
         time.sleep(plan.stall_seconds)
+
+
+def maybe_disrupt_fleet(plan: HostFaultPlan | None, worker_id: int,
+                        key: tuple, generation: int) -> None:
+    """Apply ``kill``/``stall`` to one *fleet* worker task.
+
+    The service fleet (:mod:`repro.service.fleet`) runs long-lived
+    worker processes rather than pool generations, so the draw is keyed
+    on the worker slot id plus the cell identity, and ``generation`` is
+    the slot's *respawn count*: with ``disrupt_generations=N`` only the
+    first N incarnations of each slot are disrupted — a respawned
+    worker picking up a redispatched cell survives, exactly like a
+    rebuilt pool.  Kills are a real ``SIGKILL`` to the worker's own
+    pid; the supervisor sees the pipe close and fails over.
+    """
+    if plan is None:
+        return
+    maybe_disrupt(plan, ("fleet", int(worker_id)) + tuple(key),
+                  generation)

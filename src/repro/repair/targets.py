@@ -156,6 +156,122 @@ def _mis_target() -> RepairTarget:
                     "byte polls and writes race)")
 
 
+def _apsp_closure(graph) -> np.ndarray:
+    """The unique Floyd-Warshall closure of a weighted graph."""
+    from repro.algorithms.apsp import INF
+
+    n = graph.num_vertices
+    dist = np.full((n, n), INF, dtype=np.int64)
+    np.fill_diagonal(dist, 0)
+    src, dst = graph.edge_array()
+    np.minimum.at(dist, (src, dst), graph.weights)
+    for k in range(n):
+        np.minimum(dist, dist[:, k, None] + dist[None, k, :], out=dist)
+    return dist
+
+
+def _apsp_shared_target() -> RepairTarget:
+    """The shared-memory APSP tile kernel with its barriers elided.
+
+    The blocked Floyd-Warshall schedule is correct *because of* its
+    ``__syncthreads()`` sites; with the :data:`~repro.algorithms.apsp
+    .APSP_SYNC_SLOT` slot disabled, every cross-thread tile access
+    races and stale tiles produce wrong distances.  The only repair
+    that restores the ordering is re-enabling the slot — atomic
+    promotion silences the reports but cannot recover the lost
+    happens-before, which the exact-closure invariant documents.
+
+    The graphs are *paths*: on a path, ``d[0][n-1]`` starts at INF and
+    is only found through every intermediate vertex's staged tile, so
+    a missing barrier has reachable wrong outputs (a dense triangle
+    would mask the race — one relaxation step already sees the final
+    answer).  Pre-weighted for the same reason as MST: the invariant
+    and ``run_simt_shared`` must agree on weights.
+    """
+    from repro.algorithms import apsp
+
+    verify_graph = CSRGraph.from_edges(
+        3, [(0, 1), (1, 2)], directed=False, symmetrize=True,
+        name="repair-apsp-tiny").with_random_weights(seed=0)
+    localize_graph = CSRGraph.from_edges(
+        4, [(0, 1), (1, 2), (2, 3)], directed=False, symmetrize=True,
+        name="repair-apsp-path4").with_random_weights(seed=0)
+
+    def build_program(barriers: frozenset, graph=None) -> Program:
+        graph = verify_graph if graph is None else graph
+        sync = apsp.APSP_SYNC_SLOT in barriers
+
+        def setup(mem):
+            return {}
+
+        def execute(executor, handles) -> None:
+            dist, _ = apsp.run_simt_shared(graph, executor=executor,
+                                           sync=sync)
+            handles["output"] = dist
+
+        def invariant(mem, handles) -> bool:
+            out = handles.get("output")
+            return (out is not None
+                    and bool(np.array_equal(np.asarray(out),
+                                            _apsp_closure(graph))))
+
+        return Program(name="repair/apsp_shared", setup=setup,
+                       execute=execute, invariant=invariant)
+
+    return RepairTarget(
+        name="apsp_shared", plan=apsp.SHARED_PLAN,
+        build_program=build_program, verify_graph=verify_graph,
+        localize_graph=localize_graph, perf_graph=None,
+        barrier_slots=(apsp.APSP_SYNC_SLOT,),
+        description="ECL-APSP shared-memory tile with its "
+                    "__syncthreads() elided (only re-enabling the "
+                    "barrier slot restores the blocked ordering)")
+
+
+def _mis_packed_target() -> RepairTarget:
+    """The packed single-byte MIS kernel (Section II.B.4).
+
+    Same access plan and racy sites as the word-per-vertex MIS target —
+    the packed kernel routes its byte polls and stores through the same
+    ``mis.nstat.*`` labels — but the racy accesses are now sub-word,
+    so an accepted atomic promotion *means* the Fig. 3b typecast read
+    and the Fig. 5 CAS-loop byte store.
+    """
+    from repro.algorithms import mis
+    from repro.algorithms.verify import check_mis
+
+    verify_graph = CSRGraph.from_edges(
+        4, [(0, 1), (1, 2), (2, 3)], directed=False, symmetrize=True,
+        name="repair-misp-tiny")
+    localize_graph = gen.random_uniform(24, 3.0, seed=23)
+    perf_graph = gen.random_uniform(256, 4.0, seed=6)
+
+    def build_program(barriers: frozenset, graph=None) -> Program:
+        graph = verify_graph if graph is None else graph
+
+        def setup(mem):
+            return {}
+
+        def execute(executor, handles) -> None:
+            in_set, _ = mis.run_simt_packed(graph, Variant.BASELINE,
+                                            seed=0, executor=executor)
+            handles["output"] = in_set
+
+        return Program(name="repair/mis_packed", setup=setup,
+                       execute=execute,
+                       invariant=_stash_invariant(check_mis, graph,
+                                                  "output"))
+
+    return RepairTarget(
+        name="mis_packed", plan=mis.ACCESS_PLAN,
+        build_program=build_program, verify_graph=verify_graph,
+        localize_graph=localize_graph, perf_graph=perf_graph,
+        algorithm_key="mis",
+        description="ECL-MIS packed status+priority byte (sub-word "
+                    "polls and writes race; atomic promotion routes "
+                    "through the typecast/CAS byte helpers)")
+
+
 def _gc_target() -> RepairTarget:
     from repro.algorithms import gc
     from repro.algorithms.verify import check_coloring
@@ -347,9 +463,11 @@ def _twophase_target() -> RepairTarget:
 _FACTORIES: dict[str, Callable[[], RepairTarget]] = {
     "cc": _cc_target,
     "mis": _mis_target,
+    "mis_packed": _mis_packed_target,
     "gc": _gc_target,
     "mst": _mst_target,
     "scc": _scc_target,
+    "apsp_shared": _apsp_shared_target,
     "twophase": _twophase_target,
 }
 

@@ -26,6 +26,16 @@ Two pieces:
     record; and when the executor is saturated or the trace cache has
     sticky-degraded, cached records are served with an explicit
     ``stale: true`` marker instead of queueing more work.
+
+The scheduler is executor-shape agnostic: anything with the
+``submit(key, budget_s) -> concurrent.futures.Future`` /
+``queued`` / ``degraded`` surface plugs in.  ``repro serve --workers
+N`` swaps in :class:`~repro.service.fleet.FleetExecutor`, whose
+futures resolve from supervised worker *processes* with crash
+failover; a limping fleet (``fleet_degraded``: an evicted worker
+slot, or no live workers at all) counts toward
+:meth:`CellScheduler.degraded_mode` so stale serving kicks in before
+clients pile onto a reduced fleet.
 """
 
 from __future__ import annotations
@@ -211,7 +221,8 @@ class CellScheduler:
     def degraded_mode(self) -> bool:
         """Whether the ladder's serve-stale rung is active."""
         return (self.executor.queued >= self.saturation_threshold
-                or self.executor.degraded)
+                or self.executor.degraded
+                or bool(getattr(self.executor, "fleet_degraded", False)))
 
     def inflight_cells(self) -> int:
         return len(self._inflight)

@@ -8,13 +8,25 @@ drain deadline, write a final checkpoint, exit), and ``/healthz`` /
 ``/readyz`` expose liveness and readiness, mirrored into
 :mod:`repro.telemetry` gauges when telemetry is enabled.
 
+With ``--workers N`` (N > 1) the study executor is the
+:class:`~repro.service.fleet.FleetExecutor`: N supervised worker
+processes with heartbeats, crash failover, bounded respawn, and an
+optional content-addressed shared result store
+(:class:`~repro.service.store.ResultStore`, ``--store DIR``).
+``/readyz`` then reports **degraded** (503 with JSON reasons) when the
+fleet's respawn budget is exhausted or the store has sticky-degraded,
+and the drain path waits for every worker before exiting.
+
 Routes::
 
-    GET  /healthz     liveness (200 while the process runs)
-    GET  /readyz      readiness (503 while draining; reports degraded)
-    GET  /metrics     Prometheus exposition of the telemetry registry
-    GET  /v1/results  everything computed so far (save_results payload)
-    POST /v1/study    stream per-cell NDJSON records for a study
+    GET  /healthz                 liveness (200 while the process runs)
+    GET  /readyz                  readiness (503 while draining or
+                                  degraded, with JSON reasons)
+    GET  /metrics                 Prometheus exposition of the registry
+    GET  /v1/results              everything computed so far
+    POST /v1/study                stream per-cell NDJSON records
+    GET  /v1/study/{id}/events    NDJSON study-progress subscription
+                                  (cell start/finish/failover events)
 """
 
 from __future__ import annotations
@@ -24,10 +36,12 @@ import json
 import signal
 import socket
 import time
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 from repro.errors import ProtocolError, ServiceError
 from repro.perf.trace import TraceCache
+from repro.service.fleet import FleetExecutor
 from repro.service.protocol import (
     HttpRequest,
     end_ndjson,
@@ -40,10 +54,14 @@ from repro.service.protocol import (
 from repro.service.quota import AdmissionController
 from repro.service.scheduler import CellScheduler, StudyExecutor
 from repro.service.breaker import CircuitBreaker
+from repro.service.store import ResultStore
 from repro.telemetry.export import to_prometheus
 from repro.telemetry.metrics import SCOPE_PROCESS, get_registry
 
 DRAIN_RETRY_AFTER = "5"
+
+#: completed studies whose event buffers are retained for replay
+EVENT_HISTORY = 256
 
 
 @dataclass
@@ -64,6 +82,14 @@ class ServiceConfig:
     trace_dir: str | None = None
     checkpoint: str | None = None
     faults: object | None = None  # FaultPlan, injected by the CLI
+    # fleet knobs (workers > 1 swaps in the FleetExecutor; fleet
+    # workers execute serially, so ``jobs`` is ignored in fleet mode)
+    workers: int = 1
+    store_dir: str | None = None
+    fleet_heartbeat_s: float = 0.5
+    fleet_flap_threshold: int = 3
+    fleet_flap_cooldown_s: float = 30.0
+    fleet_task_deadline_s: float | None = None
     # robustness ladder knobs
     max_pending_cells: int = 256
     per_tenant_cells: int = 64
@@ -74,6 +100,16 @@ class ServiceConfig:
     drain_deadline_s: float = 20.0
 
 
+@dataclass
+class _StudyEvents:
+    """One study's progress-event buffer and its live subscribers."""
+
+    study_id: str
+    buffer: list = field(default_factory=list)
+    queues: set = field(default_factory=set)
+    done: bool = False
+
+
 class SweepService:
     """One listening sweep server (see module docstring)."""
 
@@ -81,12 +117,27 @@ class SweepService:
         self.config = config
         trace_cache = (TraceCache(disk_dir=config.trace_dir)
                        if config.trace_dir else None)
-        self.executor = StudyExecutor(
-            reps=config.reps, scale=config.scale, validate=config.validate,
-            retries=config.retries, backoff_s=config.backoff_s,
-            max_steps=config.max_steps, faults=config.faults,
-            trace_cache=trace_cache, checkpoint=config.checkpoint,
-            jobs=config.jobs)
+        if config.workers > 1:
+            store = (ResultStore(config.store_dir, reps=config.reps,
+                                 scale=config.scale)
+                     if config.store_dir else None)
+            self.executor = FleetExecutor(
+                workers=config.workers, reps=config.reps,
+                scale=config.scale, validate=config.validate,
+                retries=config.retries, backoff_s=config.backoff_s,
+                max_steps=config.max_steps, faults=config.faults,
+                trace_cache=trace_cache, checkpoint=config.checkpoint,
+                store=store, heartbeat_s=config.fleet_heartbeat_s,
+                flap_threshold=config.fleet_flap_threshold,
+                flap_cooldown_s=config.fleet_flap_cooldown_s,
+                task_deadline_s=config.fleet_task_deadline_s)
+        else:
+            self.executor = StudyExecutor(
+                reps=config.reps, scale=config.scale,
+                validate=config.validate, retries=config.retries,
+                backoff_s=config.backoff_s, max_steps=config.max_steps,
+                faults=config.faults, trace_cache=trace_cache,
+                checkpoint=config.checkpoint, jobs=config.jobs)
         self.scheduler = CellScheduler(
             self.executor,
             CircuitBreaker(threshold=config.breaker_threshold,
@@ -101,6 +152,9 @@ class SweepService:
         self._drained = asyncio.Event()
         self._drain_task: asyncio.Task | None = None
         self._started_at = time.monotonic()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._study_seq = 0
+        self._events: OrderedDict[str, _StudyEvents] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -121,6 +175,12 @@ class SweepService:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
             family=socket.AF_INET)
+        self._loop = asyncio.get_running_loop()
+        if isinstance(self.executor, FleetExecutor):
+            # fleet events (failover, respawn, eviction) arrive from
+            # the supervisor thread; hop onto the loop and fan them out
+            # to every active study's event stream
+            self.executor.on_event = self._fleet_event_threadsafe
         self._install_signal_handlers()
         self._publish_gauges()
 
@@ -235,12 +295,20 @@ class SweepService:
     async def _route(self, request: HttpRequest,
                      writer: asyncio.StreamWriter) -> None:
         route = (request.method, request.path)
+        study_events_id = self._study_events_id(request.path)
         if route == ("GET", "/healthz"):
             await send_json(writer, 200, self._health_payload())
         elif route == ("GET", "/readyz"):
-            ready = not self._draining
+            ready, reasons = self._ready_state()
             await send_json(writer, 200 if ready else 503,
-                            self._ready_payload(ready))
+                            self._ready_payload(ready, reasons))
+        elif study_events_id is not None:
+            if request.method != "GET":
+                await send_json(writer, 405,
+                                {"error": f"{request.method} not allowed "
+                                          f"on {request.path}"})
+            else:
+                await self._handle_study_events(study_events_id, writer)
         elif route == ("GET", "/metrics"):
             body = to_prometheus(get_registry()).encode()
             writer.write(_plain_response(200, body))
@@ -263,18 +331,41 @@ class SweepService:
                 "uptime_s": round(time.monotonic() - self._started_at, 3),
                 "draining": self._draining}
 
-    def _ready_payload(self, ready: bool) -> dict:
-        return {"ready": ready,
-                "draining": self._draining,
-                "degraded": self.scheduler.degraded_mode(),
-                "pending_cells": self.admission.pending_cells,
-                "queued_executions": self.executor.queued,
-                "inflight_cells": self.scheduler.inflight_cells(),
-                "open_breakers": [
-                    getattr(k, "describe", lambda: str(k))()
-                    for k in self.scheduler.breaker.open_keys()],
-                "coalesced": self.scheduler.coalesced,
-                "stale_served": self.scheduler.stale_served}
+    def _ready_state(self) -> tuple[bool, list[str]]:
+        """Readiness and the reasons it is lost.
+
+        The service refuses to claim ready while silently limping: an
+        exhausted fleet respawn budget (an evicted worker slot, or no
+        live workers) and a sticky-degraded shared result store are
+        503s with an explicit reason, not a quiet ``ready: true``.
+        """
+        reasons: list[str] = []
+        if self._draining:
+            reasons.append("draining")
+        if getattr(self.executor, "fleet_degraded", False):
+            reasons.append("fleet_respawn_exhausted")
+        store = getattr(self.executor, "store", None)
+        if store is not None and store.degraded:
+            reasons.append("store_degraded")
+        return not reasons, reasons
+
+    def _ready_payload(self, ready: bool, reasons: list[str]) -> dict:
+        payload = {"ready": ready,
+                   "reasons": reasons,
+                   "draining": self._draining,
+                   "degraded": self.scheduler.degraded_mode(),
+                   "pending_cells": self.admission.pending_cells,
+                   "queued_executions": self.executor.queued,
+                   "inflight_cells": self.scheduler.inflight_cells(),
+                   "open_breakers": [
+                       getattr(k, "describe", lambda: str(k))()
+                       for k in self.scheduler.breaker.open_keys()],
+                   "coalesced": self.scheduler.coalesced,
+                   "stale_served": self.scheduler.stale_served}
+        status = getattr(self.executor, "fleet_status", None)
+        if status is not None:
+            payload["fleet"] = status()
+        return payload
 
     # ------------------------------------------------------------------
     # The study route
@@ -304,6 +395,10 @@ class SweepService:
         deadline_s = (study.deadline_s
                       if study.deadline_s is not None
                       else self.config.default_deadline_s)
+        study_id = self._new_study()
+        for key in study.cells:
+            self._publish_event(study_id, {"event": "cell_start",
+                                           "cell": key.as_dict()})
         tasks = [asyncio.create_task(
                      self.scheduler.request_cell(key, deadline_s))
                  for key in study.cells]
@@ -311,16 +406,21 @@ class SweepService:
         started = time.monotonic()
         try:
             await start_ndjson(writer)
+            await send_ndjson_line(writer, {"study_id": study_id})
             for fut in asyncio.as_completed(tasks):
                 record = await fut
                 if record.get("status") == "ok":
                     ok += 1
                 else:
                     failed += 1
+                self._publish_event(study_id, {
+                    "event": "cell_finish", "cell": record.get("cell"),
+                    "status": record.get("status")})
                 await send_ndjson_line(writer, record)
             await send_ndjson_line(writer, {
                 "summary": {"cells": len(study.cells), "ok": ok,
                             "failed": failed, "tenant": study.tenant,
+                            "study_id": study_id,
                             "elapsed_s": round(
                                 time.monotonic() - started, 3)}})
             await end_ndjson(writer)
@@ -333,7 +433,90 @@ class SweepService:
             await asyncio.gather(*tasks, return_exceptions=True)
             raise
         finally:
+            self._finish_study(study_id, {
+                "event": "study_done",
+                "cells": len(study.cells), "ok": ok, "failed": failed})
             self.admission.release(study.tenant, len(study.cells))
+
+    # ------------------------------------------------------------------
+    # Study-progress events (GET /v1/study/{id}/events)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _study_events_id(path: str) -> str | None:
+        """The study id of an events-subscription path, or None."""
+        prefix, suffix = "/v1/study/", "/events"
+        if not (path.startswith(prefix) and path.endswith(suffix)):
+            return None
+        study_id = path[len(prefix):-len(suffix)]
+        return study_id if study_id and "/" not in study_id else None
+
+    def _new_study(self) -> str:
+        self._study_seq += 1
+        study_id = f"s{self._study_seq:06d}"
+        self._events[study_id] = _StudyEvents(study_id=study_id)
+        while len(self._events) > EVENT_HISTORY:
+            self._events.popitem(last=False)
+        return study_id
+
+    def _publish_event(self, study_id: str, event: dict) -> None:
+        entry = self._events.get(study_id)
+        if entry is None or entry.done:
+            return
+        event = {"study": study_id, **event}
+        entry.buffer.append(event)
+        for queue in list(entry.queues):
+            queue.put_nowait(event)
+
+    def _finish_study(self, study_id: str, event: dict) -> None:
+        self._publish_event(study_id, event)
+        entry = self._events.get(study_id)
+        if entry is not None:
+            entry.done = True
+
+    def _fleet_event_threadsafe(self, event: dict) -> None:
+        """Fleet supervisor callback: hop to the loop, then fan out."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._fleet_event, dict(event))
+        except RuntimeError:  # loop shut down mid-callback
+            pass
+
+    def _fleet_event(self, event: dict) -> None:
+        """Failover/respawn/eviction events go to every open study —
+        a subscriber watching cell progress needs to see why a cell is
+        suddenly taking a second trip."""
+        for study_id, entry in list(self._events.items()):
+            if not entry.done:
+                self._publish_event(study_id, event)
+
+    async def _handle_study_events(self, study_id: str,
+                                   writer: asyncio.StreamWriter) -> None:
+        entry = self._events.get(study_id)
+        if entry is None:
+            await send_json(writer, 404,
+                            {"error": f"no study {study_id!r}"})
+            return
+        queue: asyncio.Queue = asyncio.Queue()
+        # subscribe before snapshotting the buffer (same loop tick, so
+        # replay + live consumption is the exact event sequence)
+        if not entry.done:
+            entry.queues.add(queue)
+        replay = list(entry.buffer)
+        try:
+            await start_ndjson(writer)
+            for event in replay:
+                await send_ndjson_line(writer, event)
+            if not entry.done:
+                while True:
+                    event = await queue.get()
+                    await send_ndjson_line(writer, event)
+                    if event.get("event") == "study_done":
+                        break
+            await end_ndjson(writer)
+        finally:
+            entry.queues.discard(queue)
 
 
 def _plain_response(status: int, body: bytes) -> bytes:

@@ -76,6 +76,37 @@ class TestNoRaces:
         assert np.array_equal(dist_simt, run.output["dist"])
 
 
+class TestSharedTileKernel:
+    """The staged-tile shared-memory kernel: correct *only* under the
+    barrier, which is exactly what makes it a repair target."""
+
+    def _graph(self):
+        return CSRGraph.from_edges(
+            4, [(0, 1), (1, 2), (2, 3)], directed=False,
+            symmetrize=True, name="apsp-path").with_random_weights(seed=0)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_with_sync_is_correct_and_race_free(self, seed):
+        g = self._graph()
+        dist, ex = apsp.run_simt_shared(
+            g, scheduler=AdversarialScheduler(seed), sync=True)
+        verify.check_apsp(g, dist)
+        assert RaceDetector().check(ex) == []
+
+    def test_without_sync_the_tile_races(self):
+        g = self._graph()
+        _dist, ex = apsp.run_simt_shared(
+            g, scheduler=AdversarialScheduler(0), sync=False)
+        races = RaceDetector().check(ex)
+        assert races, "dropping the tile barrier must race"
+        sites = {site for race in races for site in race.fixable_sites}
+        assert any(site.startswith("apsp.tile") for site in sites)
+
+    def test_shared_plan_sites_are_labelled(self):
+        names = {site.name for site in apsp.SHARED_PLAN.sites}
+        assert {"apsp.tile.read", "apsp.tile.write"} <= names
+
+
 class TestStudyExclusion:
     def test_study_refuses_apsp_speedup(self):
         """Like the paper, the study does not measure APSP speedups."""

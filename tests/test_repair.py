@@ -254,8 +254,8 @@ class TestVerify:
 
 class TestTargets:
     def test_registry(self):
-        assert list_targets() == ["cc", "gc", "mis", "mst", "scc",
-                                  "twophase"]
+        assert list_targets() == ["apsp_shared", "cc", "gc", "mis",
+                                  "mis_packed", "mst", "scc", "twophase"]
         with pytest.raises(ReproError):
             get_target("bogus")
 

@@ -81,6 +81,58 @@ class TestCcPipeline:
         assert seq_cst.geomean_ms > relaxed.geomean_ms
 
 
+class TestApspSharedPipeline:
+    """The staged-tile APSP kernel: a *barrier* race, where atomics
+    are the wrong tool and must be rejected on output, not vibes."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return repair("apsp_shared", budget="smoke")
+
+    def test_ok_and_barrier_is_the_only_fix(self, report):
+        assert report.ok
+        top = report.top_fix
+        assert top is not None
+        assert top.fixset.barriers() == frozenset({"apsp.sync"})
+        assert top.fixset.kinds() == {}
+
+    def test_atomic_candidates_rejected_on_output(self, report):
+        atomics = [c for c in report.candidates
+                   if c.fixset.kinds() and not c.fixset.barriers()]
+        assert atomics, "atomic candidates must have been tried"
+        assert all(not c.accepted for c in atomics)
+
+    def test_obligations_name_the_tile(self, report):
+        assert report.obligations
+        sites = {site for ob in report.obligations
+                 for site in ob.sites}
+        assert any(site.startswith("apsp.tile") for site in sites)
+
+
+class TestMisPackedPipeline:
+    """The packed single-byte MIS kernel as a repair target."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return repair("mis_packed", budget="smoke")
+
+    def test_ok_with_accepted_atomic_fix(self, report):
+        assert report.ok
+        assert report.obligations
+        accepted = [c for c in report.candidates if c.accepted]
+        assert accepted
+        assert report.top_fix is not None
+        assert report.top_fix.fixset.kinds(), \
+            "the packed kernel's fix promotes access kinds"
+
+    def test_accepted_fixes_verified_end_to_end(self, report):
+        for verdict in (c for c in report.candidates if c.accepted):
+            assert verdict.race_free
+            assert verdict.completes
+            assert verdict.invariant_ok
+            assert verdict.output_equivalent
+
+
 class TestRepairCli:
     def test_repair_twophase_text(self, capsys):
         assert main(["repair", "twophase", "--budget", "smoke"]) == 0

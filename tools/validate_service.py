@@ -14,7 +14,13 @@ deployment would:
    cache-less offline sweep of the same cells run in this process;
 4. sends SIGTERM while a third client is mid-stream and asserts the
    server drains within the deadline, exits 0, and leaves a checkpoint
-   a fresh study can load.
+   a fresh study can load;
+5. (fleet smoke) repeats the drive against ``--workers 2`` with a
+   shared ``--store`` under the same kill plan: every first-generation
+   fleet worker is killed, cells must fail over to respawned workers,
+   results must stay byte-identical to the offline sweep, the store
+   must hold every published cell, and SIGTERM must still drain
+   cleanly.
 
 Usage::
 
@@ -231,8 +237,123 @@ def main(argv: list[str] | None = None) -> int:
             server.kill()
             server.communicate()
 
-    print("service validation: coalescing, byte-identity, and "
-          "SIGTERM drain hold under injected host faults")
+    rc = _fleet_smoke(workdir, baseline, n_cells, args)
+    if rc:
+        return rc
+
+    print("service validation: coalescing, byte-identity, fleet "
+          "failover, and SIGTERM drain hold under injected host faults")
+    return 0
+
+
+def _fleet_smoke(workdir: Path, baseline: bytes, n_cells: int,
+                 args) -> int:
+    """Phase 5: the supervised worker fleet under the same kill plan."""
+    fleet_dir = workdir / "fleet"
+    store_dir = fleet_dir / "store"
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--reps", str(REPS), "--retries", "0",
+         "--workers", "2", "--store", str(store_dir),
+         "--trace-cache", str(fleet_dir / "traces"),
+         "--checkpoint", str(fleet_dir / "fleet.ckpt"),
+         "--inject-host", "kill=1.0,torn=0.4",
+         "--host-targets", "trace-*.json",
+         "--host-seed", str(args.seed),
+         "--disrupt-generations", "1",
+         "--drain-deadline", str(args.drain_deadline)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        banner = server.stdout.readline().strip()
+        if "listening on" not in banner:
+            raise RuntimeError(f"unexpected fleet banner {banner!r}")
+        port = int(banner.rsplit(":", 1)[1])
+        print(f"ok   fleet server up on port {port} "
+              "(2 workers, gen-0 kills injected)")
+
+        records: dict[str, list[dict] | Exception] = {}
+
+        def client(tenant: str) -> None:
+            try:
+                records[tenant] = _study_records(port, tenant)
+            except Exception as exc:  # surfaced below
+                records[tenant] = exc
+
+        threads = [threading.Thread(target=client, args=(t,))
+                   for t in ("alice", "bob")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        for tenant in ("alice", "bob"):
+            got = records.get(tenant)
+            if isinstance(got, Exception) or got is None:
+                print(f"FAIL: fleet client {tenant}: {got!r}",
+                      file=sys.stderr)
+                return 1
+            cells = [r for r in got if "cell" in r]
+            bad = [r for r in cells if r.get("status") != "ok"]
+            if len(cells) != n_cells or bad:
+                print(f"FAIL: fleet {tenant} got {len(cells)} cells, "
+                      f"{len(bad)} not ok: {bad}", file=sys.stderr)
+                return 1
+        print(f"ok   fleet served all {n_cells} cells to both clients")
+
+        raw = _request(port, "GET", "/readyz")
+        ready = json.loads(raw.partition(b"\r\n\r\n")[2])
+        fleet = ready.get("fleet") or {}
+        if len(fleet.get("workers", [])) != 2:
+            print(f"FAIL: /readyz fleet block: {fleet!r}",
+                  file=sys.stderr)
+            return 1
+        if fleet.get("respawns", 0) < 1 or fleet.get(
+                "redispatches", 0) < 1:
+            print("FAIL: the kill plan never cost a fleet worker "
+                  f"(respawns={fleet.get('respawns')}, "
+                  f"redispatches={fleet.get('redispatches')})",
+                  file=sys.stderr)
+            return 1
+        print(f"ok   failover exercised: respawns={fleet['respawns']} "
+              f"redispatches={fleet['redispatches']}")
+
+        raw = _request(port, "GET", "/v1/results")
+        server_payload = json.loads(raw.partition(b"\r\n\r\n")[2])
+        if _canonical(server_payload) != baseline:
+            print("FAIL: fleet results diverge from the uninjected "
+                  "offline sweep", file=sys.stderr)
+            return 1
+        print("ok   fleet results byte-identical to the offline sweep")
+
+        published = list(store_dir.glob("cell-*.json"))
+        if len(published) != n_cells:
+            print(f"FAIL: store published {len(published)} records, "
+                  f"expected {n_cells}", file=sys.stderr)
+            return 1
+        print(f"ok   store holds {len(published)} published cells")
+
+        sent = time.monotonic()
+        server.send_signal(signal.SIGTERM)
+        try:
+            out, err = server.communicate(
+                timeout=args.drain_deadline + 15.0)
+        except subprocess.TimeoutExpired:
+            print("FAIL: fleet server never exited after SIGTERM",
+                  file=sys.stderr)
+            return 1
+        drain_s = time.monotonic() - sent
+        if server.returncode != 0:
+            print(f"FAIL: fleet drain exited {server.returncode}; "
+                  f"stderr: {err[-500:]}", file=sys.stderr)
+            return 1
+        if "drained cleanly" not in out:
+            print(f"FAIL: missing fleet drain banner in {out!r}",
+                  file=sys.stderr)
+            return 1
+        print(f"ok   fleet SIGTERM drained cleanly in {drain_s:.2f}s")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate()
     return 0
 
 
